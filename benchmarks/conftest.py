@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+experiment runners, asserts its qualitative shape against what the
+paper reports, and (with ``-s``) prints the regenerated rows/series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def show():
+    """Print an experiment result so ``pytest -s`` shows the artifact."""
+
+    def _show(result: ExperimentResult) -> ExperimentResult:
+        print()
+        print(result.render(width=70, height=14))
+        return result
+
+    return _show

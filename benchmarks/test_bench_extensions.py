@@ -1,0 +1,73 @@
+"""Benchmarks for the extension studies (DESIGN.md section 6).
+
+These are not paper artifacts; they regenerate the extension
+experiments with the same shape-assertion discipline as the paper
+benches.
+"""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_ext_blocking,
+    run_ext_hybrid,
+    run_ext_regions,
+    run_ext_robustness,
+    run_ext_startup,
+)
+
+
+def test_bench_ext_startup(benchmark, show):
+    result = benchmark(run_ext_startup)
+    show(result)
+    worst = {(row[0], row[1]): float(row[3]) for row in result.table.rows}
+    for media in ("DivX", "DVD"):
+        assert worst[(media, "cache")] < worst[(media, "direct")]
+        assert worst[(media, "buffer (pipeline fill)")] > \
+            100 * worst[(media, "direct")]
+        # The bypass policy brings the buffer's startup back within one
+        # disk cycle of the direct server.
+        assert worst[(media, "buffer (bypass)")] < \
+            worst[(media, "buffer (pipeline fill)")]
+
+
+def test_bench_ext_blocking(benchmark, show):
+    result = benchmark(lambda: run_ext_blocking(budgets_gb=(1.0, 2.0)))
+    show(result)
+    by_key = {(row[0], row[1]): float(row[3]) for row in result.table.rows}
+    for budget in ("1 GB", "2 GB"):
+        assert by_key[(budget, "MEMS buffer")] < \
+            by_key[(budget, "disk only")]
+        assert by_key[(budget, "MEMS cache")] < \
+            by_key[(budget, "disk only")]
+
+
+def test_bench_ext_hybrid(benchmark, show):
+    result = benchmark(run_ext_hybrid)
+    show(result)
+    for series in result.series:
+        # Every split evaluated; the best split beats the worst by a
+        # meaningful margin under skewed popularity.
+        assert len(series.x) == 5
+    skewed = next(s for s in result.series if s.label == "1:99")
+    assert max(skewed.y) > 1.5 * min(skewed.y)
+
+
+def test_bench_ext_robustness(benchmark, show):
+    result = benchmark(lambda: run_ext_robustness(n_streams=40,
+                                                  n_cycles=25))
+    show(result)
+    series = result.series[0]
+    # Starvation at the bare analytical minimum, none with a generous
+    # prefilled cushion.
+    assert series.y[0] > 0
+    assert series.y[-1] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_bench_ext_regions(benchmark, show):
+    result = benchmark(lambda: run_ext_regions(n_rate_points=5,
+                                               n_budget_points=4))
+    show(result)
+    map_note = next(note for note in result.notes if "b=buffer" in note)
+    # Both MEMS regions appear on the map.
+    assert "b" in map_note.split("rows:")[0]
+    assert "c" in map_note.split("rows:")[0]

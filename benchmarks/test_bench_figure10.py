@@ -1,0 +1,38 @@
+"""Figure 10: throughput improvement vs MEMS cache size (striped, $100).
+
+Paper shape: each skewed distribution has a unique optimal bank size
+(interior k), with improvements up to ~2.4x (= +140%); at 50:50 the
+cache always degrades performance; past the optimum, displaced DRAM
+outweighs the extra cache capacity and the curves fall.
+"""
+
+from repro.experiments.figure10 import run
+
+
+def test_figure10(benchmark, show):
+    result = benchmark(run)
+    show(result)
+    by_label = {s.label: s for s in result.series}
+
+    # Skewed distributions peak strictly inside the k range.
+    for spec in ("1:99", "5:95", "10:90"):
+        series = by_label[spec]
+        best = max(series.y)
+        best_k = series.x[series.y.index(best)]
+        assert best > 0
+        assert series.x[0] < best_k < series.x[-1], \
+            f"{spec}: optimum at boundary k={best_k}"
+        # Past the optimum the curve declines.
+        after = [y for x, y in zip(series.x, series.y) if x > best_k]
+        assert after and after[-1] < best
+
+    # Headline magnitude: the paper reports improvements up to ~2.4x.
+    top = max(max(s.y) for s in by_label.values())
+    assert 100 < top < 300
+
+    # Uniform popularity: the cache always degrades performance.
+    assert all(v < 0 for v in by_label["50:50"].y)
+
+    # Milder skew, smaller peak.
+    assert max(by_label["1:99"].y) > max(by_label["10:90"].y) > \
+        max(by_label["20:80"].y)

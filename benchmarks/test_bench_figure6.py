@@ -1,0 +1,38 @@
+"""Figure 6: DRAM requirement vs stream count, without/with MEMS buffer.
+
+Paper shape: log-log near-linear growth per bit-rate; at a fully
+utilised disk the no-MEMS DRAM spans ~1 GB (HDTV) to ~1 TB (mp3); the
+MEMS buffer cuts it by an order of magnitude at every bit-rate.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import reduction_factors, run
+
+
+def test_figure6a_without_mems(benchmark, show):
+    result = benchmark(lambda: run(with_mems=False))
+    show(result)
+    by_label = {s.label: s for s in result.series}
+    # Terminal (near-saturation) DRAM values, in GB.
+    assert 300 < max(by_label["mp3"].y) < 3_000        # ~1 TB
+    assert 0.3 < max(by_label["HDTV"].y) < 3.0         # ~1 GB
+    # At a fixed N every lower bit-rate needs less DRAM per stream but
+    # supports proportionally more streams; curves are monotone.
+    for series in result.series:
+        assert series.y == sorted(series.y)
+
+
+def test_figure6b_with_mems(benchmark, show):
+    result = benchmark(lambda: run(with_mems=True))
+    show(result)
+    for series in result.series:
+        assert series.y == sorted(series.y)
+
+
+def test_figure6_order_of_magnitude_reduction(benchmark):
+    factors = benchmark(reduction_factors)
+    # Section 5.1.1: "the DRAM requirement is reduced by an order of
+    # magnitude to support a given system throughput."
+    for label, factor in factors.items():
+        assert factor > 8, f"{label}: only {factor:.1f}x"

@@ -1,0 +1,31 @@
+"""Figure 8: absolute buffering-cost reduction vs stream count.
+
+Paper shape: savings grow with N along each curve and scale inversely
+with the bit-rate — "tens of dollars for high bit-rate streams to tens
+of thousands of dollars for lower bit-rates" — and track the Figure 6
+DRAM reductions almost proportionally.
+"""
+
+from repro.experiments.figure8 import run
+
+
+def test_figure8(benchmark, show):
+    result = benchmark(run)
+    show(result)
+    peaks = {s.label: max(s.y) for s in result.series if s.y}
+
+    # Savings bands from Section 5.1.2.
+    assert peaks["mp3"] > 10_000          # tens of thousands of dollars
+    assert peaks["DivX"] > 1_000
+    assert peaks["DVD"] > 100
+    assert peaks["HDTV"] < 100            # tens of dollars
+
+    # Factor-of-ten ladder between adjacent bit-rates (cost tracks the
+    # DRAM reduction, which scales as 1/B at fixed utilisation).
+    assert 5 < peaks["mp3"] / peaks["DivX"] < 20
+    assert 5 < peaks["DivX"] / peaks["DVD"] < 20
+
+    # Monotone growth along each curve (savings rise with N).
+    for series in result.series:
+        assert all(a <= b * (1 + 1e-9)
+                   for a, b in zip(series.y, series.y[1:]))

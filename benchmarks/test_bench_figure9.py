@@ -1,0 +1,70 @@
+"""Figure 9: MEMS-cache throughput vs popularity, at fixed budgets.
+
+Paper shape: under skewed popularity (1:99 .. 10:90) both cache
+policies beat the no-cache server, with replication on top at 1:99
+(lowest effective latency) and striping ahead at milder skews (more
+distinct content cached); at 50:50 the cache is not cost-effective.
+Cache gains are nearly independent of the bit-rate (panels a vs b).
+"""
+
+import pytest
+
+from repro.core.popularity import BimodalPopularity
+from repro.experiments.figure9 import run_panel_a, run_panel_b, throughput
+from repro.units import KB, MB
+
+
+def _table_lookup(result, distribution: str, configuration: str) -> list[int]:
+    for row in result.table.rows:
+        if row[0] == distribution and configuration in str(row[1]):
+            return [int(v) for v in row[2:]]
+    raise AssertionError(f"row {distribution}/{configuration} missing")
+
+
+def test_figure9a_low_bitrate(benchmark, show):
+    result = benchmark(run_panel_a)
+    show(result)
+    # Replication wins under heavy skew at every budget.
+    repl = _table_lookup(result, "1:99", "replicated")
+    stri = _table_lookup(result, "1:99", "striped")
+    none = _table_lookup(result, "1:99", "w/o")
+    assert all(r >= s for r, s in zip(repl, stri))
+    assert all(r > n for r, n in zip(repl, none))
+    # Striping overtakes replication at milder skew (more content fits).
+    stri_5 = _table_lookup(result, "5:95", "striped")
+    repl_5 = _table_lookup(result, "5:95", "replicated")
+    assert stri_5[-1] > repl_5[-1]  # at the $200 / k=4 point
+    # At uniform popularity the cache loses to plain DRAM.
+    uniform_cache = _table_lookup(result, "50:50", "replicated")
+    uniform_none = _table_lookup(result, "50:50", "w/o")
+    assert all(c < n for c, n in zip(uniform_cache, uniform_none))
+
+
+def test_figure9b_high_bitrate(benchmark, show):
+    result = benchmark(run_panel_b)
+    show(result)
+    repl = _table_lookup(result, "1:99", "replicated")
+    none = _table_lookup(result, "1:99", "w/o")
+    # The cache still multiplies throughput at 1 MB/s (Section 5.2.3:
+    # the improvement is almost independent of the bit-rate).
+    assert repl[-1] > 3 * none[-1]
+    # Without a cache, extra budget barely helps at high bit-rates
+    # (Figure 9b's "negligible additional improvement" observation).
+    assert none[-1] < none[0] * 1.15
+
+
+def test_figure9_bitrate_independence(benchmark):
+    def gains():
+        out = {}
+        for rate in (10 * KB, 1 * MB):
+            base = throughput(rate, 200.0, 4, "none",
+                              BimodalPopularity.parse("1:99"))
+            cached = throughput(rate, 200.0, 4, "replicated",
+                                BimodalPopularity.parse("1:99"))
+            out[rate] = cached / base
+        return out
+
+    ratios = benchmark(gains)
+    low, high = ratios[10 * KB], ratios[1 * MB]
+    assert low > 2 and high > 2
+    assert low / high == pytest.approx(1.0, abs=0.35)

@@ -1,0 +1,46 @@
+"""Event-simulator benchmarks: schedule execution at realistic scale.
+
+These time the cross-validation machinery itself (the paper has no
+corresponding figure) and re-assert the core invariant — the analytical
+buffer sizes execute jitter-free — at populations near the admission
+limit.
+"""
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.simulation.pipelines import (
+    simulate_buffer_pipeline,
+    simulate_cache_pipeline,
+    simulate_direct_pipeline,
+)
+from repro.units import KB, MB
+
+
+def test_bench_direct_pipeline(benchmark):
+    params = SystemParameters.table3_default(n_streams=250,
+                                             bit_rate=1 * MB, k=2)
+    report = benchmark(lambda: simulate_direct_pipeline(params, n_cycles=20))
+    assert report.jitter_free
+    assert report.resources["disk"].worst_cycle_utilization > 0.8
+
+
+def test_bench_buffer_pipeline(benchmark):
+    params = SystemParameters.table3_default(n_streams=200,
+                                             bit_rate=1 * MB, k=2)
+    design = design_mems_buffer(params)
+    report = benchmark(
+        lambda: simulate_buffer_pipeline(design, n_hyper_periods=2))
+    assert report.jitter_free
+    assert report.notes["steady_short_reads"] == 0
+
+
+def test_bench_cache_pipeline(benchmark):
+    params = SystemParameters.table3_default(n_streams=1_000,
+                                             bit_rate=100 * KB, k=4)
+    design = design_mems_cache(params, CachePolicy.REPLICATED,
+                               BimodalPopularity(5, 95))
+    report = benchmark(
+        lambda: simulate_cache_pipeline(design, n_cycles=15))
+    assert report.jitter_free

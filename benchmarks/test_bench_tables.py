@@ -1,0 +1,29 @@
+"""Tables 1 and 3: regenerate the device catalogs from the models."""
+
+from repro.experiments.tables import run_table1, run_table3
+
+
+def test_table1(benchmark, show):
+    result = benchmark(run_table1)
+    show(result)
+    assert result.table is not None
+    # 2002 and 2007 rows for each of the three media.
+    assert len(result.table.rows) == 6
+    # The catalog cross-checks against the device models must all pass.
+    assert not any("MISMATCH" in note for note in result.notes)
+
+
+def test_table3(benchmark, show):
+    result = benchmark(run_table3)
+    show(result)
+    rendered = result.table.render()
+    # The paper's case-study figures.
+    assert "20,000" in rendered       # FutureDisk RPM
+    assert "300" in rendered          # disk bandwidth MB/s
+    assert "320" in rendered          # G3 bandwidth MB/s
+    assert "0.45" in rendered         # G3 full-stroke seek ms
+    assert "0.14" in rendered         # G3 settle ms
+    # The paper reports a latency ratio near 5 for this device pair.
+    ratio_note = next(n for n in result.notes if "latency ratio" in n)
+    ratio = float(ratio_note.split("=")[1].split()[0])
+    assert 4.0 < ratio < 6.0

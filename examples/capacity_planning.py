@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Capacity planning: admission control, mixed media, and VBR cushions.
+
+A server operator's view of the model:
+
+  1. fill a fixed-DRAM server with streams through the admission
+     controller (one stream at a time, as arrivals would),
+  2. compare plain vs MEMS-buffered capacity for a *mixed* population
+     (mp3 + DivX + DVD) via the average-bit-rate reduction, and
+  3. size the extra per-stream cushion a VBR stream needs on top of
+     the CBR buffer (footnote 1 of the paper).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SystemParameters
+from repro.core.theorems import min_buffer_direct
+from repro.scheduling import AdmissionController
+from repro.units import GB, KB, MB, bytes_to_human
+from repro.workloads import average_bit_rate
+from repro.workloads.bitrates import DIVX, DVD, MP3
+from repro.workloads.vbr import (
+    cushion_for_trace,
+    make_vbr_trace,
+    vbr_buffer_requirement,
+)
+
+DRAM_BUDGET = 2 * GB
+
+
+def main() -> None:
+    # 1. Incremental admission at 100 KB/s.
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=100 * KB,
+                                             k=2)
+    plain = AdmissionController(params, DRAM_BUDGET, configuration="none")
+    buffered = AdmissionController(params, DRAM_BUDGET,
+                                   configuration="buffer")
+    n_plain = plain.fill()
+    n_buffered = buffered.fill()
+    print(f"Admission with {DRAM_BUDGET / GB:.0f} GB DRAM at 100 KB/s:")
+    print(f"  disk-to-DRAM: {n_plain} streams")
+    print(f"  via 2x G3 MEMS buffer: {n_buffered} streams "
+          f"({n_buffered / n_plain:.1f}x)")
+    rejection = plain.try_admit()
+    print(f"  next admission rejected because: {rejection.reason}")
+    print()
+
+    # 2. A mixed population: the paper's average-rate simplification
+    # predicts the totals exactly, but per-class buffers need the exact
+    # multi-class analysis (S_c = B_c * T, not B-bar * T).
+    from repro.core.multiclass import StreamClass, design_multiclass_direct
+
+    mix = {MP3: 2_000, DIVX: 500, DVD: 50}
+    avg = average_bit_rate(mix)
+    n_total = sum(mix.values())
+    mixed = SystemParameters.table3_default(n_streams=n_total, bit_rate=avg,
+                                            k=2)
+    per_stream = min_buffer_direct(n_total, avg, mixed.r_disk, mixed.l_disk)
+    print(f"Mixed population ({n_total} streams, "
+          f"B-bar = {avg / KB:.1f} KB/s):")
+    print(f"  average-rate model: {bytes_to_human(per_stream)}/stream; "
+          f"total {bytes_to_human(n_total * per_stream)}")
+    classes = [StreamClass(m.name, m.bit_rate, count)
+               for m, count in mix.items()]
+    exact = design_multiclass_direct(classes, rate=mixed.r_disk,
+                                     latency=mixed.l_disk)
+    print(f"  exact multi-class total {bytes_to_human(exact.total_dram)} "
+          f"(identical), but per class:")
+    for cls in classes:
+        print(f"    {cls.name:>5}: {bytes_to_human(exact.buffer_for(cls.name))}"
+              f" per stream")
+    from repro.core.buffer_model import design_mems_buffer
+
+    design = design_mems_buffer(mixed)
+    print(f"  with MEMS buffer: total {bytes_to_human(design.total_dram)} "
+          f"({n_total * per_stream / design.total_dram:.1f}x less)")
+    print()
+
+    # 3. VBR cushion (CBR + cushion model).
+    print("VBR cushion on top of the CBR buffer (1 MB/s average):")
+    cbr = min_buffer_direct(100, 1 * MB, mixed.r_disk, mixed.l_disk)
+    for burstiness in (0.1, 0.3, 0.5):
+        trace = make_vbr_trace(average_rate=1 * MB, n_windows=1_800,
+                               burstiness=burstiness, seed=11)
+        cushion = cushion_for_trace(trace)
+        total = vbr_buffer_requirement(cbr, trace)
+        print(f"  burstiness {burstiness:.0%}: peak rate "
+              f"{trace.peak_rate / MB:.2f} MB/s, cushion "
+              f"{bytes_to_human(cushion)} -> per-stream buffer "
+              f"{bytes_to_human(total)} (CBR alone: {bytes_to_human(cbr)})")
+
+
+if __name__ == "__main__":
+    main()

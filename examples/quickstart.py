@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: size a streaming server with and without a MEMS buffer.
+
+Reproduces the paper's core result on one configuration: a 2007-class
+server (FutureDisk + two G3 MEMS devices, Table 3) streaming 2,400
+DivX (100 KB/s) streams — 80% of the disk's bandwidth, where efficient
+buffering matters.  The MEMS buffer cuts the DRAM requirement and the
+buffering cost by an order of magnitude.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemParameters, compare_buffer_costs, design_mems_buffer
+from repro.core.theorems import min_buffer_disk_dram
+from repro.units import KB, MB, bytes_to_human
+
+N_STREAMS = 2_400
+BIT_RATE = 100 * KB  # DivX / MPEG-4
+
+
+def main() -> None:
+    params = SystemParameters.table3_default(n_streams=N_STREAMS,
+                                             bit_rate=BIT_RATE, k=2)
+    print(f"Server: {N_STREAMS} streams at {BIT_RATE / KB:.0f} KB/s "
+          f"({params.disk_utilization:.0%} of disk bandwidth)")
+    print(f"Devices: disk {params.r_disk / MB:.0f} MB/s, "
+          f"MEMS bank {params.mems_bank_bandwidth / MB:.0f} MB/s "
+          f"(k={params.k}), latency ratio {params.latency_ratio:.1f}")
+    print()
+
+    # Without MEMS: Theorem 1.
+    per_stream = min_buffer_disk_dram(params)
+    total_without = N_STREAMS * per_stream
+    print("Without MEMS buffer (Theorem 1):")
+    print(f"  per-stream DRAM  {bytes_to_human(per_stream)}")
+    print(f"  total DRAM       {bytes_to_human(total_without)}")
+    print()
+
+    # With the MEMS buffer: Theorem 2.
+    design = design_mems_buffer(params)
+    print("With 2x G3 MEMS buffer (Theorem 2):")
+    print(f"  disk IO cycle    {design.t_disk:.2f} s "
+          f"(disk IOs of {bytes_to_human(design.s_disk_mems)})")
+    print(f"  MEMS IO cycle    {design.t_mems:.4f} s "
+          f"(M={design.m} disk transfers per MEMS cycle)")
+    print(f"  per-stream DRAM  {bytes_to_human(design.s_mems_dram)}")
+    print(f"  total DRAM       {bytes_to_human(design.total_dram)}")
+    print(f"  DRAM reduction   {total_without / design.total_dram:.1f}x")
+    print()
+
+    comparison = compare_buffer_costs(params)
+    print("Buffering cost (Equations 1-2):")
+    print(f"  without MEMS     ${comparison.cost_without:,.2f}")
+    print(f"  with MEMS        ${comparison.cost_with:,.2f} "
+          f"(incl. ${params.mems_bank_cost:.0f} MEMS bank)")
+    print(f"  saving           ${comparison.savings:,.2f} "
+          f"({comparison.percent_reduction:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

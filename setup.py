@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` (and ``python setup.py develop``)
+work in minimal environments that lack the ``wheel`` package needed by
+PEP 660 editable builds; all project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

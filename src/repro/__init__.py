@@ -1,0 +1,103 @@
+"""Reproduction of *MEMS-based Disk Buffer for Streaming Media Servers*.
+
+Rangaswami, Dimitrijević, Chang, Schauser — ICDE 2003 (UCSB).
+
+The paper analyses placing MEMS-based storage between DRAM and the disk
+of a streaming-media server, as a speed-matching **buffer** or as a
+popular-content **cache**, under time-cycle (QPMS) real-time
+scheduling.  This package implements:
+
+* first-principles device models (disk, MEMS, DRAM, multi-device MEMS
+  banks) — :mod:`repro.devices`;
+* the complete analytical framework (Theorems 1-4, the cost models,
+  the X:Y popularity/hit-rate map) — :mod:`repro.core`;
+* schedulers and admission control — :mod:`repro.scheduling`;
+* a discrete-event simulator that executes the schedules and verifies
+  the analytical bounds — :mod:`repro.simulation`;
+* workload generators — :mod:`repro.workloads`;
+* runners for every table and figure of the paper's evaluation —
+  :mod:`repro.experiments` (CLI: ``mems-repro``).
+
+Quickstart::
+
+    from repro import SystemParameters, design_mems_buffer
+
+    params = SystemParameters.table3_default(n_streams=1000,
+                                             bit_rate=100_000, k=2)
+    design = design_mems_buffer(params)
+    print(design.total_dram)          # DRAM with the MEMS buffer
+"""
+
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.core import (
+    BimodalPopularity,
+    BufferCostComparison,
+    BufferDesign,
+    CacheDesign,
+    CachePolicy,
+    SystemParameters,
+    UniformPopularity,
+    ZipfPopularity,
+    compare_buffer_costs,
+    design_mems_buffer,
+    design_mems_cache,
+    max_streams_with_buffer,
+    max_streams_with_cache,
+    max_streams_without_mems,
+    min_buffer_direct,
+)
+from repro.devices import (
+    DiskDrive,
+    Dram,
+    MemsBank,
+    MemsDevice,
+    BankPolicy,
+    FUTURE_DISK_2007,
+    MEMS_G3,
+    DRAM_2007,
+)
+from repro.simulation import ServerConfig, StreamingServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionError",
+    "CapacityError",
+    "ConfigurationError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "BimodalPopularity",
+    "BufferCostComparison",
+    "BufferDesign",
+    "CacheDesign",
+    "CachePolicy",
+    "SystemParameters",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "compare_buffer_costs",
+    "design_mems_buffer",
+    "design_mems_cache",
+    "max_streams_with_buffer",
+    "max_streams_with_cache",
+    "max_streams_without_mems",
+    "min_buffer_direct",
+    "DiskDrive",
+    "Dram",
+    "MemsBank",
+    "MemsDevice",
+    "BankPolicy",
+    "FUTURE_DISK_2007",
+    "MEMS_G3",
+    "DRAM_2007",
+    "ServerConfig",
+    "StreamingServer",
+    "__version__",
+]

@@ -1,0 +1,143 @@
+"""Inverse solvers: the server throughput of a configuration.
+
+The paper's Figures 9 and 10 report *server throughput* — the maximum
+number of streams a configuration can admit — for a fixed buffering
+budget.  The forward models (Theorems 1-4) map ``N`` to a DRAM
+requirement; these solvers invert them.  Every forward model's DRAM
+requirement is strictly increasing in ``N`` (more streams, longer
+cycles, bigger buffers), so a bracketed bisection on the feasibility
+predicate is exact up to the requested tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.core.theorems import max_streams_direct
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+
+#: Relative tolerance of the bisection solvers.
+_REL_TOL = 1e-9
+_MAX_DOUBLINGS = 80
+_MAX_BISECTIONS = 120
+
+
+def _max_feasible(predicate: Callable[[float], bool]) -> float:
+    """Largest ``n >= 0`` with ``predicate(n)`` true, by doubling + bisection.
+
+    ``predicate`` must be monotone (true on an interval ``[0, n*]``).
+    Returns 0.0 when even a vanishing load is infeasible.
+    """
+    if not predicate(1e-6):
+        return 0.0
+    lo = 1e-6
+    hi = 1.0
+    for _ in range(_MAX_DOUBLINGS):
+        if not predicate(hi):
+            break
+        lo = hi
+        hi *= 2.0
+    else:  # pragma: no cover - would need absurd parameters
+        raise ConfigurationError(
+            "feasible region appears unbounded; check the budget constraint")
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        if predicate(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= _REL_TOL * max(hi, 1.0):
+            break
+    return lo
+
+
+def max_streams_without_mems(params: SystemParameters,
+                             dram_budget: float) -> float:
+    """Throughput of the plain disk-to-DRAM server (Theorem 1 inverse).
+
+    Closed form; ``params.n_streams`` is ignored.
+    """
+    if dram_budget < 0:
+        raise ConfigurationError(
+            f"dram_budget must be >= 0, got {dram_budget!r}")
+    return max_streams_direct(params.bit_rate, params.r_disk, params.l_disk,
+                              dram_budget)
+
+
+def max_streams_with_buffer(params: SystemParameters,
+                            dram_budget: float) -> float:
+    """Throughput of the MEMS-buffered server (Theorem 2 inverse).
+
+    The feasibility predicate combines the disk and MEMS bandwidth
+    limits, the MEMS storage bound (Eq. 7 vs Eq. 6 compatibility), and
+    the DRAM budget.  ``params.n_streams`` is ignored.
+    """
+    if dram_budget < 0:
+        raise ConfigurationError(
+            f"dram_budget must be >= 0, got {dram_budget!r}")
+
+    def feasible(n: float) -> bool:
+        try:
+            design = design_mems_buffer(params.replace(n_streams=n),
+                                        quantise=False)
+        except (AdmissionError, CapacityError):
+            return False
+        return design.total_dram <= dram_budget
+
+    return _max_feasible(feasible)
+
+
+def max_streams_with_cache(params: SystemParameters, policy: CachePolicy,
+                           popularity: PopularityDistribution,
+                           dram_budget: float) -> float:
+    """Throughput of the MEMS-cached server (Theorems 3/4 inverse).
+
+    Streams split ``h : (1-h)`` between cache and disk (the hit rate
+    depends only on capacities, not on ``N``); feasibility requires
+    both device classes to admit their share and the combined DRAM to
+    fit the budget.  ``params.n_streams`` is ignored.
+    """
+    if dram_budget < 0:
+        raise ConfigurationError(
+            f"dram_budget must be >= 0, got {dram_budget!r}")
+
+    def feasible(n: float) -> bool:
+        try:
+            design = design_mems_cache(params.replace(n_streams=n), policy,
+                                       popularity)
+        except AdmissionError:
+            return False
+        return design.total_dram <= dram_budget
+
+    return _max_feasible(feasible)
+
+
+def streams_supported(params: SystemParameters, dram_budget: float, *,
+                      configuration: str = "none",
+                      policy: CachePolicy | None = None,
+                      popularity: PopularityDistribution | None = None) -> int:
+    """Integer server throughput for any of the three configurations.
+
+    ``configuration`` is ``"none"`` (plain disk), ``"buffer"``, or
+    ``"cache"`` (which additionally needs ``policy`` and
+    ``popularity``).  Returns ``floor`` of the continuous solution.
+    """
+    if configuration == "none":
+        n = max_streams_without_mems(params, dram_budget)
+    elif configuration == "buffer":
+        n = max_streams_with_buffer(params, dram_budget)
+    elif configuration == "cache":
+        if policy is None or popularity is None:
+            raise ConfigurationError(
+                "cache configuration needs policy and popularity")
+        n = max_streams_with_cache(params, policy, popularity, dram_budget)
+    else:
+        raise ConfigurationError(
+            f"configuration must be 'none', 'buffer' or 'cache', "
+            f"got {configuration!r}")
+    return int(math.floor(n + 1e-9))

@@ -1,0 +1,176 @@
+"""Buffering-cost models (Equations 1, 2 and 9 of the paper).
+
+All costs are in dollars.  The MEMS bank is charged per *device*
+(Section 4): ``k * C_mems * Size_mems`` regardless of how much of the
+bank the workload actually uses, while DRAM is charged per byte of
+buffer actually required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CacheDesign, CachePolicy, design_mems_cache
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.core.theorems import min_buffer_disk_dram
+from repro.errors import ConfigurationError
+
+
+def buffering_cost_without_mems(params: SystemParameters) -> float:
+    """Equation 1: ``N * C_dram * S_disk-dram`` for direct streaming."""
+    if params.n_streams == 0:
+        return 0.0
+    return params.n_streams * params.c_dram * min_buffer_disk_dram(params)
+
+
+def buffering_cost_with_mems(params: SystemParameters) -> float:
+    """Equation 2: MEMS bank cost plus the reduced DRAM cost.
+
+    ``k * C_mems * Size_mems + N * C_dram * S_mems-dram`` with
+    ``S_mems-dram`` from Theorem 2.  Requires finite ``size_mems``
+    (the bank must be purchasable to be priced).
+    """
+    if params.size_mems is None:
+        raise ConfigurationError(
+            "buffering_cost_with_mems requires a finite size_mems")
+    design = design_mems_buffer(params, quantise=False)
+    return (params.mems_bank_cost
+            + params.n_streams * params.c_dram * design.s_mems_dram)
+
+
+def cache_cost_with_mems(params: SystemParameters, policy: CachePolicy,
+                         popularity: PopularityDistribution) -> float:
+    """Equation 9: MEMS bank cost plus DRAM for both stream classes.
+
+    ``k*C_mems*Size_mems + h*N*C_dram*S_mems-dram
+    + (1-h)*N*C_dram*S_disk-dram``.
+    """
+    design = design_mems_cache(params, policy, popularity)
+    return params.mems_bank_cost + params.c_dram * design.total_dram
+
+
+@dataclass(frozen=True)
+class BufferCostComparison:
+    """Side-by-side buffering costs with and without the MEMS buffer."""
+
+    params: SystemParameters
+    #: Equation 1 cost, dollars.
+    cost_without: float
+    #: Equation 2 cost, dollars.
+    cost_with: float
+    #: Total DRAM without the MEMS buffer, bytes.
+    dram_without: float
+    #: Total DRAM with the MEMS buffer, bytes.
+    dram_with: float
+
+    @property
+    def savings(self) -> float:
+        """Absolute cost reduction in dollars (negative if MEMS loses)."""
+        return self.cost_without - self.cost_with
+
+    @property
+    def percent_reduction(self) -> float:
+        """Relative cost reduction in percent of the no-MEMS cost."""
+        if self.cost_without == 0:
+            return 0.0
+        return 100.0 * self.savings / self.cost_without
+
+    @property
+    def dram_reduction_factor(self) -> float:
+        """How many times less DRAM the MEMS configuration needs."""
+        if self.dram_with == 0:
+            return float("inf")
+        return self.dram_without / self.dram_with
+
+    @property
+    def is_cost_effective(self) -> bool:
+        """Section 4's criterion: ``COST_with < COST_without``."""
+        return self.cost_with < self.cost_without
+
+
+def optimal_disk_cycle_per_byte_cost(params: SystemParameters) -> float:
+    """Cost-optimal ``T_disk`` under per-byte MEMS pricing.
+
+    Section 5.1.2 relaxes the per-device pricing to a cost-per-byte
+    model with unlimited MEMS storage.  The MEMS bytes in flight are
+    ``2 N B T_disk`` (Eq. 7 with equality) while the DRAM term falls as
+    ``T/(T-C)``, so the total buffering cost is minimised at::
+
+        T* = C * (1 + sqrt(C_dram * slack / (2 * C_mems)))
+
+    with ``slack = 1 + (2k-2)/N`` (set ``d/dT = 0`` of
+    ``2 N B C_mems T + N B C_dram C slack T/(T-C)``).  Requires a
+    positive ``c_mems`` (free MEMS would push ``T`` to infinity).
+    """
+    from repro.core.buffer_model import mems_cycle_floor
+
+    if params.c_mems <= 0:
+        raise ConfigurationError(
+            "per-byte MEMS pricing requires c_mems > 0")
+    if params.n_streams == 0:
+        return 0.0
+    floor = mems_cycle_floor(params)
+    slack = 1.0 + (2.0 * params.k - 2.0) / params.n_streams
+    return floor * (1.0 + math.sqrt(
+        params.c_dram * slack / (2.0 * params.c_mems)))
+
+
+def compare_buffer_costs(params: SystemParameters, *,
+                         pricing: str = "per_device") -> BufferCostComparison:
+    """Evaluate Equations 1 and 2 for one parameter set.
+
+    ``pricing`` selects the MEMS cost model:
+
+    * ``"per_device"`` — Equation 2 exactly (``k * C_mems * Size_mems``),
+      with ``T_disk`` maximised under the Eq. 7 storage bound.  Requires
+      a finite ``size_mems``.
+    * ``"per_byte"`` — the Section 5.1.2 relaxation used for Figure 8:
+      unlimited MEMS storage priced per byte actually in flight, with
+      the cost-optimal ``T_disk`` from
+      :func:`optimal_disk_cycle_per_byte_cost`.
+    """
+    s_without = min_buffer_disk_dram(params) if params.n_streams else 0.0
+    dram_without = params.n_streams * s_without
+    cost_without = params.c_dram * dram_without
+
+    if pricing == "per_device":
+        if params.size_mems is None:
+            raise ConfigurationError(
+                "per-device pricing requires a finite size_mems; use "
+                "pricing='per_byte' for the unlimited-storage relaxation")
+        design = design_mems_buffer(params, quantise=False)
+        dram_with = design.total_dram
+        cost_with = params.mems_bank_cost + params.c_dram * dram_with
+    elif pricing == "per_byte":
+        unlimited = params.replace(size_mems=None)
+        if params.n_streams == 0:
+            dram_with = 0.0
+            cost_with = 0.0
+        else:
+            from repro.core.buffer_model import disk_cycle_bounds
+
+            # The cost-optimal cycle must still satisfy the disk's
+            # real-time lower bound (Eq. 6), which binds at high
+            # utilisation.
+            lower, _ = disk_cycle_bounds(unlimited)
+            t_star = max(optimal_disk_cycle_per_byte_cost(unlimited), lower)
+            design = design_mems_buffer(unlimited, t_disk=t_star,
+                                        quantise=False)
+            dram_with = design.total_dram
+            mems_bytes = (2.0 * params.n_streams * params.bit_rate * t_star)
+            cost_with = (params.c_mems * mems_bytes
+                         + params.c_dram * dram_with)
+    else:
+        raise ConfigurationError(
+            f"pricing must be 'per_device' or 'per_byte', got {pricing!r}")
+
+    return BufferCostComparison(
+        params=params,
+        cost_without=cost_without,
+        cost_with=cost_with,
+        dram_without=dram_without,
+        dram_with=dram_with,
+    )

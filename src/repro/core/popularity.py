@@ -1,0 +1,165 @@
+"""Content-popularity models and the cache hit-rate map (Eq. 11).
+
+The paper specifies popularity as ``X:Y`` — X% of the titles receive
+Y% of the accesses, uniformly within the popular and unpopular classes.
+Given a cache holding the most popular fraction ``p`` of the content,
+the hit rate is
+
+    h = (p / (X/100)) * Y/100                      if p <= X/100,
+    h = Y/100 + (p - X/100)/(1 - X/100) * (1-Y/100) otherwise,
+
+i.e. the cache first absorbs the popular class, then dips into the
+unpopular class.  ``50:50`` denotes the uniform distribution.
+
+:class:`ZipfPopularity` is an extension beyond the paper: real VoD
+popularity is often Zipf-like, and the cache analysis only consumes the
+``hit_rate(p)`` map, so any distribution with that interface plugs in.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PopularityDistribution(abc.ABC):
+    """Maps a cached content fraction to an access hit rate."""
+
+    @abc.abstractmethod
+    def hit_rate(self, cached_fraction: float) -> float:
+        """Fraction of accesses served by caching the ``cached_fraction``
+        most popular content.  Monotone, with ``hit_rate(0) = 0`` and
+        ``hit_rate(1) = 1``."""
+
+    def _check_fraction(self, cached_fraction: float) -> float:
+        if not 0 <= cached_fraction <= 1:
+            raise ConfigurationError(
+                f"cached fraction must be in [0, 1], got {cached_fraction!r}")
+        return cached_fraction
+
+
+@dataclass(frozen=True)
+class BimodalPopularity(PopularityDistribution):
+    """The paper's ``X:Y`` two-class popularity distribution.
+
+    ``x_percent`` of the titles receive ``y_percent`` of the accesses;
+    both classes are internally uniform.  The paper's experiments use
+    1:99, 5:95, 10:90, 20:80 and the uniform 50:50.
+    """
+
+    x_percent: float
+    y_percent: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.x_percent < 100:
+            raise ConfigurationError(
+                f"x_percent must be in (0, 100), got {self.x_percent!r}")
+        if not 0 < self.y_percent < 100:
+            raise ConfigurationError(
+                f"y_percent must be in (0, 100), got {self.y_percent!r}")
+        if self.y_percent < self.x_percent:
+            raise ConfigurationError(
+                f"a {self.x_percent}:{self.y_percent} distribution gives the "
+                "popular class less than its uniform share; swap X and Y")
+
+    @classmethod
+    def parse(cls, spec: str) -> "BimodalPopularity":
+        """Parse the paper's ``"X:Y"`` notation, e.g. ``"1:99"``."""
+        try:
+            x_text, y_text = spec.split(":")
+            return cls(float(x_text), float(y_text))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"popularity spec must look like 'X:Y', got {spec!r}") from exc
+
+    @property
+    def is_uniform(self) -> bool:
+        """True for the 50:50 (uniform) distribution."""
+        return math.isclose(self.x_percent, self.y_percent)
+
+    @property
+    def skew(self) -> float:
+        """Access-density ratio between the popular and unpopular class."""
+        x = self.x_percent / 100.0
+        y = self.y_percent / 100.0
+        return (y / x) / ((1.0 - y) / (1.0 - x))
+
+    def hit_rate(self, cached_fraction: float) -> float:
+        """Equation 11 of the paper."""
+        p = self._check_fraction(cached_fraction)
+        x = self.x_percent / 100.0
+        y = self.y_percent / 100.0
+        if p <= x:
+            return (p / x) * y
+        return y + (p - x) / (1.0 - x) * (1.0 - y)
+
+    def __str__(self) -> str:
+        return f"{self.x_percent:g}:{self.y_percent:g}"
+
+
+@dataclass(frozen=True)
+class UniformPopularity(PopularityDistribution):
+    """All content equally popular: ``hit_rate(p) = p``."""
+
+    def hit_rate(self, cached_fraction: float) -> float:
+        return self._check_fraction(cached_fraction)
+
+
+@dataclass(frozen=True)
+class ZipfPopularity(PopularityDistribution):
+    """Zipf-distributed title popularity (extension beyond the paper).
+
+    Title ``i`` (1-based) of ``n_titles`` receives weight
+    ``i ** -alpha``; caching the top fraction ``p`` captures the sum of
+    the first ``ceil(p * n_titles)`` weights.  ``alpha ~ 0.7-1.0`` is
+    typical for VoD traces.
+    """
+
+    alpha: float
+    n_titles: int
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigurationError(
+                f"alpha must be >= 0, got {self.alpha!r}")
+        if self.n_titles < 1:
+            raise ConfigurationError(
+                f"n_titles must be >= 1, got {self.n_titles!r}")
+
+    def _weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.n_titles + 1, dtype=float)
+        weights = ranks ** (-self.alpha)
+        return weights / weights.sum()
+
+    def hit_rate(self, cached_fraction: float) -> float:
+        p = self._check_fraction(cached_fraction)
+        n_cached = int(math.floor(p * self.n_titles + 1e-9))
+        weights = self._weights()
+        head = float(weights[:n_cached].sum())
+        # Interpolate within the marginal title so hit_rate is continuous
+        # in p (a partially cached title is modelled as proportionally hit).
+        remainder = p * self.n_titles - n_cached
+        if n_cached < self.n_titles and remainder > 0:
+            head += remainder * float(weights[n_cached])
+        return min(head, 1.0)
+
+    def title_probability(self, rank: int) -> float:
+        """Access probability of the ``rank``-th most popular title (1-based)."""
+        if not 1 <= rank <= self.n_titles:
+            raise ConfigurationError(
+                f"rank must be in [1, {self.n_titles}], got {rank!r}")
+        return float(self._weights()[rank - 1])
+
+
+#: The popularity distributions swept in Figures 9 and 10 of the paper.
+PAPER_DISTRIBUTIONS: tuple[str, ...] = ("1:99", "5:95", "10:90", "20:80", "50:50")
+
+
+def paper_distributions() -> list[BimodalPopularity]:
+    """The five X:Y distributions used in the paper's experiments."""
+    return [BimodalPopularity.parse(spec) for spec in PAPER_DISTRIBUTIONS]

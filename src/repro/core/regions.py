@@ -1,0 +1,134 @@
+"""Operating regions: which configuration wins where.
+
+The paper's design guidelines are regional statements ("buffer low and
+medium bit-rates", "cache when popularity is skewed").  This module
+computes them quantitatively: over a grid of (bit-rate, DRAM budget) —
+or any two swept axes — it evaluates the admitted-stream throughput of
+the plain, buffered, and cached configurations and labels each cell
+with the winner, producing the data behind a Figure-7(b)-style regions
+map for *configuration choice* rather than cost reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache_model import CachePolicy
+from repro.core.capacity import (
+    max_streams_with_buffer,
+    max_streams_with_cache,
+    max_streams_without_mems,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.devices.catalog import DRAM_2007, MEMS_G3
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+
+#: Configuration labels in evaluation order.
+CONFIGURATIONS: tuple[str, ...] = ("none", "buffer", "cache")
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    """Throughput of every configuration at one operating point."""
+
+    bit_rate: float
+    total_budget: float
+    #: Admitted streams per configuration label.
+    throughput: dict[str, float]
+
+    @property
+    def winner(self) -> str:
+        """Configuration admitting the most streams (ties: paper order)."""
+        best = max(self.throughput.values())
+        for label in CONFIGURATIONS:
+            if self.throughput.get(label, -1.0) >= best * (1 - 1e-12):
+                return label
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @property
+    def gain_over_plain(self) -> float:
+        """Winner's throughput relative to the plain configuration."""
+        plain = self.throughput.get("none", 0.0)
+        if plain <= 0:
+            return float("inf") if max(self.throughput.values()) > 0 else 1.0
+        return max(self.throughput.values()) / plain
+
+
+def evaluate_cell(bit_rate: float, total_budget: float, *,
+                  popularity: PopularityDistribution,
+                  policy: CachePolicy = CachePolicy.REPLICATED,
+                  buffer_devices: int = 2,
+                  cache_devices: int = 2) -> RegionCell:
+    """Throughput of the three configurations at one budget point.
+
+    The budget is *total* dollars: each MEMS configuration first buys
+    its devices and spends the remainder on DRAM; the plain
+    configuration spends everything on DRAM.
+    """
+    if bit_rate <= 0 or total_budget <= 0:
+        raise ConfigurationError(
+            f"bit_rate and total_budget must be > 0, got "
+            f"{bit_rate!r} / {total_budget!r}")
+    throughput: dict[str, float] = {}
+
+    plain_params = SystemParameters.table3_default(n_streams=1,
+                                                   bit_rate=bit_rate, k=1)
+    throughput["none"] = max_streams_without_mems(
+        plain_params, total_budget / DRAM_2007.cost_per_byte)
+
+    for label, k, solver in (
+            ("buffer", buffer_devices,
+             lambda p, d: max_streams_with_buffer(p, d)),
+            ("cache", cache_devices,
+             lambda p, d: max_streams_with_cache(p, policy, popularity, d))):
+        device_cost = k * MEMS_G3.cost_per_device
+        if device_cost >= total_budget:
+            throughput[label] = 0.0
+            continue
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=bit_rate, k=k)
+        dram = (total_budget - device_cost) / DRAM_2007.cost_per_byte
+        try:
+            throughput[label] = solver(params, dram)
+        except (AdmissionError, CapacityError):
+            throughput[label] = 0.0
+    return RegionCell(bit_rate=bit_rate, total_budget=total_budget,
+                      throughput=throughput)
+
+
+def configuration_map(bit_rates: np.ndarray, budgets: np.ndarray, *,
+                      popularity: PopularityDistribution,
+                      policy: CachePolicy = CachePolicy.REPLICATED,
+                      buffer_devices: int = 2,
+                      cache_devices: int = 2) -> list[list[RegionCell]]:
+    """Winner map over a bit-rate x budget grid.
+
+    ``result[i][j]`` is the cell at ``bit_rates[i]``, ``budgets[j]``.
+    """
+    if len(bit_rates) == 0 or len(budgets) == 0:
+        raise ConfigurationError("grid axes must be non-empty")
+    return [[evaluate_cell(float(bit_rate), float(budget),
+                           popularity=popularity, policy=policy,
+                           buffer_devices=buffer_devices,
+                           cache_devices=cache_devices)
+             for budget in budgets]
+            for bit_rate in bit_rates]
+
+
+def render_configuration_map(cells: list[list[RegionCell]]) -> str:
+    """Character map: ``.`` plain wins, ``b`` buffer, ``c`` cache."""
+    glyphs = {"none": ".", "buffer": "b", "cache": "c"}
+    lines = []
+    for row in reversed(cells):  # highest bit-rate on top
+        rate = row[0].bit_rate
+        cellstr = "".join(glyphs[cell.winner] for cell in row)
+        lines.append(f"{rate / 1000:>10.3g} |{cellstr}")
+    budgets = [cell.total_budget for cell in cells[0]]
+    lines.append(" " * 10 + "-+" + "-" * len(budgets))
+    lines.append(" " * 12 + f"${budgets[0]:g} .. ${budgets[-1]:g}")
+    lines.append(" " * 12 + "rows: bit-rate (KB/s);  .=plain  b=buffer  "
+                 "c=cache")
+    return "\n".join(lines)

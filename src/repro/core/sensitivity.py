@@ -1,0 +1,124 @@
+"""Latency-ratio sensitivity study (the paper's Figure 7).
+
+Section 5.1.3 fixes an "off-the-shelf" 2007 server — DRAM capped at
+5 GB, a two-device G3 MEMS buffer (20 GB, $20) — and varies the
+**latency ratio** ``L_disk / L_mems`` from 1 to 10 (about 5 for the
+FutureDisk/G3 pair) to probe how sensitive the cost savings are to
+MEMS device mis-prediction.
+
+Methodology (as in the paper): for each bit-rate the server without a
+MEMS buffer admits as many streams as the 5 GB DRAM (or the disk
+bandwidth) allows; the MEMS configuration then serves the *same* number
+of streams, and the two buffering costs are compared.  Beyond ~1 MB/s
+the no-MEMS server is bandwidth-bound and leaves the 5 GB DRAM
+under-used, which caps the achievable reduction (the paper's 30%
+observation for HDTV); at every bit-rate the $20 MEMS bank bounds the
+reduction below 100%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.capacity import max_streams_without_mems
+from repro.core.parameters import SystemParameters
+from repro.core.theorems import min_buffer_disk_dram
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyRatioPoint:
+    """One point of the Figure 7 sweep."""
+
+    latency_ratio: float
+    bit_rate: float
+    #: Streams admitted by the no-MEMS server (integer).
+    n_streams: int
+    #: Total DRAM without / with the MEMS buffer, bytes.
+    dram_without: float
+    dram_with: float
+    #: Buffering cost without / with the MEMS buffer, dollars.
+    cost_without: float
+    cost_with: float
+
+    @property
+    def percent_reduction(self) -> float:
+        """Percentage reduction in total buffering cost."""
+        if self.cost_without == 0:
+            return 0.0
+        return 100.0 * (self.cost_without - self.cost_with) / self.cost_without
+
+
+def cost_reduction_at_ratio(base: SystemParameters, ratio: float,
+                            dram_capacity: float) -> LatencyRatioPoint:
+    """Evaluate the Figure 7 methodology at one (bit-rate, ratio) point.
+
+    ``base`` supplies the disk, costs, ``k`` and ``size_mems`` (which
+    must be finite — the bank is priced); its ``l_mems`` is overridden
+    so that ``l_disk / l_mems == ratio``.
+    """
+    if dram_capacity <= 0:
+        raise ConfigurationError(
+            f"dram_capacity must be > 0, got {dram_capacity!r}")
+    if base.size_mems is None:
+        raise ConfigurationError(
+            "Figure 7 prices the MEMS bank; size_mems must be finite")
+    params = base.with_latency_ratio(ratio)
+
+    n = math.floor(max_streams_without_mems(params, dram_capacity) + 1e-9)
+    if n < 1:
+        return LatencyRatioPoint(latency_ratio=ratio,
+                                 bit_rate=params.bit_rate, n_streams=0,
+                                 dram_without=0.0, dram_with=0.0,
+                                 cost_without=0.0,
+                                 cost_with=params.mems_bank_cost)
+    at_n = params.replace(n_streams=n)
+    dram_without = n * min_buffer_disk_dram(at_n)
+    cost_without = params.c_dram * dram_without
+    try:
+        design = design_mems_buffer(at_n, quantise=False)
+    except (AdmissionError, CapacityError):
+        # The MEMS bank cannot carry this load at this ratio; the MEMS
+        # configuration matches the baseline by not engaging the bank
+        # (but its purchase cost is still sunk).
+        dram_with = dram_without
+        cost_with = params.mems_bank_cost + cost_without
+    else:
+        dram_with = design.total_dram
+        cost_with = params.mems_bank_cost + params.c_dram * dram_with
+    return LatencyRatioPoint(latency_ratio=ratio, bit_rate=params.bit_rate,
+                             n_streams=n, dram_without=dram_without,
+                             dram_with=dram_with, cost_without=cost_without,
+                             cost_with=cost_with)
+
+
+def latency_ratio_sweep(base: SystemParameters, ratios: list[float],
+                        dram_capacity: float) -> list[LatencyRatioPoint]:
+    """Figure 7(a): one curve of percentage cost reduction vs ratio."""
+    if not ratios:
+        raise ConfigurationError("ratios must be non-empty")
+    return [cost_reduction_at_ratio(base, r, dram_capacity) for r in ratios]
+
+
+def cost_reduction_grid(base: SystemParameters, bit_rates: np.ndarray,
+                        ratios: np.ndarray,
+                        dram_capacity: float) -> np.ndarray:
+    """Figure 7(b): percentage reduction over a bit-rate x ratio grid.
+
+    Returns an array of shape ``(len(bit_rates), len(ratios))`` whose
+    ``[i, j]`` entry is the percentage cost reduction at
+    ``bit_rates[i]``, ``ratios[j]``.  Contour thresholds (25/50/75%) are
+    applied by the plotting layer.
+    """
+    grid = np.empty((len(bit_rates), len(ratios)))
+    for i, bit_rate in enumerate(bit_rates):
+        at_rate = base.replace(bit_rate=float(bit_rate))
+        for j, ratio in enumerate(ratios):
+            point = cost_reduction_at_ratio(at_rate, float(ratio),
+                                            dram_capacity)
+            grid[i, j] = point.percent_reduction
+    return grid

@@ -1,0 +1,87 @@
+"""Spare MEMS capacity accounting (paper Section 3.1.2).
+
+"Depending on the number and type of streams serviced and the capacity
+of the MEMS device bank, spare storage and/or bandwidth might be
+available at the MEMS device.  If additional storage is available ...
+the operating system could use it for other non-real-time data ...
+Spare bandwidth, if available, can be used for non-real-time traffic."
+
+This module quantifies both leftovers for a
+:class:`~repro.core.buffer_model.BufferDesign` and estimates the
+best-effort IO throughput the spare bandwidth supports, so the
+trade-off between real-time load and background work is explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.buffer_model import BufferDesign
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SpareCapacity:
+    """What the real-time schedule leaves unused on the MEMS bank."""
+
+    #: Unused bank bytes (beyond the Eq. 7 staging reservation).
+    storage: float
+    #: Unused aggregate media bandwidth, bytes/second.
+    bandwidth: float
+    #: Fraction of each MEMS cycle the devices sit idle.
+    idle_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.storage < -1e-6 or self.bandwidth < -1e-6:
+            raise ConfigurationError(
+                f"spare quantities must be >= 0, got storage="
+                f"{self.storage!r}, bandwidth={self.bandwidth!r}")
+
+
+def spare_capacity(design: BufferDesign) -> SpareCapacity:
+    """Spare storage, bandwidth and cycle idle time of a buffer design.
+
+    Storage: the bank holds at most ``2 N B̄ T_disk`` of staging
+    (Eq. 7); anything beyond is free for caches, prefetch buffers, or
+    persistent write-behind.  Bandwidth: the real-time traffic moves
+    every byte twice, ``2 N B̄`` of the ``k R_mems`` aggregate.  Idle
+    fraction: per MEMS cycle, the devices spend
+    ``N·L̄ + 2 N B̄ T_mems / R_mems`` (aggregated) of ``k · T_mems``.
+    Requires a finite design (``size_mems`` set).
+    """
+    params = design.params
+    if params.size_mems is None or math.isinf(design.t_disk):
+        raise ConfigurationError(
+            "spare accounting needs a finite BufferDesign (size_mems set)")
+    n = params.n_streams
+    staging = 2.0 * n * params.bit_rate * design.t_disk
+    storage = max(params.mems_bank_capacity - staging, 0.0)
+    realtime_bandwidth = 2.0 * n * params.bit_rate
+    bandwidth = max(params.mems_bank_bandwidth - realtime_bandwidth, 0.0)
+    if design.t_mems is None or n == 0:
+        idle_fraction = 1.0 if n == 0 else 0.0
+    else:
+        busy = (n * params.l_mems
+                + 2.0 * n * params.bit_rate * design.t_mems / params.r_mems)
+        idle_fraction = max(0.0, 1.0 - busy / (params.k * design.t_mems))
+    return SpareCapacity(storage=storage, bandwidth=bandwidth,
+                         idle_fraction=idle_fraction)
+
+
+def best_effort_iops(design: BufferDesign, *, io_size: float) -> float:
+    """Background IOs/second the spare cycle time supports.
+
+    Best-effort requests are serviced in the idle tail of each MEMS
+    cycle, each paying the worst-case positioning latency plus its
+    transfer.  Zero when the cycle is fully consumed by real-time work.
+    """
+    if io_size <= 0:
+        raise ConfigurationError(f"io_size must be > 0, got {io_size!r}")
+    spare = spare_capacity(design)
+    params = design.params
+    if design.t_mems is None:
+        return 0.0
+    idle_per_cycle = spare.idle_fraction * params.k * design.t_mems
+    per_io = params.l_mems + io_size / params.r_mems
+    return (idle_per_cycle / per_io) / design.t_mems

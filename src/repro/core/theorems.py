@@ -1,0 +1,122 @@
+"""Theorem 1 and Corollary 1: direct streaming to DRAM.
+
+Under time-cycle scheduling a device performing one IO per stream per
+cycle needs, for each of the ``N`` streams, a DRAM buffer of
+
+    S = N * L * R * B / (R - N * B)          (paper Eqs. 3 and 4)
+
+where ``R`` is the device transfer rate, ``L`` its average per-IO
+latency, and ``B`` the average stream bit-rate.  The formula follows
+from the fixed point ``S = B * T`` with cycle time
+``T = N * (L + S / R)``: each stream must receive exactly one cycle's
+worth of playback data per cycle.  It is valid only while the device
+retains slack, ``R > N * B``.
+
+The same closed form serves the disk (Theorem 1) and a MEMS device
+streaming directly to DRAM (Corollary 1); the convenience wrappers
+below select the right parameters from a
+:class:`~repro.core.parameters.SystemParameters`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import SystemParameters
+from repro.errors import AdmissionError, ConfigurationError
+
+
+def _validate_inputs(n_streams: float, bit_rate: float, rate: float,
+                     latency: float) -> None:
+    if n_streams < 0:
+        raise ConfigurationError(
+            f"n_streams must be >= 0, got {n_streams!r}")
+    if bit_rate <= 0:
+        raise ConfigurationError(f"bit_rate must be > 0, got {bit_rate!r}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate!r}")
+    if latency < 0:
+        raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+
+
+def min_buffer_direct(n_streams: float, bit_rate: float, rate: float,
+                      latency: float) -> float:
+    """Per-stream DRAM buffer for direct device-to-DRAM streaming.
+
+    Implements Eq. 3 (Theorem 1) / Eq. 4 (Corollary 1).  ``n_streams``
+    may be fractional: the cache model (Section 4.2) plugs in expected
+    sub-populations like ``(1 - h) * N``.
+
+    Raises :class:`~repro.errors.AdmissionError` when the offered load
+    ``n_streams * bit_rate`` is not strictly below ``rate``.
+    """
+    _validate_inputs(n_streams, bit_rate, rate, latency)
+    if n_streams == 0:
+        return 0.0
+    load = n_streams * bit_rate
+    if load >= rate:
+        raise AdmissionError(
+            f"offered load {load:.6g} B/s is not below device rate "
+            f"{rate:.6g} B/s; the time-cycle schedule is infeasible",
+            load=load, capacity=rate)
+    return n_streams * latency * rate * bit_rate / (rate - load)
+
+
+def io_cycle_direct(n_streams: float, bit_rate: float, rate: float,
+                    latency: float) -> float:
+    """IO-cycle length ``T = S / B`` for direct streaming (Eq. 6 bound).
+
+    This is the smallest feasible cycle; longer cycles trade DRAM for
+    device efficiency and are exploited by Theorem 2's ``T_disk``.
+    """
+    _validate_inputs(n_streams, bit_rate, rate, latency)
+    if n_streams == 0:
+        return 0.0
+    return min_buffer_direct(n_streams, bit_rate, rate, latency) / bit_rate
+
+
+def max_streams_direct(bit_rate: float, rate: float, latency: float,
+                       dram_budget: float | None = None) -> float:
+    """Largest (fractional) ``N`` admissible for direct streaming.
+
+    Without a DRAM budget the bound is the bandwidth limit
+    ``N < R / B``.  With a budget ``D`` the total buffer
+    ``N * S(N) <= D`` gives the quadratic
+
+        L*R*B * N^2 + D*B * N - D*R = 0,
+
+    whose positive root (always below ``R/B``) is returned.  A zero
+    latency makes every bandwidth-feasible N free of buffering, so the
+    bandwidth bound is returned.  The result is continuous; callers
+    wanting a stream count should take ``floor``.
+    """
+    _validate_inputs(0, bit_rate, rate, latency)
+    bandwidth_bound = rate / bit_rate
+    if dram_budget is None:
+        return bandwidth_bound
+    if dram_budget < 0:
+        raise ConfigurationError(
+            f"dram_budget must be >= 0, got {dram_budget!r}")
+    if dram_budget == 0:
+        return 0.0
+    if latency == 0:
+        return bandwidth_bound
+    a = latency * rate * bit_rate
+    b = dram_budget * bit_rate
+    c = -dram_budget * rate
+    root = (-b + math.sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+    return min(root, bandwidth_bound)
+
+
+# -- SystemParameters conveniences ------------------------------------------
+
+def min_buffer_disk_dram(params: SystemParameters) -> float:
+    """Theorem 1 for the disk of a parameter set (``S_disk-dram``)."""
+    return min_buffer_direct(params.n_streams, params.bit_rate,
+                             params.r_disk, params.l_disk)
+
+
+def min_buffer_mems_dram(params: SystemParameters) -> float:
+    """Corollary 1 for a *single* MEMS device of a parameter set."""
+    return min_buffer_direct(params.n_streams, params.bit_rate,
+                             params.r_mems, params.l_mems)

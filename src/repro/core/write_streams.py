@@ -1,0 +1,157 @@
+"""Write streams and mixed read/write populations (paper Section 3.1).
+
+The paper analyses read streams and notes that "this model can be
+easily extended to address write streams".  This module makes the
+extension concrete for a *recording* media server (surveillance,
+broadcast capture, lecture archiving):
+
+* a **write stream** produces data into DRAM at bit-rate ``B`` and the
+  server must flush it in time-cycle order — through the MEMS buffer
+  (DRAM -> MEMS -> disk) in the buffered configuration;
+* the DRAM buffer for a writer is symmetric to a reader's: it
+  accumulates one IO cycle's worth of produced data between flushes, so
+  the same closed forms apply with the transfer direction reversed;
+* a **mixed population** of readers and writers shares the cycles: the
+  disk does one IO per stream per cycle regardless of direction, and
+  the MEMS bank still moves every byte exactly twice (disk->MEMS->DRAM
+  for reads, DRAM->MEMS->disk for writes), so Theorem 2's bandwidth
+  term ``2 (N + k - 1) B`` is unchanged with ``N = N_r + N_w``.
+
+The one asymmetry: a *reader* may be double-buffered on the MEMS bank
+(Eq. 7's factor of two), while a *writer's* staging is single-buffered
+— its data leaves the bank as soon as the disk consumes it, so mixed
+populations need only ``(2 N_r + N_w) B T_disk`` of bank capacity,
+slightly relaxing Eq. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.buffer_model import mems_cycle_floor
+from repro.core.parameters import SystemParameters
+from repro.core.theorems import io_cycle_direct
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class MixedStreamDesign:
+    """Operating point for a reader+writer population on a MEMS buffer."""
+
+    params: SystemParameters
+    n_readers: int
+    n_writers: int
+    #: Disk IO cycle, seconds.
+    t_disk: float
+    #: MEMS cycle feasibility floor, seconds.
+    cycle_floor: float
+    #: Per-stream DRAM buffer (same for readers and writers), bytes.
+    s_dram: float
+
+    @property
+    def n_total(self) -> int:
+        return self.n_readers + self.n_writers
+
+    @property
+    def total_dram(self) -> float:
+        """Aggregate DRAM across both classes, bytes."""
+        return self.n_total * self.s_dram
+
+    @property
+    def bank_bytes_required(self) -> float:
+        """MEMS staging for the population: ``(2 N_r + N_w) B T_disk``.
+
+        Readers are double-buffered (Eq. 7); writers single-buffered.
+        """
+        return ((2 * self.n_readers + self.n_writers)
+                * self.params.bit_rate * self.t_disk)
+
+
+def design_mixed_streams(params: SystemParameters, *, n_readers: int,
+                         n_writers: int) -> MixedStreamDesign:
+    """Size a MEMS-buffered server for a mixed read/write population.
+
+    ``params.n_streams`` is ignored; the population is
+    ``n_readers + n_writers`` at ``params.bit_rate`` each.  Solves the
+    same structure as Theorem 2 but with the relaxed storage bound for
+    the write share.
+
+    Raises :class:`~repro.errors.AdmissionError` when the disk or the
+    bank lacks bandwidth, :class:`~repro.errors.CapacityError` when the
+    staging does not fit the bank.
+    """
+    if n_readers < 0 or n_writers < 0:
+        raise ConfigurationError(
+            f"stream counts must be >= 0, got {n_readers!r}/{n_writers!r}")
+    n = n_readers + n_writers
+    if n == 0:
+        raise ConfigurationError("population must contain a stream")
+    at_n = params.replace(n_streams=n)
+    # Disk real-time bound (Eq. 6): one IO per stream per cycle,
+    # direction-independent.
+    lower = io_cycle_direct(n, params.bit_rate, params.r_disk, params.l_disk)
+    # MEMS feasibility floor (Theorem 2): every byte crosses the bank
+    # twice regardless of direction.
+    floor = mems_cycle_floor(at_n)
+    # Storage bound, write share single-buffered.
+    if params.size_mems is None:
+        t_disk = math.inf
+    else:
+        weight = (2 * n_readers + n_writers) * params.bit_rate
+        t_disk = params.mems_bank_capacity / weight
+        if t_disk < lower:
+            raise CapacityError(
+                f"bank of {params.mems_bank_capacity:.6g} B cannot stage "
+                f"{weight:.6g} B/s of read+write traffic at the minimal "
+                f"disk cycle {lower:.6g}s")
+    slack = 1.0 + (2.0 * params.k - 2.0) / n
+    if math.isinf(t_disk):
+        s_dram = params.bit_rate * floor * slack
+    else:
+        if t_disk <= floor:
+            raise AdmissionError(
+                f"T_disk={t_disk:.6g}s does not exceed the MEMS cycle "
+                f"floor C={floor:.6g}s")
+        s_dram = (params.bit_rate * floor * slack
+                  * t_disk / (t_disk - floor))
+    return MixedStreamDesign(params=at_n, n_readers=n_readers,
+                             n_writers=n_writers, t_disk=t_disk,
+                             cycle_floor=floor, s_dram=s_dram)
+
+
+def max_writers_supported(params: SystemParameters, *, n_readers: int,
+                          dram_budget: float) -> int:
+    """Largest writer population admissible alongside ``n_readers``.
+
+    Monotone feasibility in the writer count, so a linear-free
+    bisection applies; returns an integer count (0 when even one writer
+    does not fit).
+    """
+    if dram_budget < 0:
+        raise ConfigurationError(
+            f"dram_budget must be >= 0, got {dram_budget!r}")
+
+    def feasible(n_writers: int) -> bool:
+        try:
+            design = design_mixed_streams(params, n_readers=n_readers,
+                                          n_writers=n_writers)
+        except (AdmissionError, CapacityError):
+            return False
+        return design.total_dram <= dram_budget
+
+    if not feasible(1):
+        return 0
+    lo, hi = 1, 2
+    while feasible(hi):
+        lo = hi
+        hi *= 2
+        if hi > 10**9:  # pragma: no cover - absurd configuration guard
+            raise ConfigurationError("writer population appears unbounded")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,76 @@
+"""Device models: disk drive, MEMS storage, DRAM, and MEMS banks.
+
+This package provides first-principles models of the three storage
+technologies the paper compares (Table 1 / Table 3):
+
+* :class:`~repro.devices.disk.DiskDrive` — a seek-curve + rotation model
+  of a magnetic disk with zoned geometry and an elevator-scheduling
+  latency model.
+* :class:`~repro.devices.mems.MemsDevice` — the CMU-style media-sled
+  MEMS storage device (Schlosser et al., ASPLOS 2000) with X/Y
+  spring-sled seeks, settle time, and a tip-array geometry.
+* :class:`~repro.devices.dram.Dram` — a flat-latency DRAM model.
+* :class:`~repro.devices.bank.MemsBank` — a bank of ``k`` MEMS devices
+  managed round-robin (buffer config), striped, or replicated (cache
+  configs).
+
+The :mod:`~repro.devices.catalog` module reproduces the paper's device
+tables (Table 1 for 2002/2007 and Table 3 for the 2007 case study).
+"""
+
+from repro.devices.base import StorageDevice, effective_throughput
+from repro.devices.disk import DiskDrive, SeekCurve
+from repro.devices.disk_geometry import DiskGeometry, DiskZone
+from repro.devices.dram import Dram
+from repro.devices.mems import MemsDevice
+from repro.devices.mems_geometry import MemsGeometry, TipSector
+from repro.devices.bank import BankPolicy, MemsBank
+from repro.devices.mems_placement import (
+    SledLayout,
+    expected_seek_time,
+    organ_pipe_layout,
+    placement_improvement,
+    sequential_layout,
+)
+from repro.devices.catalog import (
+    DRAM_2002,
+    DRAM_2007,
+    DISK_2002,
+    FUTURE_DISK_2007,
+    MEMS_G1,
+    MEMS_G2,
+    MEMS_G3,
+    device_table_2002,
+    device_table_2007,
+    table3_devices,
+)
+
+__all__ = [
+    "StorageDevice",
+    "effective_throughput",
+    "DiskDrive",
+    "SeekCurve",
+    "DiskGeometry",
+    "DiskZone",
+    "Dram",
+    "MemsDevice",
+    "MemsGeometry",
+    "TipSector",
+    "BankPolicy",
+    "MemsBank",
+    "SledLayout",
+    "expected_seek_time",
+    "organ_pipe_layout",
+    "placement_improvement",
+    "sequential_layout",
+    "DRAM_2002",
+    "DRAM_2007",
+    "DISK_2002",
+    "FUTURE_DISK_2007",
+    "MEMS_G1",
+    "MEMS_G2",
+    "MEMS_G3",
+    "device_table_2002",
+    "device_table_2007",
+    "table3_devices",
+]

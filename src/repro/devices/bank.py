@@ -1,0 +1,176 @@
+"""A bank of ``k`` MEMS devices and its management policies.
+
+Section 3 of the paper manages multi-device MEMS storage in three ways:
+
+* **Round-robin** (buffer configuration, Section 3.1.2): each disk IO
+  is routed whole to one device, every ``k``-th IO to the same device,
+  so each stream is buffered on a single device and the disk-side IO
+  size — and hence MEMS efficiency — is preserved.  By Corollary 2 the
+  bank then behaves as one device with ``k``-fold bandwidth *and*
+  ``k``-fold smaller effective latency.
+* **Striped** (cache configuration, Section 3.2.1): every stream is
+  bit/byte-striped across all devices, which access the same relative
+  location in lock step.  Bandwidth scales by ``k``; latency is that of
+  a single device (Corollary 3); all ``k`` capacities hold distinct
+  data; an IO costs a seek on *every* device (``k * Nm`` seeks/cycle).
+* **Replicated** (cache configuration, Section 3.2.2): all devices
+  store the same content and serve disjoint subsets of the streams.
+  Bandwidth scales by ``k`` and each device performs ``Nm / k`` seeks
+  per cycle (effective latency ``/k``, Corollary 4), but usable cache
+  capacity is that of a single device.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.devices.mems import MemsDevice
+from repro.errors import ConfigurationError
+
+
+class BankPolicy(enum.Enum):
+    """How a bank of MEMS devices is managed."""
+
+    #: Whole IOs routed to devices in turn (buffer configuration).
+    ROUND_ROBIN = "round_robin"
+    #: Bit/byte striping with lock-step access (cache configuration).
+    STRIPED = "striped"
+    #: Full replication, streams partitioned (cache configuration).
+    REPLICATED = "replicated"
+
+
+@dataclass
+class MemsBank:
+    """``k`` identical MEMS devices under one management policy."""
+
+    device: MemsDevice
+    k: int
+    policy: BankPolicy = BankPolicy.ROUND_ROBIN
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.device, MemsDevice):
+            raise ConfigurationError(
+                f"device must be a MemsDevice, got {type(self.device).__name__}")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k!r}")
+        if not isinstance(self.policy, BankPolicy):
+            raise ConfigurationError(
+                f"policy must be a BankPolicy, got {self.policy!r}")
+
+    # -- Aggregate characteristics ------------------------------------------
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total media rate of the bank: ``k * R_mems`` in every policy."""
+        return self.k * self.device.transfer_rate
+
+    @property
+    def usable_capacity(self) -> float:
+        """Bytes of *distinct* data the bank can hold.
+
+        Replication stores the same content everywhere, so only one
+        device's worth of distinct bytes is usable.
+        """
+        if self.policy is BankPolicy.REPLICATED:
+            return self.device.capacity
+        return self.k * self.device.capacity
+
+    @property
+    def raw_capacity(self) -> float:
+        """Total physical bytes across the bank."""
+        return self.k * self.device.capacity
+
+    @property
+    def cost(self) -> float:
+        """Purchase cost of the bank (per-device cost model, Section 4)."""
+        return self.k * self.device.cost_per_device
+
+    def effective_max_latency(self) -> float:
+        """Worst-case per-IO latency as seen by the cycle analysis.
+
+        Striping leaves latency unchanged (every device seeks for every
+        IO, Corollary 3).  Round-robin and replication divide the work
+        among devices so the bank behaves as one device with ``k``-fold
+        smaller latency (Corollaries 2 and 4).
+        """
+        if self.policy is BankPolicy.STRIPED:
+            return self.device.max_access_time()
+        return self.device.max_access_time() / self.k
+
+    def seeks_per_cycle(self, n_streams: int) -> int:
+        """Total seek operations across the bank in one IO cycle.
+
+        Section 3.2: ``k * Nm`` for striping (lock-step), ``Nm`` for
+        replication and round-robin routing.
+        """
+        if n_streams < 0:
+            raise ConfigurationError(
+                f"n_streams must be >= 0, got {n_streams!r}")
+        if self.policy is BankPolicy.STRIPED:
+            return self.k * n_streams
+        return n_streams
+
+    # -- Routing --------------------------------------------------------------
+
+    def device_for_io(self, io_index: int) -> int:
+        """Device index servicing the ``io_index``-th routed IO.
+
+        Round-robin routing sends every ``k``-th IO to the same device
+        (Section 3.1.2).  Only meaningful for the ROUND_ROBIN policy.
+        """
+        if self.policy is not BankPolicy.ROUND_ROBIN:
+            raise ConfigurationError(
+                f"device_for_io applies to ROUND_ROBIN banks, not {self.policy}")
+        if io_index < 0:
+            raise ConfigurationError(
+                f"io_index must be >= 0, got {io_index!r}")
+        return io_index % self.k
+
+    def device_for_stream(self, stream_index: int, n_streams: int) -> int:
+        """Device servicing a stream under the current policy.
+
+        * ROUND_ROBIN / REPLICATED: streams are partitioned round-robin.
+        * STRIPED: every device participates; by convention device 0 is
+          reported (the bank moves in lock step).
+        """
+        if stream_index < 0 or n_streams <= stream_index:
+            raise ConfigurationError(
+                f"stream_index {stream_index!r} out of range [0, {n_streams!r})")
+        if self.policy is BankPolicy.STRIPED:
+            return 0
+        return stream_index % self.k
+
+    def stripe_unit(self, io_size: float) -> float:
+        """Per-device share of an IO under striping."""
+        if self.policy is not BankPolicy.STRIPED:
+            raise ConfigurationError(
+                f"stripe_unit applies to STRIPED banks, not {self.policy}")
+        if io_size < 0:
+            raise ConfigurationError(f"io_size must be >= 0, got {io_size!r}")
+        return io_size / self.k
+
+    def streams_per_device(self, n_streams: int) -> list[int]:
+        """How many of ``n_streams`` each device services in a cycle."""
+        if n_streams < 0:
+            raise ConfigurationError(
+                f"n_streams must be >= 0, got {n_streams!r}")
+        if self.policy is BankPolicy.STRIPED:
+            # Lock-step: every device touches every stream's IO.
+            return [n_streams] * self.k
+        base, extra = divmod(n_streams, self.k)
+        return [base + (1 if i < extra else 0) for i in range(self.k)]
+
+    def io_transfer_time(self, io_size: float) -> float:
+        """Media transfer time for one logical IO through the bank.
+
+        Striping spreads each IO over all ``k`` devices, so transfer
+        time shrinks by ``k``; the other policies move whole IOs at the
+        single-device rate but ``k`` IOs proceed concurrently (the cycle
+        analysis accounts for that via :meth:`effective_max_latency`).
+        """
+        if io_size < 0:
+            raise ConfigurationError(f"io_size must be >= 0, got {io_size!r}")
+        if self.policy is BankPolicy.STRIPED:
+            return io_size / self.aggregate_bandwidth
+        return io_size / self.device.transfer_rate

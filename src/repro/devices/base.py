@@ -1,0 +1,119 @@
+"""Common storage-device interface.
+
+Every device model exposes the three quantities the paper's analytical
+framework consumes (Table 2 of the paper):
+
+* a media **transfer rate** ``R`` in bytes/second,
+* an **access latency** ``L`` in seconds (average or worst case,
+  depending on the configuration being analysed), and
+* a **capacity** and **cost**, used by the cost models of Section 4.
+
+The helper :func:`effective_throughput` implements the throughput curve
+of the paper's Figure 2: a device that charges latency ``L`` per IO and
+transfers at media rate ``R`` delivers ``S / (L + S / R)`` bytes/second
+when accessed in IOs of ``S`` bytes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+
+
+def effective_throughput(io_size: float, latency: float, transfer_rate: float) -> float:
+    """Sustained throughput (bytes/s) when reading ``io_size``-byte IOs.
+
+    This is the quantity plotted in the paper's Figure 2.  ``latency``
+    is the per-IO positioning overhead in seconds; ``transfer_rate`` is
+    the media rate in bytes/second.  An ``io_size`` of zero yields zero.
+    """
+    if io_size < 0:
+        raise ConfigurationError(f"io_size must be >= 0, got {io_size!r}")
+    if latency < 0:
+        raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+    if transfer_rate <= 0:
+        raise ConfigurationError(
+            f"transfer_rate must be > 0, got {transfer_rate!r}")
+    if io_size == 0:
+        return 0.0
+    return io_size / (latency + io_size / transfer_rate)
+
+
+def io_size_for_throughput(target_throughput: float, latency: float,
+                           transfer_rate: float) -> float:
+    """Smallest IO size (bytes) achieving ``target_throughput`` bytes/s.
+
+    Inverts :func:`effective_throughput`.  Raises
+    :class:`~repro.errors.ConfigurationError` when the target is not
+    achievable (it must be strictly below ``transfer_rate``).
+    """
+    if not 0 < target_throughput < transfer_rate:
+        raise ConfigurationError(
+            f"target throughput {target_throughput!r} must be in "
+            f"(0, {transfer_rate!r})")
+    if latency < 0:
+        raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+    # S / (L + S/R) = T  =>  S = T*L / (1 - T/R)
+    return target_throughput * latency / (1.0 - target_throughput / transfer_rate)
+
+
+class StorageDevice(abc.ABC):
+    """Abstract base class for all storage-device models."""
+
+    #: Human-readable device name, e.g. ``"FutureDisk"`` or ``"G3 MEMS"``.
+    name: str
+
+    @property
+    @abc.abstractmethod
+    def transfer_rate(self) -> float:
+        """Peak media transfer rate in bytes/second."""
+
+    @property
+    @abc.abstractmethod
+    def capacity(self) -> float:
+        """Usable capacity in bytes."""
+
+    @property
+    @abc.abstractmethod
+    def cost_per_byte(self) -> float:
+        """Unit storage cost in dollars per byte."""
+
+    @abc.abstractmethod
+    def average_access_time(self) -> float:
+        """Expected positioning time for a random access, in seconds."""
+
+    @abc.abstractmethod
+    def max_access_time(self) -> float:
+        """Worst-case positioning time, in seconds."""
+
+    @property
+    def cost_per_device(self) -> float:
+        """Total device cost in dollars (capacity times unit cost)."""
+        return self.capacity * self.cost_per_byte
+
+    def effective_throughput(self, io_size: float, *,
+                             worst_case: bool = False) -> float:
+        """Sustained throughput for ``io_size``-byte IOs (Figure 2).
+
+        With ``worst_case=True`` the device charges its maximum access
+        time per IO (the paper does this for MEMS); otherwise the
+        average access time is charged (the paper does this for disk).
+        """
+        latency = self.max_access_time() if worst_case else self.average_access_time()
+        return effective_throughput(io_size, latency, self.transfer_rate)
+
+    def io_size_for_utilization(self, utilization: float, *,
+                                worst_case: bool = False) -> float:
+        """IO size needed to sustain a fraction ``utilization`` of peak rate."""
+        if not 0 < utilization < 1:
+            raise ConfigurationError(
+                f"utilization must be in (0, 1), got {utilization!r}")
+        latency = self.max_access_time() if worst_case else self.average_access_time()
+        return io_size_for_throughput(
+            utilization * self.transfer_rate, latency, self.transfer_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"rate={self.transfer_rate:.3g} B/s "
+                f"capacity={self.capacity:.3g} B>")

@@ -1,0 +1,159 @@
+"""Device catalog reproducing the paper's Table 1 and Table 3.
+
+Table 1 gives 2002-era characteristics and 2007 projections for DRAM,
+MEMS, and disk; Table 3 gives the specific 2007 case-study devices
+(the "FutureDisk", the CMU third-generation "G3" MEMS device, and
+RDRAM-style DRAM).  All dollar figures are the paper's predictions.
+
+Note on Table 3 capacities: the paper's own Table 1 (2007 column) and
+the case-study text fix the per-device capacities as disk = 1000 GB,
+MEMS = 10 GB, DRAM = 5 GB (Section 5.1.3 restricts DRAM to 5 GB and
+Figure 10 relies on one MEMS device caching 1% of a 1 TB disk), and the
+cost-per-device rows are only consistent with those values; the printed
+Table 3 transposes the disk/DRAM capacity cells.
+
+The G1 and G2 MEMS generations are provided for ablation studies.  The
+paper only uses G3; the earlier generations follow the CMU design
+trajectory (each generation roughly doubling bandwidth and capacity
+while cutting access time) and are documented synthesised interpolations
+anchored at the paper's G3 figures, not data-sheet values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.disk import DiskDrive, future_disk_like, SeekCurve
+from repro.devices.dram import Dram
+from repro.devices.mems import MemsDevice
+from repro.units import GB, KB, MB, MS, US
+
+# ---------------------------------------------------------------------------
+# Table 3 — the 2007 case-study devices.
+# ---------------------------------------------------------------------------
+
+#: The paper's 2007 "FutureDisk" (Table 3, after Maxtor projections):
+#: 20,000 RPM, 300 MB/s peak media rate, 2.8 ms average seek, 7.0 ms
+#: full stroke, 1 TB, $0.2/GB.
+FUTURE_DISK_2007: DiskDrive = future_disk_like()
+
+#: CMU third-generation MEMS device (Table 3, after Schlosser et al.):
+#: 320 MB/s, 0.45 ms full-stroke seek, 0.14 ms X settle, 10 GB, $1/GB.
+MEMS_G3 = MemsDevice(
+    name="G3 MEMS",
+    nominal_bandwidth=320 * MB,
+    nominal_capacity=10 * GB,
+    full_stroke_x=0.45 * MS,
+    settle_x=0.14 * MS,
+    dollars_per_byte=1.0 / GB,
+)
+
+#: Second-generation MEMS: synthesised mid-point of the CMU trajectory
+#: (half the G3 bandwidth and capacity, ~40% slower positioning).
+MEMS_G2 = MemsDevice(
+    name="G2 MEMS",
+    nominal_bandwidth=160 * MB,
+    nominal_capacity=5 * GB,
+    full_stroke_x=0.65 * MS,
+    settle_x=0.18 * MS,
+    dollars_per_byte=2.0 / GB,
+)
+
+#: First-generation MEMS: synthesised early-generation device (a quarter
+#: of the G3 bandwidth and capacity, twice the positioning time).
+MEMS_G1 = MemsDevice(
+    name="G1 MEMS",
+    nominal_bandwidth=80 * MB,
+    nominal_capacity=2.5 * GB,
+    full_stroke_x=0.90 * MS,
+    settle_x=0.22 * MS,
+    dollars_per_byte=4.0 / GB,
+)
+
+#: 2007 DRAM (Table 1 / Table 3, after Rambus projections): 10 GB/s,
+#: 30 ns access, 5 GB per module, $20/GB.
+DRAM_2007 = Dram(
+    name="DRAM 2007",
+    bandwidth=10_000 * MB,
+    capacity_bytes=5 * GB,
+    dollars_per_byte=20.0 / GB,
+    access_latency=0.03 * US,
+)
+
+# ---------------------------------------------------------------------------
+# Table 1 — 2002 devices (no MEMS device existed in 2002).
+# ---------------------------------------------------------------------------
+
+#: 2002 disk (Table 1): 100 GB, 1-11 ms access, 30-55 MB/s, $2/GB.
+#: Modelled at 10,000 RPM with a 4.5 ms average seek so that the average
+#: access (seek + 3 ms half-rotation) sits mid-range, and 55 MB/s peak.
+DISK_2002 = DiskDrive(
+    name="Disk 2002",
+    rpm=10_000,
+    max_bandwidth=55 * MB,
+    seek_curve=SeekCurve.calibrate(average_seek=4.5 * MS,
+                                   full_stroke_seek=10.0 * MS,
+                                   n_cylinders=30_000),
+    capacity_bytes=100 * GB,
+    dollars_per_byte=2.0 / GB,
+)
+
+#: 2002 DRAM (Table 1): 0.5 GB, 50 ns, 2 GB/s, $200/GB.
+DRAM_2002 = Dram(
+    name="DRAM 2002",
+    bandwidth=2_000 * MB,
+    capacity_bytes=0.5 * GB,
+    dollars_per_byte=200.0 / GB,
+    access_latency=0.05 * US,
+)
+
+
+@dataclass(frozen=True)
+class CatalogRow:
+    """One media column of the paper's Table 1."""
+
+    medium: str
+    capacity_gb: float | None
+    access_time_ms: tuple[float, float] | None
+    bandwidth_mb_s: tuple[float, float] | None
+    cost_per_gb: float | None
+    cost_per_device: tuple[float, float] | None
+
+
+def device_table_2002() -> list[CatalogRow]:
+    """The 2002 half of Table 1 (MEMS was not yet available)."""
+    return [
+        CatalogRow("DRAM", 0.5, (0.00005, 0.00005), (2000, 2000), 200,
+                   (50, 200)),
+        CatalogRow("MEMS", None, None, None, None, None),
+        CatalogRow("Disk", 100, (1, 11), (30, 55), 2, (100, 300)),
+    ]
+
+
+def device_table_2007() -> list[CatalogRow]:
+    """The 2007 half of Table 1."""
+    return [
+        CatalogRow("DRAM", 5, (0.00003, 0.00003), (10_000, 10_000), 20,
+                   (50, 200)),
+        CatalogRow("MEMS", 10, (0.4, 1.0), (320, 320), 1, (10, 10)),
+        CatalogRow("Disk", 1000, (0.75, 7), (170, 300), 0.2, (100, 300)),
+    ]
+
+
+def table3_devices() -> dict[str, object]:
+    """The three Table 3 case-study device instances."""
+    return {
+        "FutureDisk": FUTURE_DISK_2007,
+        "G3 MEMS": MEMS_G3,
+        "DRAM": DRAM_2007,
+    }
+
+
+#: Media stream bit-rates the paper sweeps (Section 5, Figure 6):
+#: mp3 audio, DivX (MPEG-4), DVD (MPEG-2), and HDTV.
+MEDIA_BITRATES: dict[str, float] = {
+    "mp3": 10 * KB,
+    "DivX": 100 * KB,
+    "DVD": 1 * MB,
+    "HDTV": 10 * MB,
+}

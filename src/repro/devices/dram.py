@@ -1,0 +1,73 @@
+"""DRAM model.
+
+DRAM in this study is the stream staging buffer: the paper's cost
+models charge ``C_dram`` dollars per byte of buffer, and its throughput
+(Table 1: 10 GB/s by 2007) is high enough that DRAM transfer time never
+constrains the schedules.  The model is therefore a flat-latency,
+flat-rate device; it exists so the simulator can account DRAM transfer
+time explicitly and so the catalog can reproduce Table 1 / Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import StorageDevice
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Dram(StorageDevice):
+    """A DRAM module with uniform access latency."""
+
+    name: str
+    bandwidth: float
+    capacity_bytes: float
+    dollars_per_byte: float
+    #: Uniform access latency in seconds (Table 1: 50 ns in 2002,
+    #: 30 ns predicted for 2007).
+    access_latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0, got {self.bandwidth!r}")
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be > 0, got {self.capacity_bytes!r}")
+        if self.dollars_per_byte < 0:
+            raise ConfigurationError(
+                f"dollars_per_byte must be >= 0, got {self.dollars_per_byte!r}")
+        if self.access_latency < 0:
+            raise ConfigurationError(
+                f"access_latency must be >= 0, got {self.access_latency!r}")
+
+    @property
+    def transfer_rate(self) -> float:
+        return self.bandwidth
+
+    @property
+    def capacity(self) -> float:
+        return self.capacity_bytes
+
+    @property
+    def cost_per_byte(self) -> float:
+        return self.dollars_per_byte
+
+    def average_access_time(self) -> float:
+        return self.access_latency
+
+    def max_access_time(self) -> float:
+        return self.access_latency
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` through the memory bus."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes!r}")
+        return self.access_latency + n_bytes / self.bandwidth
+
+    def cost_of(self, n_bytes: float) -> float:
+        """Dollar cost of ``n_bytes`` of DRAM buffer."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes!r}")
+        return n_bytes * self.dollars_per_byte

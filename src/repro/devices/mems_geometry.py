@@ -1,0 +1,182 @@
+"""Geometry of a CMU-style MEMS storage device.
+
+The device (paper Section 2, after Schlosser et al., ASPLOS 2000) is a
+spring-mounted magnetic *media sled* suspended above a fixed
+two-dimensional array of read/write *tips*.  Actuators position the
+sled in X and Y; reading happens while the sled moves in Y at constant
+velocity, with a subset of the tips (the *active* tips) streaming
+concurrently.
+
+The geometry model divides the media into one square region per tip.
+The unit of positioning is a **tip sector**: a run of
+``sector_bits`` bits at a given X offset (the "cylinder") and Y offset
+within every active tip's region.  Logical blocks are striped across
+the active tips of a tip group, laid out along Y first (so that
+sequential logical addresses stream without repositioning), then across
+X positions, then across tip groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Default number of data bits per tip sector (64 bytes of payload, a
+#: figure in line with the CMU design's ~80-bit servo/ECC-framed sectors).
+DEFAULT_SECTOR_BITS = 512
+
+
+@dataclass(frozen=True)
+class TipSector:
+    """Physical coordinates of a logical block on the sled.
+
+    ``tip_group`` selects which set of active tips is engaged,
+    ``x_index`` the servo position along X (the MEMS analogue of a
+    cylinder), and ``y_index`` the sector offset along the Y sweep.
+    """
+
+    tip_group: int
+    x_index: int
+    y_index: int
+
+
+@dataclass(frozen=True)
+class MemsGeometry:
+    """Addressable layout of a MEMS device.
+
+    The total number of tips is ``n_tips``; ``active_tips`` of them can
+    stream concurrently (power and channel-electronics limits keep this
+    well below ``n_tips``), giving ``n_tips // active_tips`` tip groups.
+    Each tip records a square region of ``bits_per_tip_x`` X positions
+    by ``bits_per_tip_y`` bits of Y travel.
+    """
+
+    n_tips: int
+    active_tips: int
+    bits_per_tip_x: int
+    bits_per_tip_y: int
+    sector_bits: int = DEFAULT_SECTOR_BITS
+
+    def __post_init__(self) -> None:
+        if self.n_tips <= 0:
+            raise ConfigurationError(f"n_tips must be > 0, got {self.n_tips!r}")
+        if not 0 < self.active_tips <= self.n_tips:
+            raise ConfigurationError(
+                f"active_tips must be in (0, n_tips], got {self.active_tips!r}")
+        if self.n_tips % self.active_tips:
+            raise ConfigurationError(
+                f"n_tips ({self.n_tips!r}) must be a multiple of "
+                f"active_tips ({self.active_tips!r})")
+        if self.bits_per_tip_x <= 0 or self.bits_per_tip_y <= 0:
+            raise ConfigurationError(
+                "bits_per_tip_x and bits_per_tip_y must be > 0, got "
+                f"{self.bits_per_tip_x!r} / {self.bits_per_tip_y!r}")
+        if self.sector_bits <= 0 or self.bits_per_tip_y % self.sector_bits:
+            raise ConfigurationError(
+                f"bits_per_tip_y ({self.bits_per_tip_y!r}) must be a "
+                f"positive multiple of sector_bits ({self.sector_bits!r})")
+
+    @classmethod
+    def synthesize(cls, *, capacity_bytes: float, n_tips: int = 6_400,
+                   active_tips: int = 1_280,
+                   sector_bits: int = DEFAULT_SECTOR_BITS) -> "MemsGeometry":
+        """Build a square-region geometry of roughly ``capacity_bytes``.
+
+        The per-tip region is made as close to square as the sector
+        quantisation allows; realised capacity matches the request to
+        within one sector column per tip.
+        """
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be > 0, got {capacity_bytes!r}")
+        bits_per_tip = capacity_bytes * 8.0 / n_tips
+        side = bits_per_tip ** 0.5
+        bits_y = max(sector_bits, round(side / sector_bits) * sector_bits)
+        bits_x = max(1, round(bits_per_tip / bits_y))
+        return cls(n_tips=n_tips, active_tips=active_tips,
+                   bits_per_tip_x=bits_x, bits_per_tip_y=bits_y,
+                   sector_bits=sector_bits)
+
+    @property
+    def n_tip_groups(self) -> int:
+        """Number of tip groups that can be engaged one at a time."""
+        return self.n_tips // self.active_tips
+
+    @property
+    def sectors_per_sweep(self) -> int:
+        """Tip sectors along one full Y sweep of a tip region."""
+        return self.bits_per_tip_y // self.sector_bits
+
+    @property
+    def sector_bytes(self) -> int:
+        """Payload bytes delivered per tip sector *per active group*."""
+        return self.sector_bits * self.active_tips // 8
+
+    @property
+    def sectors_total(self) -> int:
+        """Total addressable tip sectors (per-group granularity)."""
+        return self.n_tip_groups * self.bits_per_tip_x * self.sectors_per_sweep
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Formatted capacity in bytes."""
+        return self.sectors_total * self.sector_bytes
+
+    def block_to_sector(self, block: int) -> TipSector:
+        """Map a logical block (one tip sector of payload) to coordinates.
+
+        Layout order: Y sweep first, then X position, then tip group, so
+        consecutive logical blocks stream along Y without repositioning.
+        """
+        self._check_block(block)
+        sweeps = self.sectors_per_sweep
+        y_index = block % sweeps
+        rest = block // sweeps
+        x_index = rest % self.bits_per_tip_x
+        tip_group = rest // self.bits_per_tip_x
+        return TipSector(tip_group=tip_group, x_index=x_index, y_index=y_index)
+
+    def sector_to_block(self, sector: TipSector) -> int:
+        """Inverse of :meth:`block_to_sector`."""
+        if not 0 <= sector.tip_group < self.n_tip_groups:
+            raise ConfigurationError(
+                f"tip_group {sector.tip_group!r} out of range "
+                f"[0, {self.n_tip_groups})")
+        if not 0 <= sector.x_index < self.bits_per_tip_x:
+            raise ConfigurationError(
+                f"x_index {sector.x_index!r} out of range "
+                f"[0, {self.bits_per_tip_x})")
+        if not 0 <= sector.y_index < self.sectors_per_sweep:
+            raise ConfigurationError(
+                f"y_index {sector.y_index!r} out of range "
+                f"[0, {self.sectors_per_sweep})")
+        return ((sector.tip_group * self.bits_per_tip_x + sector.x_index)
+                * self.sectors_per_sweep + sector.y_index)
+
+    def block_of_byte(self, byte_offset: float) -> int:
+        """Logical block containing ``byte_offset``."""
+        if byte_offset < 0:
+            raise ConfigurationError(
+                f"byte_offset must be >= 0, got {byte_offset!r}")
+        block = int(byte_offset // self.sector_bytes)
+        self._check_block(block)
+        return block
+
+    def seek_fractions(self, origin: TipSector, target: TipSector) -> tuple[float, float]:
+        """Normalised (x, y) seek distances between two sectors.
+
+        Both are fractions of the full sled stroke in that dimension;
+        the kinematic model in :mod:`repro.devices.mems` converts them
+        to seek times.  A tip-group switch needs no sled motion (it is
+        an electronic switch), so it does not contribute distance.
+        """
+        dx = abs(target.x_index - origin.x_index) / max(self.bits_per_tip_x - 1, 1)
+        dy = (abs(target.y_index - origin.y_index)
+              / max(self.sectors_per_sweep - 1, 1))
+        return dx, dy
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.sectors_total:
+            raise ConfigurationError(
+                f"block {block!r} out of range [0, {self.sectors_total})")

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from admission
+(feasibility) failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A device, workload, or system parameter is malformed.
+
+    Raised for non-positive rates, capacities, prices, stream counts,
+    or otherwise self-inconsistent configurations.  Configuration errors
+    indicate caller bugs and are always raised eagerly, at construction
+    time, never in the middle of an analysis.
+    """
+
+
+class AdmissionError(ReproError):
+    """The requested stream load is not schedulable on the given devices.
+
+    The time-cycle analysis in the paper is only valid while the serviced
+    load leaves slack on the device, e.g. Theorem 1 requires
+    ``R_disk > N * B``.  When a caller asks for a buffer size, cycle
+    length, or cost at an infeasible load, the library raises this error
+    rather than returning a negative or infinite buffer size.
+    """
+
+    def __init__(self, message: str, *, load: float | None = None,
+                 capacity: float | None = None) -> None:
+        super().__init__(message)
+        #: Offered load (bytes/second) that failed admission, if known.
+        self.load = load
+        #: Device service capacity (bytes/second) it was tested against.
+        self.capacity = capacity
+
+
+class CapacityError(ReproError):
+    """A data set does not fit on the device meant to hold it.
+
+    Raised, for example, when the MEMS bank is too small to hold the
+    in-flight buffered data required by the disk IO cycle (Theorem 2,
+    storage requirement), or when a cache-placement plan exceeds the
+    cache capacity.
+    """
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed or an invariant was violated.
+
+    Raised by the scheduling layer when, e.g., no integer ``M < N``
+    satisfies the cycle-commensurability requirement of Theorem 2, or
+    when a simulated schedule underflows a stream buffer.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

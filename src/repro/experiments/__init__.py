@@ -1,0 +1,42 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per artifact:
+
+* :mod:`~repro.experiments.figure2` — effective device throughput vs
+  average IO size.
+* :mod:`~repro.experiments.figure6` — DRAM requirement vs stream count,
+  without (a) and with (b) the MEMS buffer.
+* :mod:`~repro.experiments.figure7` — percentage buffering-cost
+  reduction vs latency ratio (a) and its contour regions (b).
+* :mod:`~repro.experiments.figure8` — absolute buffering-cost reduction
+  vs stream count.
+* :mod:`~repro.experiments.figure9` — MEMS-cache server throughput vs
+  popularity distribution at fixed budgets (a: 10 KB/s, b: 1 MB/s).
+* :mod:`~repro.experiments.figure10` — throughput improvement vs MEMS
+  bank size.
+* :mod:`~repro.experiments.tables` — Tables 1 and 3 (device catalogs).
+
+Figures are emitted as data series with CSV export and ASCII rendering
+(:mod:`~repro.experiments.ascii_plot`); no plotting library is
+required.  :mod:`~repro.experiments.registry` maps experiment ids to
+runners and :mod:`~repro.experiments.cli` exposes them as the
+``mems-repro`` command.
+"""
+
+from repro.experiments.base import ExperimentResult, Series, Table
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "Table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,149 @@
+"""Plain-text chart rendering.
+
+The evaluation figures are reproduced as data series; this module draws
+them as ASCII charts so results are inspectable without any plotting
+dependency.  Each series gets a marker character; axes support log
+scaling (most of the paper's figures are log-log).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import ExperimentResult
+
+#: Marker characters assigned to series in order.
+MARKERS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float | None:
+    if log:
+        if value <= 0:
+            return None
+        return math.log10(value)
+    return value
+
+
+def _axis_format(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-2:
+        return f"{value:.1e}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def render_chart(result: "ExperimentResult", *, width: int = 76,
+                 height: int = 20) -> str:
+    """Draw the result's series on a character grid with axes."""
+    if width < 20 or height < 5:
+        raise ConfigurationError(
+            f"chart needs width >= 20 and height >= 5, got "
+            f"{width!r} x {height!r}")
+    points: list[tuple[float, float, str]] = []
+    for marker, series in zip(MARKERS, result.series):
+        for x, y in zip(series.x, series.y):
+            tx = _transform(x, result.log_x)
+            ty = _transform(y, result.log_y)
+            if tx is not None and ty is not None:
+                points.append((tx, ty, marker))
+    if not points:
+        return "(no drawable points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for tx, ty, marker in points:
+        col = round((tx - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((ty - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    def back(value: float, log: bool) -> float:
+        return 10 ** value if log else value
+
+    label_width = 10
+    lines = []
+    y_top = _axis_format(back(y_hi, result.log_y))
+    y_bottom = _axis_format(back(y_lo, result.log_y))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = y_top
+        elif i == height - 1:
+            label = y_bottom
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row_cells))
+    lines.append(" " * label_width + "-+" + "-" * width)
+    x_left = _axis_format(back(x_lo, result.log_x))
+    x_right = _axis_format(back(x_hi, result.log_x))
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (label_width + 2) + x_left + " " * gap + x_right)
+    axis_note = []
+    if result.x_label:
+        axis_note.append(f"x: {result.x_label}"
+                         + (" (log)" if result.log_x else ""))
+    if result.y_label:
+        axis_note.append(f"y: {result.y_label}"
+                         + (" (log)" if result.log_y else ""))
+    if axis_note:
+        lines.append(" " * (label_width + 2) + "; ".join(axis_note))
+    legend = "  ".join(f"{marker}={series.label}" for marker, series in
+                       zip(MARKERS, result.series))
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_contours(grid: list[list[float]], x_values: list[float],
+                    y_values: list[float], levels: list[float], *,
+                    x_label: str = "", y_label: str = "") -> str:
+    """Character map of which contour band each grid cell falls in.
+
+    ``grid[i][j]`` is the value at ``y_values[i]``, ``x_values[j]``
+    (rows render top-to-bottom as descending ``y``).  Cells are marked
+    with the index (1-9) of the highest level they meet, or ``.`` below
+    the first level.
+    """
+    if not grid or not grid[0]:
+        raise ConfigurationError("contour grid must be non-empty")
+    if len(levels) > 9:
+        raise ConfigurationError("at most 9 contour levels supported")
+    sorted_levels = sorted(levels)
+    lines = []
+    for i in reversed(range(len(grid))):
+        row = grid[i]
+        cells = []
+        for value in row:
+            band = 0
+            for idx, level in enumerate(sorted_levels, start=1):
+                if value >= level:
+                    band = idx
+            cells.append(str(band) if band else ".")
+        label = _axis_format(y_values[i])
+        lines.append(f"{label:>10} |" + "".join(cells))
+    lines.append(" " * 10 + "-+" + "-" * len(grid[0]))
+    x_left = _axis_format(x_values[0])
+    x_right = _axis_format(x_values[-1])
+    gap = max(1, len(grid[0]) - len(x_left) - len(x_right))
+    lines.append(" " * 12 + x_left + " " * gap + x_right)
+    legend = "  ".join(f"{idx}=>{level:g}" for idx, level in
+                       enumerate(sorted_levels, start=1))
+    note = []
+    if x_label:
+        note.append(f"x: {x_label}")
+    if y_label:
+        note.append(f"y: {y_label}")
+    lines.append(" " * 12 + "bands: " + legend
+                 + ("   " + "; ".join(note) if note else ""))
+    return "\n".join(lines)

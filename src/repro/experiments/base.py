@@ -1,0 +1,119 @@
+"""Experiment result containers and CSV export."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Series:
+    """One labelled data series (a line in a figure)."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: x has {len(self.x)} points but "
+                f"y has {len(self.y)}")
+
+
+@dataclass
+class Table:
+    """A rectangular table (for the paper's Tables and bar figures)."""
+
+    columns: list[str]
+    rows: list[list[object]]
+
+    def __post_init__(self) -> None:
+        for i, row in enumerate(self.rows):
+            if len(row) != len(self.columns):
+                raise ConfigurationError(
+                    f"row {i} has {len(row)} cells for "
+                    f"{len(self.columns)} columns")
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [self.columns] + [[_fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[j]) for row in cells)
+                  for j in range(len(self.columns))]
+        lines = []
+        header = " | ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:,.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment runner.
+
+    Carries either line ``series`` (figure-style artifacts) or a
+    ``table`` (table-style artifacts), or both, plus free-form notes
+    comparing against the paper.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    series: list[Series] = field(default_factory=list)
+    table: Table | None = None
+    #: Axis scaling hints for the ASCII renderer.
+    log_x: bool = False
+    log_y: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """CSV export: long format for series, verbatim for tables."""
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        if self.series:
+            writer.writerow(["series", self.x_label or "x",
+                             self.y_label or "y"])
+            for series in self.series:
+                for x, y in zip(series.x, series.y):
+                    writer.writerow([series.label, repr(x), repr(y)])
+        elif self.table is not None:
+            writer.writerow(self.table.columns)
+            writer.writerows(self.table.rows)
+        return out.getvalue()
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write :meth:`to_csv` to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_csv())
+        return path
+
+    def render(self, *, width: int = 76, height: int = 20) -> str:
+        """Human-readable rendering: ASCII chart and/or table plus notes."""
+        from repro.experiments.ascii_plot import render_chart
+
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.series:
+            parts.append(render_chart(self, width=width, height=height))
+        if self.table is not None:
+            parts.append(self.table.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,148 @@
+"""``mems-repro`` command-line entry point.
+
+Usage::
+
+    mems-repro list                 # enumerate reproducible artifacts
+    mems-repro run figure6a         # render one artifact to stdout
+    mems-repro run all              # render everything (incl. extensions)
+    mems-repro run figure8 --csv out.csv   # also export the data series
+    mems-repro design --streams 1000 --bitrate 100 --budget 150
+                                    # size a server across configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mems-repro",
+        description=("Reproduce the tables and figures of 'MEMS-based Disk "
+                     "Buffer for Streaming Media Servers' (ICDE 2003)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_cmd.add_argument("experiment",
+                         help="experiment id (see 'list') or 'all'")
+    run_cmd.add_argument("--csv", metavar="PATH",
+                         help="also write the data series as CSV")
+    run_cmd.add_argument("--width", type=int, default=76,
+                         help="chart width in characters")
+    run_cmd.add_argument("--height", type=int, default=20,
+                         help="chart height in characters")
+    design_cmd = sub.add_parser(
+        "design", help="size a server: compare plain / buffer / cache")
+    design_cmd.add_argument("--streams", type=int, required=True,
+                            help="concurrent streams to support")
+    design_cmd.add_argument("--bitrate", type=float, required=True,
+                            help="average stream bit-rate in KB/s")
+    design_cmd.add_argument("--budget", type=float, default=None,
+                            help="total buffering budget in dollars "
+                                 "(omit to report requirements only)")
+    design_cmd.add_argument("--popularity", default="5:95",
+                            help="X:Y popularity for the cache option "
+                                 "(default 5:95)")
+    design_cmd.add_argument("--devices", type=int, default=2,
+                            help="MEMS devices in the bank (default 2)")
+    return parser
+
+
+def _run_design(args: argparse.Namespace) -> int:
+    """The ``design`` subcommand: requirement and capacity report."""
+    from repro.core.buffer_model import design_mems_buffer
+    from repro.core.cache_model import CachePolicy, design_mems_cache
+    from repro.core.parameters import SystemParameters
+    from repro.core.popularity import BimodalPopularity
+    from repro.core.theorems import min_buffer_disk_dram
+    from repro.devices.catalog import DRAM_2007
+    from repro.units import KB, bytes_to_human
+
+    bit_rate = args.bitrate * KB
+    params = SystemParameters.table3_default(
+        n_streams=args.streams, bit_rate=bit_rate, k=args.devices)
+    popularity = BimodalPopularity.parse(args.popularity)
+    print(f"Sizing for {args.streams} streams at {args.bitrate:g} KB/s "
+          f"({params.disk_utilization:.0%} of disk bandwidth), "
+          f"k={args.devices} G3 MEMS devices available")
+    print()
+    rows: list[tuple[str, float, float]] = []  # label, dram, mems $
+    rows.append(("plain disk-to-DRAM",
+                 args.streams * min_buffer_disk_dram(params), 0.0))
+    buffer_design = design_mems_buffer(params, quantise=False)
+    rows.append(("MEMS buffer", buffer_design.total_dram,
+                 params.mems_bank_cost))
+    for policy in (CachePolicy.REPLICATED, CachePolicy.STRIPED):
+        cache_design = design_mems_cache(params, policy, popularity)
+        rows.append((f"MEMS cache ({policy.value})", cache_design.total_dram,
+                     params.mems_bank_cost))
+    print(f"{'configuration':>26} | {'DRAM needed':>12} | "
+          f"{'MEMS cost':>9} | {'total cost':>10}")
+    print("-" * 68)
+    for label, dram, mems_cost in rows:
+        total = dram * DRAM_2007.cost_per_byte + mems_cost
+        print(f"{label:>26} | {bytes_to_human(dram):>12} | "
+              f"${mems_cost:>8.2f} | ${total:>9.2f}")
+    if args.budget is not None:
+        from repro.core.capacity import streams_supported
+
+        print()
+        print(f"Throughput at a ${args.budget:g} total budget:")
+        base = params.replace(n_streams=1)
+        capacities = {
+            "plain disk-to-DRAM": streams_supported(
+                base.replace(k=1),
+                args.budget / DRAM_2007.cost_per_byte),
+        }
+        remaining = args.budget - params.mems_bank_cost
+        if remaining > 0:
+            dram_budget = remaining / DRAM_2007.cost_per_byte
+            capacities["MEMS buffer"] = streams_supported(
+                base, dram_budget, configuration="buffer")
+            capacities["MEMS cache (replicated)"] = streams_supported(
+                base, dram_budget, configuration="cache",
+                policy=CachePolicy.REPLICATED, popularity=popularity)
+            capacities["MEMS cache (striped)"] = streams_supported(
+                base, dram_budget, configuration="cache",
+                policy=CachePolicy.STRIPED, popularity=popularity)
+        for label, capacity in capacities.items():
+            marker = " <- requested" if capacity >= args.streams else ""
+            print(f"  {label:>26}: {capacity} streams{marker}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in EXPERIMENTS:
+                print(experiment_id)
+            return 0
+        if args.command == "design":
+            return _run_design(args)
+        if args.experiment == "all":
+            ids = list(EXPERIMENTS)
+        else:
+            ids = [args.experiment]
+        for experiment_id in ids:
+            result = run_experiment(experiment_id)
+            print(result.render(width=args.width, height=args.height))
+            print()
+            if args.csv:
+                suffix = "" if len(ids) == 1 else f".{experiment_id}"
+                path = result.write_csv(f"{args.csv}{suffix}")
+                print(f"wrote {path}", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,331 @@
+"""Extension experiments (beyond the paper's figures).
+
+Each runner quantifies one of the extensions DESIGN.md lists — the
+paper's future-work directions and the operational questions the
+analytical model can answer once the substrate exists:
+
+* ``ext_startup`` — playback startup latency per configuration (the
+  buffer's hidden cost; the cache's hidden benefit).
+* ``ext_placement`` — organ-pipe sled placement gain vs popularity skew
+  (paper §7 direction 2).
+* ``ext_sptf`` — SPTF vs single-axis elevator positioning on the sled.
+* ``ext_blocking`` — session blocking probability vs DRAM budget for
+  the three configurations.
+* ``ext_hybrid`` — throughput of every buffer/cache split of the bank
+  (paper §7 direction 1).
+* ``ext_robustness`` — underflow under *sampled* (stochastic) disk
+  latencies vs provisioned buffer headroom: why real servers pad the
+  analytical minimum.
+* ``ext_write_mix`` — recording (write-stream) capacity alongside a
+  growing viewer population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.capacity import streams_supported
+from repro.core.hybrid import hybrid_split_curve
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.core.startup import (
+    buffered_startup,
+    cache_startup,
+    direct_startup,
+)
+from repro.core.write_streams import max_writers_supported
+from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
+from repro.devices.mems_placement import placement_improvement
+from repro.experiments.base import ExperimentResult, Series, Table
+from repro.scheduling.sptf import sptf_speedup
+from repro.simulation.pipelines import simulate_direct_pipeline
+from repro.units import GB, KB, MB
+from repro.workloads.arrivals import erlang_b
+
+
+def run_ext_startup(*, bit_rates: dict[str, float] | None = None,
+                    n_streams: int = 60, k: int = 2) -> ExperimentResult:
+    """Worst/expected startup latency per configuration and bit-rate."""
+    rates = bit_rates if bit_rates is not None else {
+        "DivX": 100 * KB, "DVD": 1 * MB}
+    rows: list[list[object]] = []
+    for name, bit_rate in rates.items():
+        params = SystemParameters.table3_default(n_streams=n_streams,
+                                                 bit_rate=bit_rate, k=k)
+        design = design_mems_buffer(params)
+        cache = design_mems_cache(params, CachePolicy.REPLICATED,
+                                  BimodalPopularity(5, 95))
+        entries = [direct_startup(params),
+                   buffered_startup(design, bypass=True),
+                   buffered_startup(design, bypass=False),
+                   cache_startup(cache)]
+        for entry in entries:
+            rows.append([name, entry.configuration,
+                         f"{entry.expected:.3f}", f"{entry.worst:.3f}"])
+    result = ExperimentResult(
+        experiment_id="ext-startup",
+        title="Playback startup latency by configuration (seconds)",
+        table=Table(columns=["media", "configuration", "expected [s]",
+                             "worst [s]"], rows=rows))
+    result.notes.append(
+        "the naive buffer pipeline costs ~3 disk cycles of startup; the "
+        "bypass policy and the cache recover interactive startup")
+    return result
+
+
+def run_ext_placement(*, n_titles: int = 32) -> ExperimentResult:
+    """Organ-pipe placement gain vs popularity skew (future work #2)."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for base in (1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 8.0):
+        weights = [base ** -i for i in range(n_titles)]
+        xs.append(base)
+        ys.append(placement_improvement(weights, MEMS_G3))
+    result = ExperimentResult(
+        experiment_id="ext-placement",
+        title="Organ-pipe sled placement gain vs popularity skew",
+        x_label="geometric weight ratio between adjacent ranks",
+        y_label="seek-time improvement (x)",
+        series=[Series(label="organ-pipe / sequential", x=xs, y=ys)])
+    best = max(ys)
+    result.notes.append(
+        f"peak gain {best:.2f}x at moderate skew; vanishes at uniform "
+        "weights and at extreme skew (same-title hits need no seek)")
+    return result
+
+
+def run_ext_sptf(*, batch_sizes: tuple[int, ...] = (8, 16, 32, 64, 128),
+                 n_batches: int = 10, seed: int = 0) -> ExperimentResult:
+    """SPTF vs X-only elevator positioning time on the G3 device."""
+    xs = [float(b) for b in batch_sizes]
+    ys = [sptf_speedup(MEMS_G3, batch_size=b, n_batches=n_batches,
+                       seed=seed) for b in batch_sizes]
+    result = ExperimentResult(
+        experiment_id="ext-sptf",
+        title="SPTF vs X-elevator on the MEMS sled",
+        x_label="batch size (pending requests)",
+        y_label="positioning-time ratio (elevator / SPTF)",
+        series=[Series(label="speedup", x=xs, y=ys)])
+    result.notes.append(
+        "single-axis orderings are suboptimal on a sled that moves X "
+        "and Y concurrently (cf. Griffin et al., OSDI 2000)")
+    return result
+
+
+def run_ext_blocking(*, bit_rate: float = 200 * KB,
+                     budgets_gb: tuple[float, ...] = (1.0, 2.0, 4.0),
+                     utilization: float = 1.02) -> ExperimentResult:
+    """Erlang-B blocking per configuration as the DRAM budget grows.
+
+    The offered load is pinned to ``utilization`` times the *disk-only*
+    capacity at each budget, so the table shows how much blocking the
+    MEMS configurations remove at the same spend.
+    """
+    popularity = BimodalPopularity(5, 95)
+    rows: list[list[object]] = []
+    for budget_gb in budgets_gb:
+        budget = budget_gb * GB
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=bit_rate, k=2)
+        capacities = {
+            "disk only": streams_supported(params, budget),
+            "MEMS buffer": streams_supported(params, budget,
+                                             configuration="buffer"),
+            "MEMS cache": streams_supported(params, budget,
+                                            configuration="cache",
+                                            policy=CachePolicy.REPLICATED,
+                                            popularity=popularity),
+        }
+        offered = utilization * capacities["disk only"]
+        for name, capacity in capacities.items():
+            rows.append([f"{budget_gb:g} GB", name, capacity,
+                         f"{erlang_b(offered, capacity):.4f}"])
+    result = ExperimentResult(
+        experiment_id="ext-blocking",
+        title=(f"Session blocking at {utilization:.0%} of disk-only "
+               f"capacity ({bit_rate / KB:.0f} KB/s streams)"),
+        table=Table(columns=["DRAM budget", "configuration", "capacity",
+                             "Erlang-B blocking"], rows=rows))
+    return result
+
+
+def run_ext_hybrid(*, bit_rate: float = 100 * KB, k: int = 4,
+                   dram_budget: float = 2 * GB) -> ExperimentResult:
+    """Throughput of every buffer/cache split (future work #1)."""
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
+                                             k=k)
+    series = []
+    for spec in ("1:99", "5:95", "20:80"):
+        popularity = BimodalPopularity.parse(spec)
+        curve = hybrid_split_curve(params, policy=CachePolicy.STRIPED,
+                                   popularity=popularity,
+                                   dram_budget=dram_budget)
+        series.append(Series(label=spec,
+                             x=[float(d.k_cache) for d in curve],
+                             y=[d.max_streams for d in curve]))
+    result = ExperimentResult(
+        experiment_id="ext-hybrid",
+        title=(f"Hybrid buffer/cache split of a k={k} bank "
+               f"({dram_budget / GB:.0f} GB DRAM)"),
+        x_label="devices devoted to caching (rest buffer the disk)",
+        y_label="admitted streams",
+        series=series)
+    for s in series:
+        best = max(s.y)
+        result.notes.append(
+            f"{s.label}: best split k_cache="
+            f"{s.x[s.y.index(best)]:.0f} ({best:.0f} streams)")
+    return result
+
+
+def run_ext_robustness(*, n_streams: int = 80, bit_rate: float = 1 * MB,
+                       scales: tuple[float, ...] = (1.0, 1.25, 1.5, 2.0,
+                                                    3.0),
+                       n_cycles: int = 40, seed: int = 11
+                       ) -> ExperimentResult:
+    """Starvation under stochastic disk latencies vs buffer headroom.
+
+    Deterministic analysis sizes buffers exactly; real per-IO latencies
+    vary, so jitter appears at 1.0x.  Extra capacity only helps when a
+    prefill policy actually fills it (see
+    :func:`repro.simulation.pipelines.simulate_direct_pipeline`), so
+    each padded point delays playback until the cushion accumulates.
+    This quantifies the cushion a deployment should add.
+    """
+    import math as _math
+
+    params = SystemParameters.table3_default(n_streams=n_streams,
+                                             bit_rate=bit_rate, k=2)
+    xs: list[float] = []
+    ys: list[float] = []
+    for scale in scales:
+        delay = max(0, _math.ceil(scale) - 1)
+        report = simulate_direct_pipeline(
+            params, n_cycles=n_cycles, latency_model="sampled",
+            disk=FUTURE_DISK_2007, seed=seed, buffer_scale=scale,
+            playback_delay_cycles=delay)
+        xs.append(scale)
+        ys.append(report.total_underflow_time)
+    result = ExperimentResult(
+        experiment_id="ext-robustness",
+        title="Starvation vs buffer headroom under sampled disk latencies",
+        x_label="buffer scale (x analytical minimum)",
+        y_label="total starvation time (s)",
+        series=[Series(label="sampled latencies", x=xs, y=ys)])
+    result.notes.append(
+        "the analytical minimum is exact for deterministic (average) "
+        "latencies; stochastic per-IO latencies need headroom — the "
+        "same reason the paper charges worst-case MEMS latency")
+    return result
+
+
+def run_ext_regions(*, n_rate_points: int = 8, n_budget_points: int = 6,
+                    popularity_spec: str = "5:95") -> ExperimentResult:
+    """Configuration-choice map over the bit-rate x budget plane.
+
+    The quantitative form of the paper's two design guidelines: which
+    of plain / buffer / cache admits the most streams at each total
+    spend.
+    """
+    import numpy as np
+
+    from repro.core.regions import (
+        configuration_map,
+        render_configuration_map,
+    )
+
+    rates = np.logspace(np.log10(10 * KB), np.log10(10 * MB), n_rate_points)
+    budgets = np.logspace(np.log10(30.0), np.log10(1_000.0),
+                          n_budget_points)
+    popularity = BimodalPopularity.parse(popularity_spec)
+    cells = configuration_map(rates, budgets, popularity=popularity)
+    result = ExperimentResult(
+        experiment_id="ext-regions",
+        title=(f"Best configuration per (bit-rate, budget), popularity "
+               f"{popularity_spec}"),
+        x_label="total budget ($)",
+        y_label="bit-rate (KB/s)",
+    )
+    result.notes.append("\n" + render_configuration_map(cells))
+    for i, rate in enumerate(rates):
+        result.series.append(Series(
+            label=f"{float(rate) / KB:.3g}KB/s gain",
+            x=[float(b) for b in budgets],
+            y=[cells[i][j].gain_over_plain for j in range(len(budgets))]))
+    return result
+
+
+def run_ext_generations(*, bit_rate: float = 100 * KB,
+                        n_streams: int = 2_400) -> ExperimentResult:
+    """Buffer economics across MEMS device generations.
+
+    The paper evaluates only the G3 device; this sweep swaps in the
+    synthesized G1/G2 generations (catalog docstring) to show how the
+    buffer's value grows as the technology matures — the paper's
+    sensitivity theme ("as long as the MEMS device is an order of
+    magnitude cheaper than DRAM and provides streaming bandwidths
+    comparable to ... disk-drives").
+    """
+    from repro.core.cost import compare_buffer_costs
+    from repro.devices.catalog import MEMS_G1, MEMS_G2
+
+    rows: list[list[object]] = []
+    for device in (MEMS_G1, MEMS_G2, MEMS_G3):
+        # The bank must carry twice the stream load: size k accordingly.
+        load = 2 * (n_streams + 1) * bit_rate
+        k = max(2, int(np.ceil(load / device.transfer_rate)) + 1)
+        params = SystemParameters.table3_default(
+            n_streams=n_streams, bit_rate=bit_rate, k=k).replace(
+            r_mems=device.transfer_rate,
+            l_mems=device.max_access_time(),
+            c_mems=device.cost_per_byte,
+            size_mems=device.capacity)
+        comparison = compare_buffer_costs(params)
+        rows.append([device.name, k,
+                     f"{device.transfer_rate / MB:.0f}",
+                     f"{device.max_access_time() * 1e3:.2f}",
+                     f"${comparison.cost_without:,.0f}",
+                     f"${comparison.cost_with:,.0f}",
+                     f"{comparison.percent_reduction:.0f}%"])
+    result = ExperimentResult(
+        experiment_id="ext-generations",
+        title=(f"MEMS generations as a disk buffer "
+               f"({n_streams} x {bit_rate / KB:.0f} KB/s streams)"),
+        table=Table(columns=["device", "k", "MB/s", "max lat [ms]",
+                             "cost w/o", "cost w/", "reduction"],
+                    rows=rows))
+    result.notes.append(
+        "later generations need fewer devices and leave less DRAM "
+        "behind; the economics hold across all three")
+    return result
+
+
+def run_ext_write_mix(*, bit_rate: float = 200 * KB,
+                      dram_budget: float = 2 * GB,
+                      k: int = 2) -> ExperimentResult:
+    """Recording capacity as the viewer population grows (§3.1 ext.)."""
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
+                                             k=k)
+    max_readers = streams_supported(params, dram_budget,
+                                    configuration="buffer")
+    xs: list[float] = []
+    ys: list[float] = []
+    for fraction in np.linspace(0.0, 0.9, 10):
+        n_readers = int(fraction * max_readers)
+        writers = max_writers_supported(params, n_readers=n_readers,
+                                        dram_budget=dram_budget)
+        xs.append(float(n_readers))
+        ys.append(float(writers))
+    result = ExperimentResult(
+        experiment_id="ext-write-mix",
+        title=(f"Recording feeds vs viewer population "
+               f"({dram_budget / GB:.0f} GB DRAM, k={k})"),
+        x_label="admitted viewers (readers)",
+        y_label="admissible recording feeds (writers)",
+        series=[Series(label="writers", x=xs, y=ys)])
+    result.notes.append(
+        "writers are single-buffered on the bank, so each displaced "
+        "viewer buys more than one recording feed")
+    return result

@@ -1,0 +1,75 @@
+"""Figure 10: throughput improvement vs the number of MEMS cache devices.
+
+Section 5.2.4: striped cache management, total budget fixed at $100,
+average bit-rate 100 KB/s, each G3 device caching 1% of the 1 TB
+content.  As ``k`` grows the cache holds and serves more, but the
+displaced DRAM (500 MB per device) shrinks the buffer, so each
+popularity distribution has a unique optimal bank size; at 50:50 the
+cache always degrades performance.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache_model import CachePolicy
+from repro.core.capacity import (
+    max_streams_with_cache,
+    max_streams_without_mems,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
+from repro.devices.catalog import DRAM_2007
+from repro.errors import AdmissionError
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.figure9 import _dram_budget
+from repro.units import KB
+
+#: The experiment's fixed total budget, dollars.
+TOTAL_COST = 100.0
+#: Average stream bit-rate, bytes/second.
+BIT_RATE = 100 * KB
+
+
+def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
+        max_devices: int = 8,
+        distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+        policy: CachePolicy = CachePolicy.STRIPED) -> ExperimentResult:
+    """Percentage throughput improvement vs k, one curve per distribution."""
+    baseline_params = SystemParameters.table3_default(
+        n_streams=1, bit_rate=bit_rate, k=1)
+    baseline = max_streams_without_mems(
+        baseline_params, total_cost / DRAM_2007.cost_per_byte)
+    series = []
+    for spec in distributions:
+        popularity = BimodalPopularity.parse(spec)
+        xs: list[float] = []
+        ys: list[float] = []
+        for k in range(1, max_devices + 1):
+            dram = _dram_budget(total_cost, k)
+            if dram <= 0:
+                break
+            params = SystemParameters.table3_default(
+                n_streams=1, bit_rate=bit_rate, k=k)
+            try:
+                cached = max_streams_with_cache(params, policy, popularity,
+                                                dram)
+            except AdmissionError:
+                break
+            xs.append(float(k))
+            ys.append(100.0 * (cached - baseline) / baseline)
+        series.append(Series(label=spec, x=xs, y=ys))
+    result = ExperimentResult(
+        experiment_id="figure10",
+        title=(f"Varying the size of the MEMS cache "
+               f"({policy.value}, ${total_cost:.0f}, "
+               f"{bit_rate / KB:.0f}KB/s)"),
+        x_label="Number of MEMS devices (k)",
+        y_label="Improvement in throughput (%)",
+        series=series,
+    )
+    for s in series:
+        if s.y:
+            best = max(s.y)
+            best_k = s.x[s.y.index(best)]
+            result.notes.append(
+                f"{s.label}: best {best:+.1f}% at k={best_k:.0f}")
+    return result

@@ -1,0 +1,116 @@
+"""Figure 9: MEMS-cache server throughput vs popularity distribution.
+
+Section 5.2: the total buffering+caching budget is fixed ($50 / $100 /
+$200); each G3 MEMS device added to the cache costs $10 and therefore
+displaces 500 MB of $20/GB DRAM.  At those budgets the paper uses
+k = 1, 2, and 4 cache devices respectively.  Server throughput (max
+admitted streams) is compared across three configurations — no cache,
+replicated cache, striped cache — for popularity distributions 1:99,
+5:95, 10:90, 20:80, and 50:50, at 10 KB/s (panel a) and 1 MB/s (panel
+b).
+"""
+
+from __future__ import annotations
+
+from repro.core.cache_model import CachePolicy
+from repro.core.capacity import (
+    max_streams_with_cache,
+    max_streams_without_mems,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
+from repro.devices.catalog import DRAM_2007, MEMS_G3
+from repro.errors import AdmissionError
+from repro.experiments.base import ExperimentResult, Table
+from repro.units import GB, KB, MB
+
+#: (budget $, cache devices) pairs of the paper's experiment.
+BUDGET_POINTS: tuple[tuple[float, int], ...] = ((50.0, 1), (100.0, 2),
+                                                (200.0, 4))
+
+
+def _dram_budget(total_cost: float, k_cache: int) -> float:
+    """DRAM purchasable after buying ``k_cache`` MEMS devices."""
+    mems_cost = k_cache * MEMS_G3.cost_per_device
+    remaining = total_cost - mems_cost
+    if remaining <= 0:
+        return 0.0
+    return remaining / DRAM_2007.cost_per_byte
+
+
+def throughput(bit_rate: float, total_cost: float, k_cache: int,
+               configuration: str, popularity: BimodalPopularity) -> int:
+    """Admitted streams for one configuration at one budget.
+
+    ``configuration`` is ``"none"``, ``"replicated"``, or ``"striped"``.
+    """
+    if configuration == "none":
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=bit_rate, k=1)
+        budget = total_cost / DRAM_2007.cost_per_byte
+        return int(max_streams_without_mems(params, budget))
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
+                                             k=k_cache)
+    policy = (CachePolicy.REPLICATED if configuration == "replicated"
+              else CachePolicy.STRIPED)
+    budget = _dram_budget(total_cost, k_cache)
+    if budget <= 0:
+        return 0
+    try:
+        return int(max_streams_with_cache(params, policy, popularity, budget))
+    except AdmissionError:
+        return 0
+
+
+def run(*, bit_rate: float = 10 * KB,
+        distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+        budget_points: tuple[tuple[float, int], ...] = BUDGET_POINTS,
+        ) -> ExperimentResult:
+    """One panel: a table of throughputs per distribution/config/budget."""
+    columns = ["popularity", "configuration"] + [
+        f"N @ ${cost:.0f} (k={k})" for cost, k in budget_points]
+    rows: list[list[object]] = []
+    for spec in distributions:
+        popularity = BimodalPopularity.parse(spec)
+        for config in ("none", "replicated", "striped"):
+            row: list[object] = [spec, "w/o MEMS cache" if config == "none"
+                                 else f"{config} cache"]
+            for cost, k_cache in budget_points:
+                row.append(throughput(bit_rate, cost, k_cache, config,
+                                      popularity))
+            rows.append(row)
+    panel = "a" if bit_rate <= 100 * KB else "b"
+    result = ExperimentResult(
+        experiment_id=f"figure9{panel}",
+        title=(f"MEMS cache performance, average bit-rate "
+               f"{bit_rate / KB:.0f}KB/s"),
+        table=Table(columns=columns, rows=rows),
+    )
+    # Headline checks the paper calls out.
+    skewed = BimodalPopularity.parse("1:99")
+    best_cost, best_k = budget_points[-1]
+    repl = throughput(bit_rate, best_cost, best_k, "replicated", skewed)
+    stri = throughput(bit_rate, best_cost, best_k, "striped", skewed)
+    none = throughput(bit_rate, best_cost, best_k, "none", skewed)
+    result.notes.append(
+        f"at 1:99 and ${best_cost:.0f}: replicated {repl} vs striped {stri} "
+        f"vs no-cache {none} streams (replication wins under heavy skew)")
+    uniform = BimodalPopularity.parse("50:50")
+    u_repl = throughput(bit_rate, best_cost, best_k, "replicated", uniform)
+    u_none = throughput(bit_rate, best_cost, best_k, "none", uniform)
+    result.notes.append(
+        f"at 50:50 and ${best_cost:.0f}: replicated {u_repl} vs no-cache "
+        f"{u_none} (caching is not cost-effective at uniform popularity)")
+    return result
+
+
+def run_panel_a(**kwargs) -> ExperimentResult:
+    """Panel (a): 10 KB/s streams."""
+    kwargs.setdefault("bit_rate", 10 * KB)
+    return run(**kwargs)
+
+
+def run_panel_b(**kwargs) -> ExperimentResult:
+    """Panel (b): 1 MB/s streams."""
+    kwargs.setdefault("bit_rate", 1 * MB)
+    return run(**kwargs)

@@ -1,0 +1,74 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    extensions,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    tables,
+)
+from repro.experiments.base import ExperimentResult
+
+#: The paper's own artifacts, in paper order.
+PAPER_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": tables.run_table1,
+    "figure2": figure2.run,
+    "table3": tables.run_table3,
+    "figure6a": lambda: figure6.run(with_mems=False),
+    "figure6b": lambda: figure6.run(with_mems=True),
+    "figure7a": figure7.run_panel_a,
+    "figure7b": figure7.run_panel_b,
+    "figure8": figure8.run,
+    "figure9a": figure9.run_panel_a,
+    "figure9b": figure9.run_panel_b,
+    "figure10": figure10.run,
+}
+
+#: Extension studies beyond the paper (see DESIGN.md section 6).
+EXTENSION_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "ext-startup": extensions.run_ext_startup,
+    "ext-placement": extensions.run_ext_placement,
+    "ext-sptf": extensions.run_ext_sptf,
+    "ext-blocking": extensions.run_ext_blocking,
+    "ext-hybrid": extensions.run_ext_hybrid,
+    "ext-robustness": extensions.run_ext_robustness,
+    "ext-regions": extensions.run_ext_regions,
+    "ext-generations": extensions.run_ext_generations,
+    "ext-write-mix": extensions.run_ext_write_mix,
+}
+
+#: All reproducible artifacts.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Look up a runner; raise a helpful error for unknown ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(EXPERIMENTS)}") from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)()
+
+
+def run_all(*, include_extensions: bool = True) -> dict[str, ExperimentResult]:
+    """Run every experiment, in paper order (extensions last)."""
+    selected = EXPERIMENTS if include_extensions else PAPER_EXPERIMENTS
+    return {experiment_id: runner()
+            for experiment_id, runner in selected.items()}

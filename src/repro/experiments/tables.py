@@ -1,0 +1,100 @@
+"""Tables 1 and 3: storage-media characteristics.
+
+These artifacts are catalog data rather than computed results, but the
+runners regenerate them from the *device models* (not hard-coded
+strings) so any drift between the catalog and the models is caught.
+"""
+
+from __future__ import annotations
+
+from repro.devices.catalog import (
+    DISK_2002,
+    DRAM_2002,
+    DRAM_2007,
+    FUTURE_DISK_2007,
+    MEMS_G3,
+    device_table_2002,
+    device_table_2007,
+)
+from repro.experiments.base import ExperimentResult, Table
+from repro.units import GB, MB, MS
+
+
+def _range_text(pair: tuple[float, float] | None, unit: str = "") -> str:
+    if pair is None:
+        return "n/a"
+    lo, hi = pair
+    if lo == hi:
+        return f"{lo:g}{unit}"
+    return f"{lo:g}-{hi:g}{unit}"
+
+
+def run_table1() -> ExperimentResult:
+    """Table 1: 2002 and 2007 characteristics of DRAM, MEMS and disk."""
+    columns = ["year", "medium", "capacity [GB]", "access time [ms]",
+               "bandwidth [MB/s]", "cost/GB [$]", "cost/device [$]"]
+    rows: list[list[object]] = []
+    for year, table in (("2002", device_table_2002()),
+                        ("2007", device_table_2007())):
+        for row in table:
+            rows.append([
+                year, row.medium,
+                "n/a" if row.capacity_gb is None else f"{row.capacity_gb:g}",
+                _range_text(row.access_time_ms),
+                _range_text(row.bandwidth_mb_s),
+                "n/a" if row.cost_per_gb is None else f"{row.cost_per_gb:g}",
+                _range_text(row.cost_per_device),
+            ])
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Storage media characteristics (2002 actual / 2007 predicted)",
+        table=Table(columns=columns, rows=rows))
+    # Cross-check the catalog rows against the instantiated models.
+    checks = [
+        ("2002 disk bandwidth", DISK_2002.transfer_rate / MB, 55),
+        ("2002 DRAM cost/GB", DRAM_2002.cost_per_byte * GB, 200),
+        ("2007 MEMS capacity", MEMS_G3.capacity / GB, 10),
+        ("2007 disk capacity", FUTURE_DISK_2007.capacity / GB, 1000),
+        ("2007 DRAM cost/GB", DRAM_2007.cost_per_byte * GB, 20),
+    ]
+    for label, actual, expected in checks:
+        status = "ok" if abs(actual - expected) < 1e-6 * max(expected, 1) \
+            else f"MISMATCH (model {actual:g})"
+        result.notes.append(f"{label} = {expected:g}: {status}")
+    return result
+
+
+def run_table3() -> ExperimentResult:
+    """Table 3: the 2007 case-study devices, read off the models."""
+    disk = FUTURE_DISK_2007
+    mems = MEMS_G3
+    dram = DRAM_2007
+    columns = ["parameter", "FutureDisk", "G3 MEMS", "DRAM"]
+    rows: list[list[object]] = [
+        ["RPM", f"{disk.rpm:,.0f}", "-", "-"],
+        ["Max. bandwidth [MB/s]", f"{disk.transfer_rate / MB:g}",
+         f"{mems.transfer_rate / MB:g}", f"{dram.transfer_rate / MB:,.0f}"],
+        ["Average seek [ms]",
+         f"{disk.seek_curve.average_seek_time() / MS:.1f}", "-", "-"],
+        ["Full stroke seek [ms]", f"{disk.seek_curve.t_full / MS:.1f}",
+         f"{mems.full_stroke_x / MS:.2f}", "-"],
+        ["X settle time [ms]", "-", f"{mems.settle_x / MS:.2f}", "-"],
+        ["Capacity per device [GB]", f"{disk.capacity / GB:g}",
+         f"{mems.capacity / GB:g}", f"{dram.capacity / GB:g}"],
+        ["Cost/GB [$]", f"{disk.cost_per_byte * GB:g}",
+         f"{mems.cost_per_byte * GB:g}", f"{dram.cost_per_byte * GB:g}"],
+        ["Cost/device [$]", "100-300", f"{mems.cost_per_device:g}", "50-200"],
+    ]
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Performance characteristics of storage devices in 2007",
+        table=Table(columns=columns, rows=rows))
+    ratio = (disk.scheduled_latency() / mems.max_access_time())
+    result.notes.append(
+        f"scheduler-determined latency ratio L_disk/L_mems = {ratio:.2f} "
+        "(the paper reports ~5 for this pair)")
+    result.notes.append(
+        "capacity-per-device cells follow Table 1's 2007 column; the "
+        "printed Table 3 transposes the disk/DRAM capacities (see catalog "
+        "docstring)")
+    return result

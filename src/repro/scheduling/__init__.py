@@ -1,0 +1,51 @@
+"""IO schedulers and admission control.
+
+* :mod:`~repro.scheduling.requests` — the IO request vocabulary.
+* :mod:`~repro.scheduling.elevator` — C-LOOK elevator ordering (the
+  paper's disk scheduler).
+* :mod:`~repro.scheduling.edf` — Earliest-Deadline-First ordering (the
+  related-work baseline of Section 6).
+* :mod:`~repro.scheduling.time_cycle` — the time-cycle (QPMS) schedule
+  builder of Section 3, including the two-level disk/MEMS cycle
+  structure of Figures 4 and 5.
+* :mod:`~repro.scheduling.admission` — admission control against the
+  analytical feasibility bounds.
+"""
+
+from repro.scheduling.requests import IoKind, IoRequest
+from repro.scheduling.elevator import ElevatorScheduler
+from repro.scheduling.edf import EdfScheduler
+from repro.scheduling.time_cycle import (
+    CycleOperation,
+    OperationKind,
+    TimeCycleSchedule,
+    build_buffer_schedule,
+    build_direct_schedule,
+)
+from repro.scheduling.admission import AdmissionController, AdmissionDecision
+from repro.scheduling.sptf import (
+    batch_positioning_time,
+    positioning_time_matrix,
+    sptf_order,
+    sptf_speedup,
+    x_elevator_order,
+)
+
+__all__ = [
+    "batch_positioning_time",
+    "positioning_time_matrix",
+    "sptf_order",
+    "sptf_speedup",
+    "x_elevator_order",
+    "IoKind",
+    "IoRequest",
+    "ElevatorScheduler",
+    "EdfScheduler",
+    "CycleOperation",
+    "OperationKind",
+    "TimeCycleSchedule",
+    "build_buffer_schedule",
+    "build_direct_schedule",
+    "AdmissionController",
+    "AdmissionDecision",
+]

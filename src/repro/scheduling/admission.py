@@ -1,0 +1,118 @@
+"""Admission control for a streaming server.
+
+A server admits a new stream only if the resulting population is still
+schedulable: the device keeps bandwidth slack (Theorems 1-4) and the
+total DRAM buffer stays within the installed memory.  This module wraps
+the analytical feasibility checks behind the interface an operator
+would actually call, and is used by the server simulation and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.core.theorems import min_buffer_disk_dram
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    #: Stream population if admitted (current + 1).
+    n_streams: float
+    #: Total DRAM the admitted population would need, bytes (None when
+    #: the rejection was a bandwidth/capacity failure).
+    dram_required: float | None
+    #: Human-readable reason for a rejection (None when admitted).
+    reason: str | None = None
+
+
+class AdmissionController:
+    """Tracks the admitted population for one server configuration.
+
+    ``configuration`` is ``"none"`` (plain disk-to-DRAM), ``"buffer"``
+    (MEMS buffer, Theorem 2), or ``"cache"`` (MEMS cache, Theorems 3/4,
+    which also needs ``policy`` and ``popularity``).
+    """
+
+    def __init__(self, params: SystemParameters, dram_budget: float, *,
+                 configuration: str = "none",
+                 policy: CachePolicy | None = None,
+                 popularity: PopularityDistribution | None = None) -> None:
+        if dram_budget < 0:
+            raise ConfigurationError(
+                f"dram_budget must be >= 0, got {dram_budget!r}")
+        if configuration not in ("none", "buffer", "cache"):
+            raise ConfigurationError(
+                f"configuration must be 'none', 'buffer' or 'cache', "
+                f"got {configuration!r}")
+        if configuration == "cache" and (policy is None or popularity is None):
+            raise ConfigurationError(
+                "cache configuration needs policy and popularity")
+        self._params = params.replace(n_streams=0)
+        self._dram_budget = dram_budget
+        self._configuration = configuration
+        self._policy = policy
+        self._popularity = popularity
+        self._admitted = 0
+
+    @property
+    def admitted_streams(self) -> int:
+        """Streams currently admitted."""
+        return self._admitted
+
+    @property
+    def dram_budget(self) -> float:
+        """Installed DRAM in bytes."""
+        return self._dram_budget
+
+    def _dram_required(self, n: int) -> float:
+        params = self._params.replace(n_streams=n)
+        if self._configuration == "none":
+            return n * min_buffer_disk_dram(params)
+        if self._configuration == "buffer":
+            return design_mems_buffer(params, quantise=False).total_dram
+        assert self._policy is not None and self._popularity is not None
+        return design_mems_cache(params, self._policy,
+                                 self._popularity).total_dram
+
+    def try_admit(self) -> AdmissionDecision:
+        """Test one more stream; admit it if the system stays feasible."""
+        candidate = self._admitted + 1
+        try:
+            dram = self._dram_required(candidate)
+        except (AdmissionError, CapacityError) as exc:
+            return AdmissionDecision(admitted=False, n_streams=self._admitted,
+                                     dram_required=None, reason=str(exc))
+        if dram > self._dram_budget:
+            return AdmissionDecision(
+                admitted=False, n_streams=self._admitted, dram_required=dram,
+                reason=(f"DRAM requirement {dram:.6g} B exceeds the budget "
+                        f"{self._dram_budget:.6g} B"))
+        self._admitted = candidate
+        return AdmissionDecision(admitted=True, n_streams=candidate,
+                                 dram_required=dram)
+
+    def release(self, count: int = 1) -> None:
+        """Return ``count`` streams to the pool (stream departure)."""
+        if count < 0 or count > self._admitted:
+            raise ConfigurationError(
+                f"cannot release {count!r} of {self._admitted} streams")
+        self._admitted -= count
+
+    def fill(self) -> int:
+        """Admit streams until the first rejection; return the count."""
+        while self.try_admit().admitted:
+            pass
+        return self._admitted

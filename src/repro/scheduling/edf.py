@@ -1,0 +1,45 @@
+"""Earliest-Deadline-First scheduling.
+
+EDF is the classic real-time disk scheduler (Daigle & Strosnider, 1994)
+the paper cites as the alternative to time-cycle scheduling (Section 6).
+It is provided as a comparison baseline: EDF meets deadlines whenever
+any scheduler can, but by ignoring head position it seeks more than an
+elevator sweep, which is why time-cycle servers prefer elevator order
+within a cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.scheduling.requests import IoRequest
+
+
+class EdfScheduler:
+    """Orders requests by deadline; stable on (deadline, arrival)."""
+
+    def __init__(self) -> None:
+        self._queue: list[IoRequest] = []
+
+    def submit(self, request: IoRequest) -> None:
+        """Add a request to the pending set."""
+        heapq.heappush(self._queue, request)
+
+    def submit_all(self, requests: list[IoRequest]) -> None:
+        """Add a batch of requests to the pending set."""
+        for request in requests:
+            self.submit(request)
+
+    def pop(self) -> IoRequest | None:
+        """Remove and return the earliest-deadline request, if any."""
+        if not self._queue:
+            return None
+        return heapq.heappop(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @staticmethod
+    def order(requests: list[IoRequest]) -> list[IoRequest]:
+        """Return a batch in EDF order without queue state."""
+        return sorted(requests)

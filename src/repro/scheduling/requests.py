@@ -1,0 +1,54 @@
+"""IO request vocabulary shared by the schedulers and the simulator."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+_request_ids = itertools.count()
+
+
+class IoKind(enum.Enum):
+    """Direction of an IO operation relative to the device."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(order=True)
+class IoRequest:
+    """One device IO request.
+
+    Orderable by ``(deadline, request_id)`` so schedulers can use
+    requests directly in priority queues.  ``position`` is a normalised
+    media coordinate in [0, 1] — a cylinder fraction for disks, an X
+    fraction for MEMS devices — used by position-aware schedulers.
+    """
+
+    deadline: float
+    request_id: int = field(init=False)
+    stream_id: int = field(compare=False)
+    kind: IoKind = field(compare=False)
+    size: float = field(compare=False)
+    position: float = field(compare=False, default=0.0)
+    #: Simulation time at which the request became serviceable.
+    issue_time: float = field(compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.request_id = next(_request_ids)
+        if self.size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {self.size!r}")
+        if not 0 <= self.position <= 1:
+            raise ConfigurationError(
+                f"position must be in [0, 1], got {self.position!r}")
+        if self.issue_time < 0:
+            raise ConfigurationError(
+                f"issue_time must be >= 0, got {self.issue_time!r}")
+
+    @property
+    def slack(self) -> float:
+        """Time between becoming serviceable and the deadline."""
+        return self.deadline - self.issue_time

@@ -1,0 +1,50 @@
+"""Discrete-event simulation of the streaming server.
+
+The analytical model (Section 4) predicts buffer sizes and cycle times;
+this package *executes* the resulting schedules against the device
+models and checks the paper's invariants empirically:
+
+* no stream ever underflows its DRAM buffer,
+* device busy time fits inside every IO cycle,
+* the MEMS bank's occupancy stays within Eq. 7's bound, and bytes
+  written to the bank balance bytes read (steady state),
+* shrinking the buffers below the analytical minimum *does* underflow
+  (the bound is tight).
+
+:mod:`~repro.simulation.engine` is a minimal event-calendar core;
+:mod:`~repro.simulation.streams` models continuously-draining stream
+buffers; :mod:`~repro.simulation.pipelines` executes the three server
+configurations; :mod:`~repro.simulation.server` is the user-facing
+facade.
+"""
+
+from repro.simulation.engine import EventQueue, Simulator
+from repro.simulation.metrics import SimulationReport, UnderflowEvent
+from repro.simulation.streams import StreamBuffer
+from repro.simulation.pipelines import (
+    simulate_buffer_pipeline,
+    simulate_cache_pipeline,
+    simulate_direct_pipeline,
+)
+from repro.simulation.server import ServerConfig, StreamingServer
+from repro.simulation.tracing import (
+    ScheduleTrace,
+    TraceSegment,
+    trace_buffer_schedule,
+)
+
+__all__ = [
+    "ScheduleTrace",
+    "TraceSegment",
+    "trace_buffer_schedule",
+    "EventQueue",
+    "Simulator",
+    "SimulationReport",
+    "UnderflowEvent",
+    "StreamBuffer",
+    "simulate_buffer_pipeline",
+    "simulate_cache_pipeline",
+    "simulate_direct_pipeline",
+    "ServerConfig",
+    "StreamingServer",
+]

@@ -1,0 +1,121 @@
+"""Minimal discrete-event simulation core.
+
+A classic event-calendar design: callbacks are scheduled at absolute
+times and executed in time order (FIFO among equal times).  The
+pipeline simulations in this package are cycle-structured, so the
+engine stays deliberately small — an ordered calendar, a clock, and a
+run loop with safety limits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Signature of a scheduled callback: receives the simulator.
+EventCallback = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Time-ordered event calendar (stable for simultaneous events)."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: EventCallback,
+             label: str = "") -> None:
+        """Schedule ``callback`` at absolute ``time``."""
+        heapq.heappush(self._heap,
+                       _Event(time, next(self._counter), callback, label))
+
+    def pop(self) -> _Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Runs an event calendar until exhaustion or a time horizon."""
+
+    def __init__(self, *, max_events: int = 10_000_000) -> None:
+        if max_events <= 0:
+            raise ConfigurationError(
+                f"max_events must be > 0, got {max_events!r}")
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._max_events = max_events
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events processed so far."""
+        return self._executed
+
+    def at(self, time: float, callback: EventCallback,
+           label: str = "") -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self._now:.9g}, "
+                f"requested {time:.9g} ({label or 'unlabelled'})")
+        self._queue.push(time, callback, label)
+
+    def after(self, delay: float, callback: EventCallback,
+              label: str = "") -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"delay must be >= 0, got {delay!r} ({label or 'unlabelled'})")
+        self._queue.push(self._now + delay, callback, label)
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events (optionally only up to time ``until``).
+
+        Returns the final simulation time.  Raises
+        :class:`~repro.errors.SimulationError` if the event budget is
+        exhausted (runaway schedule protection).
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            event = self._queue.pop()
+            self._now = event.time
+            self._executed += 1
+            if self._executed > self._max_events:
+                raise SimulationError(
+                    f"event budget of {self._max_events} exceeded at "
+                    f"t={self._now:.6g}s; runaway schedule?")
+            event.callback(self)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

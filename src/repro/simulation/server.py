@@ -1,0 +1,153 @@
+"""User-facing streaming-server facade.
+
+Bundles the analytical design, admission control, and event simulation
+behind one object, so the examples and integration tests can say
+"build a 2007 server with a 2-device MEMS buffer, fill it with DivX
+streams, and prove the schedule jitter-free" in a few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.buffer_model import BufferDesign, design_mems_buffer
+from repro.core.cache_model import (
+    CacheDesign,
+    CachePolicy,
+    design_mems_cache,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.core.theorems import min_buffer_disk_dram
+from repro.devices.disk import DiskDrive
+from repro.errors import ConfigurationError
+from repro.scheduling.admission import AdmissionController
+from repro.simulation.metrics import SimulationReport
+from repro.simulation.pipelines import (
+    simulate_buffer_pipeline,
+    simulate_cache_pipeline,
+    simulate_direct_pipeline,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """A streaming-server configuration to size and simulate.
+
+    ``configuration`` is ``"none"``, ``"buffer"``, or ``"cache"``; the
+    cache configuration also needs ``policy`` and ``popularity``.
+    ``disk`` optionally supplies the physical disk model for sampled
+    latencies.
+    """
+
+    params: SystemParameters
+    dram_budget: float
+    configuration: str = "none"
+    policy: CachePolicy | None = None
+    popularity: PopularityDistribution | None = None
+    disk: DiskDrive | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dram_budget <= 0:
+            raise ConfigurationError(
+                f"dram_budget must be > 0, got {self.dram_budget!r}")
+        if self.configuration not in ("none", "buffer", "cache"):
+            raise ConfigurationError(
+                f"configuration must be 'none', 'buffer' or 'cache', "
+                f"got {self.configuration!r}")
+        if self.configuration == "cache" and (
+                self.policy is None or self.popularity is None):
+            raise ConfigurationError(
+                "cache configuration needs policy and popularity")
+
+
+class StreamingServer:
+    """One sized server instance: admit streams, then simulate them."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self._controller = AdmissionController(
+            config.params, config.dram_budget,
+            configuration=config.configuration, policy=config.policy,
+            popularity=config.popularity)
+
+    @property
+    def admitted_streams(self) -> int:
+        """Streams admitted so far."""
+        return self._controller.admitted_streams
+
+    def fill(self) -> int:
+        """Admit streams until the first rejection; return the count."""
+        return self._controller.fill()
+
+    def admit(self, count: int = 1) -> int:
+        """Try to admit ``count`` more streams; return how many succeeded."""
+        admitted = 0
+        for _ in range(count):
+            if not self._controller.try_admit().admitted:
+                break
+            admitted += 1
+        return admitted
+
+    # -- Design -----------------------------------------------------------
+
+    def _params_at_load(self) -> SystemParameters:
+        n = self._controller.admitted_streams
+        if n < 1:
+            raise ConfigurationError(
+                "no streams admitted; call fill() or admit() first")
+        return self.config.params.replace(n_streams=n)
+
+    def dram_required(self) -> float:
+        """Total DRAM the admitted population needs, bytes."""
+        params = self._params_at_load()
+        if self.config.configuration == "none":
+            return params.n_streams * min_buffer_disk_dram(params)
+        if self.config.configuration == "buffer":
+            return design_mems_buffer(params, quantise=False).total_dram
+        assert self.config.policy and self.config.popularity
+        return design_mems_cache(params, self.config.policy,
+                                 self.config.popularity).total_dram
+
+    def buffer_design(self) -> BufferDesign:
+        """Theorem 2 design at the admitted load (buffer config only)."""
+        if self.config.configuration != "buffer":
+            raise ConfigurationError(
+                f"buffer_design applies to the 'buffer' configuration, "
+                f"not {self.config.configuration!r}")
+        return design_mems_buffer(self._params_at_load())
+
+    def cache_design(self) -> CacheDesign:
+        """Theorem 3/4 design at the admitted load (cache config only)."""
+        if self.config.configuration != "cache":
+            raise ConfigurationError(
+                f"cache_design applies to the 'cache' configuration, "
+                f"not {self.config.configuration!r}")
+        assert self.config.policy and self.config.popularity
+        return design_mems_cache(self._params_at_load(), self.config.policy,
+                                 self.config.popularity)
+
+    # -- Simulation -----------------------------------------------------------
+
+    def simulate(self, *, n_cycles: int = 10,
+                 latency_model: str = "deterministic",
+                 buffer_scale: float = 1.0,
+                 seed: int = 0) -> SimulationReport:
+        """Execute the admitted population's schedule and report."""
+        params = self._params_at_load()
+        if self.config.configuration == "none":
+            return simulate_direct_pipeline(
+                params, n_cycles=n_cycles, latency_model=latency_model,
+                buffer_scale=buffer_scale, disk=self.config.disk, seed=seed)
+        if self.config.configuration == "buffer":
+            design = design_mems_buffer(params)
+            return simulate_buffer_pipeline(
+                design, n_hyper_periods=max(1, n_cycles // 2),
+                latency_model=latency_model, buffer_scale=buffer_scale,
+                disk=self.config.disk, seed=seed)
+        assert self.config.policy and self.config.popularity
+        design = design_mems_cache(params, self.config.policy,
+                                   self.config.popularity)
+        return simulate_cache_pipeline(
+            design, n_cycles=n_cycles, latency_model=latency_model,
+            buffer_scale=buffer_scale, disk=self.config.disk, seed=seed)

@@ -1,0 +1,84 @@
+"""Unit constants and conversion helpers.
+
+The paper mixes several unit systems: device data sheets use decimal
+megabytes per second, DRAM prices are quoted per gigabyte, stream
+bit-rates are quoted in kilobytes per second, and access times are
+quoted in milliseconds.  Internally this library works exclusively in
+
+* **bytes** for sizes,
+* **bytes per second** for rates,
+* **seconds** for times, and
+* **dollars** for costs,
+
+and uses the constants below at the API boundary.  All constants follow
+the decimal (SI) convention used by storage vendors and by the paper
+(1 MB = 10^6 bytes), *not* the binary convention.
+"""
+
+from __future__ import annotations
+
+#: One kilobyte (decimal), in bytes.
+KB = 1_000
+#: One megabyte (decimal), in bytes.
+MB = 1_000_000
+#: One gigabyte (decimal), in bytes.
+GB = 1_000_000_000
+#: One terabyte (decimal), in bytes.
+TB = 1_000_000_000_000
+
+#: One millisecond, in seconds.
+MS = 1e-3
+#: One microsecond, in seconds.
+US = 1e-6
+
+#: Seconds per minute (used to convert RPM to rotation period).
+SECONDS_PER_MINUTE = 60.0
+
+
+def rpm_to_rotation_time(rpm: float) -> float:
+    """Return the time of one full platter rotation, in seconds.
+
+    >>> rpm_to_rotation_time(20_000)
+    0.003
+    """
+    if rpm <= 0:
+        raise ValueError(f"RPM must be positive, got {rpm!r}")
+    return SECONDS_PER_MINUTE / rpm
+
+
+def bytes_to_human(n_bytes: float) -> str:
+    """Format a byte count using the largest convenient decimal unit.
+
+    >>> bytes_to_human(1_500_000)
+    '1.50 MB'
+    >>> bytes_to_human(512)
+    '512 B'
+    """
+    if n_bytes < 0:
+        return "-" + bytes_to_human(-n_bytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n_bytes >= unit:
+            return f"{n_bytes / unit:.2f} {name}"
+    return f"{n_bytes:.0f} B"
+
+
+def rate_to_human(bytes_per_second: float) -> str:
+    """Format a data rate, e.g. ``rate_to_human(320 * MB)`` -> ``'320.00 MB/s'``."""
+    return bytes_to_human(bytes_per_second) + "/s"
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Format a duration using ms/us where appropriate.
+
+    >>> seconds_to_human(0.00059)
+    '0.590 ms'
+    """
+    if seconds < 0:
+        return "-" + seconds_to_human(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 0.1 * MS:
+        # Storage latencies are conventionally quoted in milliseconds
+        # down to fractions like 0.59 ms, so the ms band starts early.
+        return f"{seconds / MS:.3f} ms"
+    return f"{seconds / US:.3f} us"

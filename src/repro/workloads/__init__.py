@@ -1,0 +1,50 @@
+"""Workload models: media bit-rates, popularity sampling, stream sets.
+
+* :mod:`~repro.workloads.bitrates` — the four media classes the paper
+  sweeps (mp3, DivX, DVD, HDTV) and helpers for mixed populations.
+* :mod:`~repro.workloads.popularity_gen` — samplers that draw request
+  sequences from the analytical popularity distributions, for the
+  empirical hit-rate validation.
+* :mod:`~repro.workloads.streams_gen` — stream-set construction
+  (titles, lengths, placements) used by the examples and simulator.
+* :mod:`~repro.workloads.vbr` — variable-bit-rate streams modelled as
+  CBR plus a cushion (footnote 1 of the paper).
+"""
+
+from repro.workloads.bitrates import (
+    MEDIA_TYPES,
+    MediaType,
+    average_bit_rate,
+    media_type_by_name,
+)
+from repro.workloads.popularity_gen import (
+    RequestSampler,
+    empirical_hit_rate,
+    sample_title_requests,
+)
+from repro.workloads.streams_gen import StreamSet, Title, make_catalog
+from repro.workloads.vbr import VbrTrace, cushion_for_trace, make_vbr_trace
+from repro.workloads.arrivals import (
+    BlockingStats,
+    erlang_b,
+    simulate_blocking,
+)
+
+__all__ = [
+    "BlockingStats",
+    "erlang_b",
+    "simulate_blocking",
+    "MEDIA_TYPES",
+    "MediaType",
+    "average_bit_rate",
+    "media_type_by_name",
+    "RequestSampler",
+    "empirical_hit_rate",
+    "sample_title_requests",
+    "StreamSet",
+    "Title",
+    "make_catalog",
+    "VbrTrace",
+    "cushion_for_trace",
+    "make_vbr_trace",
+]

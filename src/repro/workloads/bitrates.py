@@ -1,0 +1,82 @@
+"""Media classes and their bit-rates.
+
+Section 5 of the paper anchors its sweeps on four media classes, chosen
+so that the 300 MB/s FutureDisk supports "tens of high-definition
+streams ... more than a hundred compressed MPEG2 (DVD quality) streams
+at 1 MB/s, or a thousand DivX (MPEG4) streams at 100 KB/s, or even tens
+of thousands of MP3 audio at a bit-rate of 10 KB/s".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class MediaType:
+    """One media class: a name, a bit-rate, and a typical duration."""
+
+    name: str
+    #: Average bit-rate in bytes/second.
+    bit_rate: float
+    #: Typical title duration in seconds (used to size catalog titles).
+    typical_duration: float
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ConfigurationError(
+                f"bit_rate must be > 0, got {self.bit_rate!r}")
+        if self.typical_duration <= 0:
+            raise ConfigurationError(
+                f"typical_duration must be > 0, got {self.typical_duration!r}")
+
+    @property
+    def typical_size(self) -> float:
+        """Bytes of a typical title."""
+        return self.bit_rate * self.typical_duration
+
+
+#: The paper's four media classes (Figure 6 legend).
+MP3 = MediaType(name="mp3", bit_rate=10 * KB, typical_duration=4 * 60)
+DIVX = MediaType(name="DivX", bit_rate=100 * KB, typical_duration=100 * 60)
+DVD = MediaType(name="DVD", bit_rate=1 * MB, typical_duration=120 * 60)
+HDTV = MediaType(name="HDTV", bit_rate=10 * MB, typical_duration=60 * 60)
+
+MEDIA_TYPES: tuple[MediaType, ...] = (MP3, DIVX, DVD, HDTV)
+
+_BY_NAME = {m.name.lower(): m for m in MEDIA_TYPES}
+
+
+def media_type_by_name(name: str) -> MediaType:
+    """Look up one of the paper's media classes by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown media type {name!r}; known: "
+            f"{sorted(_BY_NAME)}") from None
+
+
+def average_bit_rate(mix: dict[MediaType, int]) -> float:
+    """Population-average bit-rate B̄ of a mixed stream population.
+
+    The analytical model is formulated for the average bit-rate of the
+    serviced streams (Table 2); a mixed population enters through this
+    average (the paper's CBR simplification).
+    """
+    if not mix:
+        raise ConfigurationError("mix must not be empty")
+    total_streams = 0
+    total_rate = 0.0
+    for media, count in mix.items():
+        if count < 0:
+            raise ConfigurationError(
+                f"stream counts must be >= 0, got {count!r} for {media.name}")
+        total_streams += count
+        total_rate += count * media.bit_rate
+    if total_streams == 0:
+        raise ConfigurationError("mix must contain at least one stream")
+    return total_rate / total_streams

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.units import GB, KB, MB, MS
+
+
+@pytest.fixture
+def table3_params() -> SystemParameters:
+    """A mid-load 2007 case-study configuration (DivX streams, k=2)."""
+    return SystemParameters.table3_default(n_streams=1_000, bit_rate=100 * KB,
+                                           k=2)
+
+
+@pytest.fixture
+def simple_params() -> SystemParameters:
+    """Small hand-checkable parameters: round numbers throughout.
+
+    disk 100 MB/s with 10 ms latency; single MEMS device 200 MB/s with
+    1 ms latency; 10 streams of 1 MB/s.
+    """
+    return SystemParameters(
+        n_streams=10,
+        bit_rate=1 * MB,
+        r_disk=100 * MB,
+        r_mems=200 * MB,
+        l_disk=10 * MS,
+        l_mems=1 * MS,
+        k=1,
+        c_dram=20.0 / GB,
+        c_mems=1.0 / GB,
+        size_mems=10 * GB,
+        size_disk=1_000 * GB,
+    )

@@ -1,0 +1,154 @@
+"""Theorems 3-4: striped and replicated MEMS caches."""
+
+import pytest
+
+from repro.core.cache_model import (
+    CachePolicy,
+    cache_buffer,
+    cache_capacity_fraction,
+    design_mems_cache,
+    replicated_cache_buffer,
+    striped_cache_buffer,
+)
+from repro.core.popularity import BimodalPopularity
+from repro.core.theorems import min_buffer_direct
+from repro.errors import AdmissionError, ConfigurationError
+from repro.units import GB, KB, MB, MS
+
+
+class TestStripedBuffer:
+    def test_equation12_hand_computed(self):
+        # n=10, L=1ms, k=2, R=100MB/s, B=1MB/s:
+        # S = 10 * 1e-3 * 2e8 * 1e6 / (2e8 - 1e7).
+        s = striped_cache_buffer(10, 1 * MB, 2, 100 * MB, 1 * MS)
+        assert s == pytest.approx(10 * 1e-3 * 2e8 * 1e6 / (2e8 - 1e7))
+
+    def test_corollary3_k_times_throughput_same_latency(self):
+        # A striped k-bank equals one device with k-fold rate and the
+        # *same* latency — exactly, not just asymptotically.
+        s_bank = striped_cache_buffer(40, 1 * MB, 4, 80 * MB, 1 * MS)
+        s_single = striped_cache_buffer(40, 1 * MB, 1, 320 * MB, 1 * MS)
+        assert s_bank == pytest.approx(s_single)
+
+    def test_saturation(self):
+        with pytest.raises(AdmissionError):
+            striped_cache_buffer(200, 1 * MB, 2, 100 * MB, 1 * MS)
+
+    def test_zero_streams(self):
+        assert striped_cache_buffer(0, 1 * MB, 2, 100 * MB, 1 * MS) == 0.0
+
+
+class TestReplicatedBuffer:
+    def test_equation13_hand_computed(self):
+        # n=10, k=2: (n+k-1)/k = 5.5; kR = 2e8;
+        # S = 5.5 * 1e-3 * 2e8 * 1e6 / (2e8 - 11 * 1e6).
+        s = replicated_cache_buffer(10, 1 * MB, 2, 100 * MB, 1 * MS)
+        assert s == pytest.approx(5.5 * 1e-3 * 2e8 * 1e6 / (2e8 - 1.1e7))
+
+    def test_corollary4_k_devices_as_one_fast_low_latency(self):
+        # For N divisible by and large vs k: k-bank ~ one device with
+        # k-fold rate and k-fold smaller latency.
+        s_bank = replicated_cache_buffer(1_200, 100 * KB, 4, 80 * MB, 1 * MS)
+        s_merged = striped_cache_buffer(1_200, 100 * KB, 1, 320 * MB,
+                                        0.25 * MS)
+        assert s_bank == pytest.approx(s_merged, rel=1e-2)
+
+    def test_policies_coincide_at_k1(self):
+        args = (17, 1 * MB, 1, 100 * MB, 1 * MS)
+        assert replicated_cache_buffer(*args) == \
+            pytest.approx(striped_cache_buffer(*args))
+
+    def test_replication_beats_striping_at_moderate_load(self):
+        # Fewer seeks per device: at the same n, replication needs less
+        # DRAM whenever n >> k.
+        args = (100, 1 * MB, 4, 100 * MB, 1 * MS)
+        assert replicated_cache_buffer(*args) < striped_cache_buffer(*args)
+
+    def test_saturation_includes_rounding_slack(self):
+        # (n + k - 1) * B must stay below k * R.
+        with pytest.raises(AdmissionError):
+            replicated_cache_buffer(198, 1 * MB, 4, 50 * MB, 1 * MS)
+
+
+class TestDispatch:
+    def test_cache_buffer_dispatches(self):
+        args = (10, 1 * MB, 2, 100 * MB, 1 * MS)
+        assert cache_buffer(CachePolicy.STRIPED, *args) == \
+            striped_cache_buffer(*args)
+        assert cache_buffer(CachePolicy.REPLICATED, *args) == \
+            replicated_cache_buffer(*args)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_cached": -1}, {"bit_rate": 0}, {"k": 0}, {"r_mems": 0},
+        {"l_mems": -1},
+    ])
+    def test_validation(self, kwargs):
+        base = dict(n_cached=10, bit_rate=1 * MB, k=2, r_mems=100 * MB,
+                    l_mems=1 * MS)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            striped_cache_buffer(**base)
+
+
+class TestCapacityFraction:
+    def test_striping_aggregates_capacity(self):
+        p = cache_capacity_fraction(CachePolicy.STRIPED, 4, 10 * GB,
+                                    1_000 * GB)
+        assert p == pytest.approx(0.04)
+
+    def test_replication_stores_one_copy(self):
+        p = cache_capacity_fraction(CachePolicy.REPLICATED, 4, 10 * GB,
+                                    1_000 * GB)
+        assert p == pytest.approx(0.01)
+
+    def test_clamped_at_one(self):
+        assert cache_capacity_fraction(CachePolicy.STRIPED, 200, 10 * GB,
+                                       1_000 * GB) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cache_capacity_fraction(CachePolicy.STRIPED, 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            cache_capacity_fraction(CachePolicy.STRIPED, 1, 0, 1)
+
+
+class TestDesign:
+    @pytest.fixture
+    def params(self, simple_params):
+        return simple_params.replace(k=2, n_streams=50, r_disk=200 * MB)
+
+    def test_population_split(self, params):
+        popularity = BimodalPopularity(1, 99)
+        design = design_mems_cache(params, CachePolicy.STRIPED, popularity)
+        # Striped: p = 2*10GB/1TB = 2%; X=1% < p: beyond-class branch.
+        assert design.cached_fraction == pytest.approx(0.02)
+        expected_h = 0.99 + (0.02 - 0.01) / 0.99 * 0.01
+        assert design.hit_rate == pytest.approx(expected_h)
+        assert design.n_cache_streams == pytest.approx(50 * expected_h)
+        assert design.n_disk_streams == pytest.approx(50 * (1 - expected_h))
+
+    def test_dram_components(self, params):
+        popularity = BimodalPopularity(10, 90)
+        design = design_mems_cache(params, CachePolicy.REPLICATED,
+                                   popularity)
+        expected_disk = min_buffer_direct(design.n_disk_streams, 1 * MB,
+                                          200 * MB, 10 * MS)
+        assert design.s_disk_dram == pytest.approx(expected_disk)
+        expected_total = (design.n_cache_streams * design.s_mems_dram
+                          + design.n_disk_streams * design.s_disk_dram)
+        assert design.total_dram == pytest.approx(expected_total)
+
+    def test_requires_finite_sizes(self, params):
+        with pytest.raises(ConfigurationError):
+            design_mems_cache(params.replace(size_mems=None),
+                              CachePolicy.STRIPED, BimodalPopularity(1, 99))
+        with pytest.raises(ConfigurationError):
+            design_mems_cache(params.replace(size_disk=None),
+                              CachePolicy.STRIPED, BimodalPopularity(1, 99))
+
+    def test_skew_shrinks_disk_population(self, params):
+        heavy = design_mems_cache(params, CachePolicy.STRIPED,
+                                  BimodalPopularity(1, 99))
+        light = design_mems_cache(params, CachePolicy.STRIPED,
+                                  BimodalPopularity(20, 80))
+        assert heavy.n_disk_streams < light.n_disk_streams

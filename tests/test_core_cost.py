@@ -1,0 +1,136 @@
+"""Cost models: Equations 1, 2 and 9, and the comparison helpers."""
+
+import pytest
+
+from repro.core.cache_model import CachePolicy
+from repro.core.cost import (
+    buffering_cost_with_mems,
+    buffering_cost_without_mems,
+    cache_cost_with_mems,
+    compare_buffer_costs,
+    optimal_disk_cycle_per_byte_cost,
+)
+from repro.core.buffer_model import design_mems_buffer, disk_cycle_bounds
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.core.theorems import min_buffer_disk_dram
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB
+
+
+class TestEquation1:
+    def test_equals_n_times_cdram_times_buffer(self, simple_params):
+        expected = (10 * simple_params.c_dram
+                    * min_buffer_disk_dram(simple_params))
+        assert buffering_cost_without_mems(simple_params) == \
+            pytest.approx(expected)
+
+    def test_zero_streams_free(self, simple_params):
+        assert buffering_cost_without_mems(
+            simple_params.replace(n_streams=0)) == 0.0
+
+
+class TestEquation2:
+    def test_bank_plus_dram(self, simple_params):
+        design = design_mems_buffer(simple_params, quantise=False)
+        expected = (simple_params.mems_bank_cost
+                    + 10 * simple_params.c_dram * design.s_mems_dram)
+        assert buffering_cost_with_mems(simple_params) == \
+            pytest.approx(expected)
+
+    def test_charged_per_device_even_if_underused(self, simple_params):
+        # Section 4: the bank costs k*C_mems*Size_mems regardless of use.
+        cheap_load = simple_params.replace(n_streams=1)
+        cost = buffering_cost_with_mems(cheap_load)
+        assert cost >= cheap_load.mems_bank_cost
+
+    def test_requires_finite_size(self, simple_params):
+        with pytest.raises(ConfigurationError):
+            buffering_cost_with_mems(simple_params.replace(size_mems=None))
+
+
+class TestEquation9:
+    def test_cache_cost_components(self, simple_params):
+        params = simple_params.replace(k=2, n_streams=50, r_disk=200 * MB)
+        popularity = BimodalPopularity(10, 90)
+        from repro.core.cache_model import design_mems_cache
+
+        design = design_mems_cache(params, CachePolicy.STRIPED, popularity)
+        expected = params.mems_bank_cost + params.c_dram * design.total_dram
+        assert cache_cost_with_mems(params, CachePolicy.STRIPED,
+                                    popularity) == pytest.approx(expected)
+
+
+class TestPerDeviceComparison:
+    def test_headline_case_paper_section_511(self):
+        # High utilisation at a low bit-rate: the MEMS buffer wins big.
+        params = SystemParameters.table3_default(n_streams=10_000,
+                                                 bit_rate=10 * KB, k=2)
+        comparison = compare_buffer_costs(params)
+        assert comparison.is_cost_effective
+        assert comparison.percent_reduction > 50
+        assert comparison.dram_reduction_factor > 5
+
+    def test_low_load_mems_not_worth_it(self):
+        params = SystemParameters.table3_default(n_streams=10,
+                                                 bit_rate=10 * KB, k=2)
+        comparison = compare_buffer_costs(params)
+        assert not comparison.is_cost_effective
+        assert comparison.savings < 0
+
+    def test_requires_finite_size(self, simple_params):
+        with pytest.raises(ConfigurationError):
+            compare_buffer_costs(simple_params.replace(size_mems=None))
+
+    def test_accessors_consistent(self, simple_params):
+        comparison = compare_buffer_costs(simple_params)
+        assert comparison.savings == pytest.approx(
+            comparison.cost_without - comparison.cost_with)
+        assert comparison.percent_reduction == pytest.approx(
+            100 * comparison.savings / comparison.cost_without)
+
+
+class TestPerByteComparison:
+    def test_optimal_cycle_exceeds_floor(self):
+        params = SystemParameters.table3_default(
+            n_streams=5_000, bit_rate=10 * KB, k=2,
+            size_mems_unlimited=True)
+        from repro.core.buffer_model import mems_cycle_floor
+
+        t_star = optimal_disk_cycle_per_byte_cost(params)
+        assert t_star > mems_cycle_floor(params)
+
+    def test_optimal_cycle_is_cost_minimum(self):
+        params = SystemParameters.table3_default(
+            n_streams=5_000, bit_rate=10 * KB, k=2,
+            size_mems_unlimited=True)
+        t_star = optimal_disk_cycle_per_byte_cost(params)
+        lower, _ = disk_cycle_bounds(params)
+        t_star = max(t_star, lower)
+
+        def total_cost(t):
+            design = design_mems_buffer(params, t_disk=t, quantise=False)
+            mems_bytes = 2 * params.n_streams * params.bit_rate * t
+            return (params.c_mems * mems_bytes
+                    + params.c_dram * design.total_dram)
+
+        at_star = total_cost(t_star)
+        assert at_star <= total_cost(t_star * 1.3) + 1e-9
+        if t_star > lower:
+            assert at_star <= total_cost(max(t_star * 0.7, lower)) + 1e-9
+
+    def test_figure8_scale(self):
+        # Section 5.1.2: tens of thousands of dollars for mp3 near
+        # full utilisation.
+        params = SystemParameters.table3_default(n_streams=29_100,
+                                                 bit_rate=10 * KB, k=2)
+        comparison = compare_buffer_costs(params, pricing="per_byte")
+        assert comparison.savings > 5_000
+
+    def test_free_mems_rejected(self, simple_params):
+        with pytest.raises(ConfigurationError):
+            optimal_disk_cycle_per_byte_cost(simple_params.replace(c_mems=0))
+
+    def test_unknown_pricing_rejected(self, simple_params):
+        with pytest.raises(ConfigurationError):
+            compare_buffer_costs(simple_params, pricing="free")

@@ -1,0 +1,189 @@
+"""Multi-class populations and spare-capacity accounting."""
+
+import math
+
+import pytest
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.multiclass import (
+    MulticlassDesign,
+    StreamClass,
+    admit_class,
+    design_multiclass_buffer,
+    design_multiclass_direct,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.spare import best_effort_iops, spare_capacity
+from repro.core.theorems import min_buffer_direct
+from repro.errors import AdmissionError, ConfigurationError
+from repro.units import GB, KB, MB, MS
+
+
+@pytest.fixture
+def mixed_classes() -> list[StreamClass]:
+    return [
+        StreamClass("mp3", 10 * KB, 2_000),
+        StreamClass("DivX", 100 * KB, 500),
+        StreamClass("DVD", 1 * MB, 50),
+    ]
+
+
+class TestMulticlassDirect:
+    def test_homogeneous_reduces_to_theorem1(self):
+        classes = [StreamClass("DVD", 1 * MB, 40)]
+        design = design_multiclass_direct(classes, rate=300 * MB,
+                                          latency=3 * MS)
+        expected = min_buffer_direct(40, 1 * MB, 300 * MB, 3 * MS)
+        assert design.buffers[0] == pytest.approx(expected)
+
+    def test_cycle_depends_on_aggregates_only(self, mixed_classes):
+        # Replace the mix by one class with the same count and load:
+        # the cycle must be identical.
+        n = sum(c.count for c in mixed_classes)
+        load = sum(c.load for c in mixed_classes)
+        merged = [StreamClass("avg", load / n, n)]
+        mixed = design_multiclass_direct(mixed_classes, rate=300 * MB,
+                                         latency=3 * MS)
+        averaged = design_multiclass_direct(merged, rate=300 * MB,
+                                            latency=3 * MS)
+        assert mixed.t_cycle == pytest.approx(averaged.t_cycle)
+        assert mixed.total_dram == pytest.approx(averaged.total_dram)
+
+    def test_per_class_buffers_scale_with_bitrate(self, mixed_classes):
+        design = design_multiclass_direct(mixed_classes, rate=300 * MB,
+                                          latency=3 * MS)
+        assert design.buffer_for("DVD") == pytest.approx(
+            100 * design.buffer_for("mp3"))
+        assert design.buffer_for("DivX") == pytest.approx(
+            10 * design.buffer_for("mp3"))
+
+    def test_aggregate_saturation_rejected(self):
+        classes = [StreamClass("DVD", 1 * MB, 200),
+                   StreamClass("HDTV", 10 * MB, 15)]
+        with pytest.raises(AdmissionError):
+            design_multiclass_direct(classes, rate=300 * MB, latency=3 * MS)
+
+    def test_empty_population(self):
+        design = design_multiclass_direct(
+            [StreamClass("DVD", 1 * MB, 0)], rate=300 * MB, latency=3 * MS)
+        assert design.total_dram == 0.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_multiclass_direct(
+                [StreamClass("a", 1 * MB, 1), StreamClass("a", 2 * MB, 1)],
+                rate=300 * MB, latency=3 * MS)
+
+    def test_unknown_class_lookup(self, mixed_classes):
+        design = design_multiclass_direct(mixed_classes, rate=300 * MB,
+                                          latency=3 * MS)
+        with pytest.raises(ConfigurationError):
+            design.buffer_for("Betamax")
+
+
+class TestMulticlassBuffer:
+    @pytest.fixture
+    def params(self) -> SystemParameters:
+        return SystemParameters.table3_default(n_streams=1,
+                                               bit_rate=100 * KB, k=2)
+
+    def test_homogeneous_matches_theorem2(self, params):
+        classes = [StreamClass("DivX", 100 * KB, 1_000)]
+        multi = design_multiclass_buffer(classes, params)
+        mono = design_mems_buffer(params.replace(n_streams=1_000),
+                                  quantise=False)
+        assert multi.total_dram == pytest.approx(mono.total_dram)
+        assert multi.t_cycle == pytest.approx(mono.t_disk)
+
+    def test_mixed_population(self, params, mixed_classes):
+        design = design_multiclass_buffer(mixed_classes, params)
+        assert design.total_dram > 0
+        # Buffered DRAM is far below the direct requirement.
+        direct = design_multiclass_direct(mixed_classes, rate=params.r_disk,
+                                          latency=params.l_disk)
+        assert design.total_dram < direct.total_dram / 3
+
+    def test_bank_saturation_rejected(self, params):
+        classes = [StreamClass("HDTV", 10 * MB, 33)]
+        with pytest.raises(AdmissionError):
+            design_multiclass_buffer(classes, params)
+
+    def test_unlimited_bank(self, params, mixed_classes):
+        design = design_multiclass_buffer(mixed_classes,
+                                          params.replace(size_mems=None))
+        assert math.isinf(design.t_cycle)
+        assert design.total_dram > 0
+
+
+class TestAdmitClass:
+    def test_admits_within_budget(self, mixed_classes):
+        assert admit_class(mixed_classes,
+                           StreamClass("DVD", 1 * MB, 10),
+                           rate=300 * MB, latency=3 * MS,
+                           dram_budget=100 * GB)
+
+    def test_rejects_on_bandwidth(self, mixed_classes):
+        assert not admit_class(mixed_classes,
+                               StreamClass("HDTV", 10 * MB, 30),
+                               rate=300 * MB, latency=3 * MS,
+                               dram_budget=100 * GB)
+
+    def test_rejects_on_dram(self, mixed_classes):
+        assert not admit_class(mixed_classes,
+                               StreamClass("DVD", 1 * MB, 100),
+                               rate=300 * MB, latency=3 * MS,
+                               dram_budget=1 * KB)
+
+    def test_inconsistent_redefinition_rejected(self, mixed_classes):
+        with pytest.raises(ConfigurationError):
+            admit_class(mixed_classes, StreamClass("DVD", 2 * MB, 1),
+                        rate=300 * MB, latency=3 * MS, dram_budget=1 * GB)
+
+
+class TestSpareCapacity:
+    @pytest.fixture
+    def design(self):
+        params = SystemParameters.table3_default(n_streams=100,
+                                                 bit_rate=1 * MB, k=2)
+        return design_mems_buffer(params)
+
+    def test_light_load_leaves_spare(self):
+        params = SystemParameters.table3_default(n_streams=20,
+                                                 bit_rate=1 * MB, k=2)
+        spare = spare_capacity(design_mems_buffer(params))
+        assert spare.bandwidth > 0
+        assert 0 < spare.idle_fraction < 1
+        # At the Eq. 7-maximal disk cycle the staging uses the whole
+        # bank, so spare *storage* is zero by construction.
+        assert spare.storage == pytest.approx(0.0, abs=1.0)
+
+    def test_bandwidth_accounting(self, design):
+        spare = spare_capacity(design)
+        params = design.params
+        assert spare.bandwidth == pytest.approx(
+            params.mems_bank_bandwidth - 2 * 100 * 1 * MB)
+
+    def test_heavier_load_less_idle(self):
+        light = SystemParameters.table3_default(n_streams=50,
+                                                bit_rate=1 * MB, k=2)
+        heavy = light.replace(n_streams=250)
+        spare_light = spare_capacity(design_mems_buffer(light))
+        spare_heavy = spare_capacity(design_mems_buffer(heavy))
+        assert spare_heavy.idle_fraction < spare_light.idle_fraction
+        assert spare_heavy.bandwidth < spare_light.bandwidth
+
+    def test_unbounded_design_rejected(self):
+        params = SystemParameters.table3_default(
+            n_streams=50, bit_rate=1 * MB, k=2, size_mems_unlimited=True)
+        with pytest.raises(ConfigurationError):
+            spare_capacity(design_mems_buffer(params, quantise=False))
+
+    def test_best_effort_iops(self, design):
+        iops = best_effort_iops(design, io_size=1 * MB)
+        assert iops > 0
+        # Bigger best-effort IOs take longer each: fewer per second.
+        assert best_effort_iops(design, io_size=10 * MB) < iops
+
+    def test_best_effort_validation(self, design):
+        with pytest.raises(ConfigurationError):
+            best_effort_iops(design, io_size=0)

@@ -1,0 +1,99 @@
+"""SystemParameters: validation, derived quantities, constructors."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB, MS
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_streams", -1), ("bit_rate", 0), ("r_disk", 0), ("r_mems", -1),
+        ("l_disk", -0.001), ("l_mems", -0.001), ("k", 0), ("c_dram", -1),
+        ("c_mems", -1), ("size_mems", 0), ("size_disk", -1),
+    ])
+    def test_invalid_fields_rejected(self, simple_params, field, value):
+        with pytest.raises(ConfigurationError):
+            simple_params.replace(**{field: value})
+
+    def test_none_sizes_allowed(self, simple_params):
+        unlimited = simple_params.replace(size_mems=None, size_disk=None)
+        assert unlimited.size_mems is None
+        assert unlimited.mems_bank_capacity is None
+
+
+class TestDerivedQuantities:
+    def test_offered_load(self, simple_params):
+        assert simple_params.offered_load == 10 * MB
+
+    def test_disk_utilization(self, simple_params):
+        assert simple_params.disk_utilization == pytest.approx(0.1)
+
+    def test_bank_aggregates(self, simple_params):
+        p4 = simple_params.replace(k=4)
+        assert p4.mems_bank_bandwidth == 4 * 200 * MB
+        assert p4.mems_bank_capacity == 4 * 10 * GB
+        assert p4.mems_bank_cost == pytest.approx(4 * 10.0)
+
+    def test_bank_cost_requires_finite_size(self, simple_params):
+        unlimited = simple_params.replace(size_mems=None)
+        with pytest.raises(ConfigurationError):
+            _ = unlimited.mems_bank_cost
+
+    def test_latency_ratio(self, simple_params):
+        assert simple_params.latency_ratio == pytest.approx(10.0)
+        assert simple_params.replace(l_mems=0).latency_ratio == math.inf
+
+
+class TestTable3Default:
+    def test_matches_catalog(self):
+        params = SystemParameters.table3_default(n_streams=100,
+                                                 bit_rate=1 * MB)
+        assert params.r_disk == 300 * MB
+        assert params.r_mems == 320 * MB
+        assert params.l_mems == pytest.approx(0.59 * MS)
+        assert params.c_dram * GB == pytest.approx(20.0)
+        assert params.c_mems * GB == pytest.approx(1.0)
+        assert params.size_mems == 10 * GB
+        assert params.size_disk == 1_000 * GB
+        assert params.k == 2  # paper's default buffer bank
+
+    def test_latency_ratio_near_five(self):
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=1 * MB)
+        assert 4.0 < params.latency_ratio < 6.0
+
+    def test_unlimited_relaxation(self):
+        params = SystemParameters.table3_default(
+            n_streams=1, bit_rate=1 * MB, size_mems_unlimited=True)
+        assert params.size_mems is None
+
+    def test_elevator_queue_depth_knob(self):
+        shallow = SystemParameters.table3_default(
+            n_streams=1, bit_rate=1 * MB, elevator_queue_depth=2)
+        deep = SystemParameters.table3_default(
+            n_streams=1, bit_rate=1 * MB, elevator_queue_depth=64)
+        assert shallow.l_disk > deep.l_disk
+
+
+class TestDerivation:
+    def test_replace_returns_new_instance(self, simple_params):
+        other = simple_params.replace(n_streams=20)
+        assert other.n_streams == 20
+        assert simple_params.n_streams == 10
+
+    def test_with_latency_ratio(self, simple_params):
+        adjusted = simple_params.with_latency_ratio(5.0)
+        assert adjusted.latency_ratio == pytest.approx(5.0)
+        assert adjusted.l_disk == simple_params.l_disk
+
+    def test_with_latency_ratio_rejects_nonpositive(self, simple_params):
+        with pytest.raises(ConfigurationError):
+            simple_params.with_latency_ratio(0)
+
+    def test_frozen(self, simple_params):
+        with pytest.raises(Exception):
+            simple_params.n_streams = 5  # type: ignore[misc]

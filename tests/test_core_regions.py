@@ -1,0 +1,99 @@
+"""Configuration-choice regions."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache_model import CachePolicy
+from repro.core.popularity import BimodalPopularity, UniformPopularity
+from repro.core.regions import (
+    configuration_map,
+    evaluate_cell,
+    render_configuration_map,
+)
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def popularity() -> BimodalPopularity:
+    return BimodalPopularity(5, 95)
+
+
+class TestEvaluateCell:
+    def test_all_configurations_evaluated(self, popularity):
+        cell = evaluate_cell(100 * KB, 200.0, popularity=popularity)
+        assert set(cell.throughput) == {"none", "buffer", "cache"}
+        assert all(v >= 0 for v in cell.throughput.values())
+
+    def test_winner_consistent_with_throughput(self, popularity):
+        cell = evaluate_cell(100 * KB, 200.0, popularity=popularity)
+        assert cell.throughput[cell.winner] == \
+            pytest.approx(max(cell.throughput.values()))
+
+    def test_mems_configs_zero_when_budget_below_devices(self, popularity):
+        cell = evaluate_cell(100 * KB, 15.0, popularity=popularity,
+                             buffer_devices=2, cache_devices=2)
+        assert cell.throughput["buffer"] == 0.0
+        assert cell.throughput["cache"] == 0.0
+        assert cell.winner == "none"
+
+    def test_gain_over_plain(self, popularity):
+        cell = evaluate_cell(100 * KB, 200.0, popularity=popularity)
+        assert cell.gain_over_plain >= 1.0
+
+    def test_skewed_popularity_lets_cache_win_at_scale(self, popularity):
+        cell = evaluate_cell(100 * KB, 500.0, popularity=popularity)
+        assert cell.winner == "cache"
+
+    def test_uniform_popularity_no_cache_when_dram_bound(self):
+        # At DRAM-bound budgets a uniform-popularity cache cannot earn
+        # its device cost.  (At disk-saturating budgets it still wins by
+        # adding raw bank bandwidth — a legitimate model outcome.)
+        cell = evaluate_cell(10 * KB, 200.0,
+                             popularity=UniformPopularity())
+        assert cell.winner != "cache"
+
+    def test_validation(self, popularity):
+        with pytest.raises(ConfigurationError):
+            evaluate_cell(0, 100.0, popularity=popularity)
+        with pytest.raises(ConfigurationError):
+            evaluate_cell(1 * KB, 0, popularity=popularity)
+
+
+class TestConfigurationMap:
+    def test_grid_shape(self, popularity):
+        rates = np.array([10 * KB, 1 * MB])
+        budgets = np.array([50.0, 200.0])
+        cells = configuration_map(rates, budgets, popularity=popularity)
+        assert len(cells) == 2 and len(cells[0]) == 2
+        assert cells[1][0].bit_rate == 1 * MB
+        assert cells[0][1].total_budget == 200.0
+
+    def test_design_guidelines_visible(self, popularity):
+        # Low bit-rate, modest budget: buffer region exists; skewed
+        # popularity at larger budgets: cache region exists.
+        rates = np.array([10 * KB, 1 * MB])
+        budgets = np.array([60.0, 500.0])
+        cells = configuration_map(rates, budgets, popularity=popularity)
+        winners = {cell.winner for row in cells for cell in row}
+        assert "buffer" in winners
+        assert "cache" in winners
+
+    def test_render_contains_glyph_legend(self, popularity):
+        rates = np.array([10 * KB])
+        budgets = np.array([60.0, 500.0])
+        cells = configuration_map(rates, budgets, popularity=popularity)
+        rendered = render_configuration_map(cells)
+        assert "b=buffer" in rendered and "c=cache" in rendered
+
+    def test_empty_axes_rejected(self, popularity):
+        with pytest.raises(ConfigurationError):
+            configuration_map(np.array([]), np.array([1.0]),
+                              popularity=popularity)
+
+
+class TestPolicyKnob:
+    def test_striped_policy_selectable(self, popularity):
+        cell = evaluate_cell(100 * KB, 300.0, popularity=popularity,
+                             policy=CachePolicy.STRIPED, cache_devices=4)
+        assert cell.throughput["cache"] > 0

@@ -1,0 +1,98 @@
+"""Figure 7 sensitivity machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.sensitivity import (
+    cost_reduction_at_ratio,
+    cost_reduction_grid,
+    latency_ratio_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def base() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=1, bit_rate=100 * KB,
+                                           k=2)
+
+
+class TestSinglePoint:
+    def test_ratio_applied(self, base):
+        point = cost_reduction_at_ratio(base, 5.0, 5 * GB)
+        assert point.latency_ratio == 5.0
+        assert point.n_streams > 0
+        assert point.dram_with < point.dram_without
+
+    def test_percent_reduction_consistent(self, base):
+        point = cost_reduction_at_ratio(base, 5.0, 5 * GB)
+        expected = 100 * (point.cost_without - point.cost_with) \
+            / point.cost_without
+        assert point.percent_reduction == pytest.approx(expected)
+
+    def test_mems_bank_cost_included(self, base):
+        point = cost_reduction_at_ratio(base, 5.0, 5 * GB)
+        assert point.cost_with >= base.mems_bank_cost
+
+    def test_dram_cap_respected(self, base):
+        point = cost_reduction_at_ratio(base, 5.0, 5 * GB)
+        assert point.dram_without <= 5 * GB * (1 + 1e-6)
+
+    def test_requires_finite_mems(self, base):
+        with pytest.raises(ConfigurationError):
+            cost_reduction_at_ratio(base.replace(size_mems=None), 5.0,
+                                    5 * GB)
+
+    def test_dram_capacity_positive(self, base):
+        with pytest.raises(ConfigurationError):
+            cost_reduction_at_ratio(base, 5.0, 0.0)
+
+
+class TestSweep:
+    def test_reduction_improves_with_ratio(self, base):
+        points = latency_ratio_sweep(base, [1.0, 3.0, 5.0, 8.0, 10.0],
+                                     5 * GB)
+        reductions = [p.percent_reduction for p in points]
+        assert reductions == sorted(reductions)
+
+    def test_reduction_capped_below_full_budget(self, base):
+        # The $20 bank is sunk cost: reduction can never reach 100%.
+        points = latency_ratio_sweep(base, [10.0], 5 * GB)
+        assert points[0].percent_reduction < 100.0
+
+    def test_paper_shape_low_rates_save_most(self):
+        # Design principle (i): buffer only low and medium bit-rates.
+        reductions = {}
+        for name, rate in (("mp3", 10 * KB), ("DVD", 1 * MB),
+                           ("HDTV", 10 * MB)):
+            b = SystemParameters.table3_default(n_streams=1, bit_rate=rate,
+                                                k=2)
+            reductions[name] = cost_reduction_at_ratio(
+                b, 5.0, 5 * GB).percent_reduction
+        assert reductions["mp3"] > 50
+        assert reductions["DVD"] > 50
+        assert reductions["HDTV"] < reductions["DVD"]
+
+    def test_empty_ratio_list_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            latency_ratio_sweep(base, [], 5 * GB)
+
+
+class TestGrid:
+    def test_shape_and_orientation(self, base):
+        bit_rates = np.array([10 * KB, 1 * MB])
+        ratios = np.array([1.0, 5.0, 10.0])
+        grid = cost_reduction_grid(base, bit_rates, ratios, 5 * GB)
+        assert grid.shape == (2, 3)
+        # Rows vary by bit-rate, columns by ratio; within a row the
+        # reduction grows with the ratio.
+        assert grid[0, 0] <= grid[0, -1]
+
+    def test_contains_paper_regions(self, base):
+        # At low bit-rate and high ratio the reduction exceeds 50%.
+        bit_rates = np.array([10 * KB])
+        ratios = np.array([8.0])
+        grid = cost_reduction_grid(base, bit_rates, ratios, 5 * GB)
+        assert grid[0, 0] > 50

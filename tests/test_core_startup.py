@@ -1,0 +1,96 @@
+"""Startup-latency analysis, cross-validated against the simulator."""
+
+import pytest
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.core.startup import (
+    buffered_startup,
+    cache_startup,
+    direct_startup,
+    startup_comparison,
+    StartupLatency,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.pipelines import (
+    simulate_buffer_pipeline,
+    simulate_direct_pipeline,
+)
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=60, bit_rate=1 * MB,
+                                           k=2)
+
+
+class TestBounds:
+    def test_worst_at_least_expected(self, params):
+        result = direct_startup(params)
+        assert result.worst >= result.expected > 0
+
+    def test_cache_is_fastest(self, params):
+        design = design_mems_buffer(params)
+        cache = design_mems_cache(params, CachePolicy.REPLICATED,
+                                  BimodalPopularity(5, 95))
+        comparison = startup_comparison(params, design, cache)
+        by_config = {r.configuration: r for r in comparison}
+        assert by_config["cache"].worst < by_config["direct"].worst
+
+    def test_pipeline_fill_is_slowest(self, params):
+        design = design_mems_buffer(params)
+        naive = buffered_startup(design, bypass=False)
+        bypass = buffered_startup(design, bypass=True)
+        direct = direct_startup(params)
+        assert naive.worst > bypass.worst
+        assert naive.worst > direct.worst
+        # The naive fill pays ~three disk cycles.
+        assert naive.worst == pytest.approx(
+            3 * design.t_disk + design.t_mems)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StartupLatency(worst=1.0, expected=2.0, configuration="x")
+
+    def test_cache_startup_requires_cache_streams(self, params):
+        cache = design_mems_cache(params, CachePolicy.REPLICATED,
+                                  BimodalPopularity(5, 95))
+        zero = cache.__class__(params=cache.params, policy=cache.policy,
+                               cached_fraction=cache.cached_fraction,
+                               hit_rate=0.0, n_cache_streams=0.0,
+                               n_disk_streams=60.0,
+                               s_mems_dram=0.0,
+                               s_disk_dram=cache.s_disk_dram)
+        with pytest.raises(ConfigurationError):
+            cache_startup(zero)
+
+
+class TestAgainstSimulator:
+    def test_direct_startup_within_analytic_worst(self, params):
+        report = simulate_direct_pipeline(params, n_cycles=5)
+        bound = direct_startup(params)
+        assert report.playback_starts
+        assert max(report.playback_starts) <= bound.worst * (1 + 1e-9)
+
+    def test_buffered_startup_matches_pipeline_fill(self, params):
+        design = design_mems_buffer(params)
+        report = simulate_buffer_pipeline(design, n_hyper_periods=2)
+        naive = buffered_startup(design, bypass=False)
+        assert report.playback_starts
+        latest = max(report.playback_starts)
+        # The simulator implements the naive (no-bypass) policy: its
+        # worst observed startup sits between one and the bound's two
+        # disk cycles.
+        assert design.t_disk * 0.9 <= latest <= naive.worst * (1 + 1e-9)
+
+    def test_buffer_startup_much_slower_than_direct(self, params):
+        # The DRAM-saving pipeline costs startup latency: a documented
+        # trade-off the bypass policy addresses.
+        design = design_mems_buffer(params)
+        direct_report = simulate_direct_pipeline(params, n_cycles=5)
+        buffer_report = simulate_buffer_pipeline(design, n_hyper_periods=2)
+        assert max(buffer_report.playback_starts) > \
+            5 * max(direct_report.playback_starts)

@@ -1,0 +1,146 @@
+"""Theorem 1 / Corollary 1 and their inverses."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.theorems import (
+    io_cycle_direct,
+    max_streams_direct,
+    min_buffer_direct,
+    min_buffer_disk_dram,
+    min_buffer_mems_dram,
+)
+from repro.errors import AdmissionError, ConfigurationError
+from repro.units import GB, KB, MB, MS
+
+
+class TestTheorem1ClosedForm:
+    def test_hand_computed_value(self):
+        # N=10, L=10ms, R=100MB/s, B=1MB/s:
+        # S = 10 * 0.01 * 1e8 * 1e6 / (1e8 - 1e7) = 1e13 / 9e7.
+        s = min_buffer_direct(10, 1 * MB, 100 * MB, 10 * MS)
+        assert s == pytest.approx(1e13 / 9e7)
+
+    def test_fixed_point_property(self):
+        # S = B * T where T = N * (L + S / R): the defining recurrence.
+        n, b, r, latency = 25, 2 * MB, 200 * MB, 5 * MS
+        s = min_buffer_direct(n, b, r, latency)
+        t = n * (latency + s / r)
+        assert s == pytest.approx(b * t)
+
+    def test_zero_streams_zero_buffer(self):
+        assert min_buffer_direct(0, 1 * MB, 100 * MB, 10 * MS) == 0.0
+
+    def test_zero_latency_zero_buffer(self):
+        assert min_buffer_direct(10, 1 * MB, 100 * MB, 0.0) == 0.0
+
+    def test_fractional_streams_supported(self):
+        # The cache model evaluates expected sub-populations.
+        s_half = min_buffer_direct(10.5, 1 * MB, 100 * MB, 10 * MS)
+        s10 = min_buffer_direct(10, 1 * MB, 100 * MB, 10 * MS)
+        s11 = min_buffer_direct(11, 1 * MB, 100 * MB, 10 * MS)
+        assert s10 < s_half < s11
+
+    def test_saturation_raises_admission_error(self):
+        with pytest.raises(AdmissionError) as excinfo:
+            min_buffer_direct(100, 1 * MB, 100 * MB, 10 * MS)
+        assert excinfo.value.load == pytest.approx(100 * MB)
+        assert excinfo.value.capacity == pytest.approx(100 * MB)
+
+    def test_above_saturation_raises(self):
+        with pytest.raises(AdmissionError):
+            min_buffer_direct(101, 1 * MB, 100 * MB, 10 * MS)
+
+    def test_blows_up_near_saturation(self):
+        s90 = min_buffer_direct(90, 1 * MB, 100 * MB, 10 * MS)
+        s99 = min_buffer_direct(99, 1 * MB, 100 * MB, 10 * MS)
+        assert s99 > 9 * s90
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_streams": -1, "bit_rate": 1e6, "rate": 1e8, "latency": 0.01},
+        {"n_streams": 1, "bit_rate": 0, "rate": 1e8, "latency": 0.01},
+        {"n_streams": 1, "bit_rate": 1e6, "rate": 0, "latency": 0.01},
+        {"n_streams": 1, "bit_rate": 1e6, "rate": 1e8, "latency": -0.01},
+    ])
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            min_buffer_direct(**kwargs)
+
+
+class TestPaperHeadlineNumbers:
+    def test_terabyte_dram_for_mp3_at_full_utilization(self):
+        # Section 5.1.1: "the DRAM requirement for a fully utilized
+        # disk ranges from 1GB for 10MB/s streams to 1TB for 10KB/s".
+        params = SystemParameters.table3_default(
+            n_streams=29_100, bit_rate=10 * KB, size_mems_unlimited=True)
+        total = 29_100 * min_buffer_disk_dram(params)
+        assert 0.3e12 < total < 3e12  # ~1 TB scale
+
+    def test_gigabyte_dram_for_hdtv(self):
+        params = SystemParameters.table3_default(
+            n_streams=29, bit_rate=10 * MB, size_mems_unlimited=True)
+        total = 29 * min_buffer_disk_dram(params)
+        assert 0.3e9 < total < 3e9  # ~1 GB scale
+
+
+class TestIoCycle:
+    def test_cycle_is_buffer_over_bitrate(self):
+        n, b, r, latency = 10, 1 * MB, 100 * MB, 10 * MS
+        s = min_buffer_direct(n, b, r, latency)
+        assert io_cycle_direct(n, b, r, latency) == pytest.approx(s / b)
+
+    def test_zero_streams(self):
+        assert io_cycle_direct(0, 1 * MB, 100 * MB, 10 * MS) == 0.0
+
+    def test_cycle_grows_with_n(self):
+        cycles = [io_cycle_direct(n, 1 * MB, 100 * MB, 10 * MS)
+                  for n in (10, 50, 90)]
+        assert cycles == sorted(cycles)
+
+
+class TestMaxStreamsDirect:
+    def test_bandwidth_bound_without_budget(self):
+        assert max_streams_direct(1 * MB, 100 * MB, 10 * MS) == \
+            pytest.approx(100.0)
+
+    def test_budget_inverts_forward_model(self):
+        budget = 1 * GB
+        n = max_streams_direct(1 * MB, 100 * MB, 10 * MS, budget)
+        total = n * min_buffer_direct(n, 1 * MB, 100 * MB, 10 * MS)
+        assert total == pytest.approx(budget, rel=1e-9)
+
+    def test_budget_solution_below_bandwidth_bound(self):
+        n = max_streams_direct(1 * MB, 100 * MB, 10 * MS, 1 * GB)
+        assert n < 100.0
+
+    def test_zero_budget(self):
+        assert max_streams_direct(1 * MB, 100 * MB, 10 * MS, 0.0) == 0.0
+
+    def test_zero_latency_hits_bandwidth_bound(self):
+        assert max_streams_direct(1 * MB, 100 * MB, 0.0, 1 * KB) == \
+            pytest.approx(100.0)
+
+    def test_huge_budget_approaches_bandwidth_bound(self):
+        n = max_streams_direct(1 * MB, 100 * MB, 10 * MS, 1e18)
+        assert n == pytest.approx(100.0, rel=1e-3)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_streams_direct(1 * MB, 100 * MB, 10 * MS, -1.0)
+
+
+class TestParameterWrappers:
+    def test_disk_wrapper(self, simple_params):
+        assert min_buffer_disk_dram(simple_params) == pytest.approx(
+            min_buffer_direct(10, 1 * MB, 100 * MB, 10 * MS))
+
+    def test_mems_wrapper_uses_mems_parameters(self, simple_params):
+        # Corollary 1: same closed form with MEMS rate and latency.
+        assert min_buffer_mems_dram(simple_params) == pytest.approx(
+            min_buffer_direct(10, 1 * MB, 200 * MB, 1 * MS))
+
+    def test_mems_buffer_smaller_for_faster_device(self, simple_params):
+        assert min_buffer_mems_dram(simple_params) < \
+            min_buffer_disk_dram(simple_params)

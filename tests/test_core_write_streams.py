@@ -1,0 +1,103 @@
+"""Write-stream extension (paper Section 3.1's noted generalisation)."""
+
+import math
+
+import pytest
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.parameters import SystemParameters
+from repro.core.write_streams import (
+    design_mixed_streams,
+    max_writers_supported,
+)
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+)
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=1, bit_rate=100 * KB,
+                                           k=2)
+
+
+class TestMixedDesign:
+    def test_all_readers_matches_theorem2(self, params):
+        # A pure-reader population degenerates to Theorem 2 exactly.
+        mixed = design_mixed_streams(params, n_readers=800, n_writers=0)
+        pure = design_mems_buffer(params.replace(n_streams=800),
+                                  quantise=False)
+        assert mixed.s_dram == pytest.approx(pure.s_mems_dram)
+        assert mixed.t_disk == pytest.approx(pure.t_disk)
+
+    def test_symmetric_buffer_for_writers(self, params):
+        # Readers and writers at the same bit-rate get the same buffer.
+        design = design_mixed_streams(params, n_readers=400, n_writers=400)
+        assert design.total_dram == pytest.approx(800 * design.s_dram)
+
+    def test_writers_relax_the_storage_bound(self, params):
+        # Writers are single-buffered on the bank, so a writer-heavy
+        # population sustains a longer disk cycle (less DRAM) than the
+        # same-size reader population.
+        readers = design_mixed_streams(params, n_readers=1000, n_writers=0)
+        writers = design_mixed_streams(params, n_readers=0, n_writers=1000)
+        assert writers.t_disk > readers.t_disk
+        assert writers.s_dram < readers.s_dram
+
+    def test_bank_bytes_weighting(self, params):
+        design = design_mixed_streams(params, n_readers=300, n_writers=100)
+        expected = (2 * 300 + 100) * params.bit_rate * design.t_disk
+        assert design.bank_bytes_required == pytest.approx(expected)
+        # The storage bound is met with equality at the chosen cycle.
+        assert design.bank_bytes_required == pytest.approx(
+            params.mems_bank_capacity)
+
+    def test_unlimited_bank(self, params):
+        unlimited = params.replace(size_mems=None)
+        design = design_mixed_streams(unlimited, n_readers=100,
+                                      n_writers=100)
+        assert math.isinf(design.t_disk)
+        assert design.s_dram > 0
+
+    def test_bandwidth_saturation(self, params):
+        # 2 * N * B beyond the bank rate is inadmissible regardless of
+        # the read/write split.
+        with pytest.raises(AdmissionError):
+            design_mixed_streams(params, n_readers=1600, n_writers=1600)
+
+    def test_capacity_failure(self, params):
+        tiny = params.replace(size_mems=0.01 * GB)
+        with pytest.raises(CapacityError):
+            design_mixed_streams(tiny, n_readers=500, n_writers=500)
+
+    def test_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            design_mixed_streams(params, n_readers=-1, n_writers=1)
+        with pytest.raises(ConfigurationError):
+            design_mixed_streams(params, n_readers=0, n_writers=0)
+
+
+class TestMaxWriters:
+    def test_inverse_of_forward_model(self, params):
+        budget = 500e6
+        n_writers = max_writers_supported(params, n_readers=500,
+                                          dram_budget=budget)
+        assert n_writers > 0
+        at_limit = design_mixed_streams(params, n_readers=500,
+                                        n_writers=n_writers)
+        beyond = design_mixed_streams(params, n_readers=500,
+                                      n_writers=n_writers + 1)
+        assert at_limit.total_dram <= budget
+        assert beyond.total_dram > budget
+
+    def test_zero_when_readers_exhaust_budget(self, params):
+        n_writers = max_writers_supported(params, n_readers=3_000,
+                                          dram_budget=1.0)
+        assert n_writers == 0
+
+    def test_negative_budget_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            max_writers_supported(params, n_readers=1, dram_budget=-1)

@@ -1,0 +1,120 @@
+"""MEMS bank policies: routing, latency, capacity, seek accounting."""
+
+import pytest
+
+from repro.devices.bank import BankPolicy, MemsBank
+from repro.devices.catalog import MEMS_G3
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+@pytest.fixture(params=[1, 2, 4])
+def k(request) -> int:
+    return request.param
+
+
+class TestAggregates:
+    def test_bandwidth_scales_with_k_in_every_policy(self, k):
+        for policy in BankPolicy:
+            bank = MemsBank(device=MEMS_G3, k=k, policy=policy)
+            assert bank.aggregate_bandwidth == k * 320 * MB
+
+    def test_usable_capacity_by_policy(self):
+        striped = MemsBank(device=MEMS_G3, k=4, policy=BankPolicy.STRIPED)
+        replicated = MemsBank(device=MEMS_G3, k=4,
+                              policy=BankPolicy.REPLICATED)
+        round_robin = MemsBank(device=MEMS_G3, k=4,
+                               policy=BankPolicy.ROUND_ROBIN)
+        assert striped.usable_capacity == 40 * GB
+        assert round_robin.usable_capacity == 40 * GB
+        assert replicated.usable_capacity == 10 * GB  # redundancy cost
+        assert replicated.raw_capacity == 40 * GB
+
+    def test_per_device_cost_model(self, k):
+        bank = MemsBank(device=MEMS_G3, k=k)
+        assert bank.cost == pytest.approx(10.0 * k)
+
+
+class TestEffectiveLatency:
+    def test_striping_keeps_single_device_latency(self):
+        # Corollary 3: lock-step access, latency unchanged.
+        bank = MemsBank(device=MEMS_G3, k=4, policy=BankPolicy.STRIPED)
+        assert bank.effective_max_latency() == MEMS_G3.max_access_time()
+
+    @pytest.mark.parametrize("policy", [BankPolicy.ROUND_ROBIN,
+                                        BankPolicy.REPLICATED])
+    def test_partitioned_policies_divide_latency(self, policy):
+        # Corollaries 2 and 4: k-fold smaller effective latency.
+        bank = MemsBank(device=MEMS_G3, k=4, policy=policy)
+        assert bank.effective_max_latency() == \
+            pytest.approx(MEMS_G3.max_access_time() / 4)
+
+
+class TestSeekAccounting:
+    def test_striped_costs_k_seeks_per_stream(self):
+        # Section 3.2.1: k * Nm seeks per IO cycle.
+        bank = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.STRIPED)
+        assert bank.seeks_per_cycle(10) == 30
+
+    def test_replicated_costs_one_seek_per_stream(self):
+        # Section 3.2.2: only Nm seeks per IO cycle.
+        bank = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.REPLICATED)
+        assert bank.seeks_per_cycle(10) == 10
+
+    def test_negative_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemsBank(device=MEMS_G3, k=2).seeks_per_cycle(-1)
+
+
+class TestRouting:
+    def test_round_robin_every_kth_io_same_device(self):
+        # Section 3.1.2: "Every k-th disk IO is routed to the same
+        # MEMS device."
+        bank = MemsBank(device=MEMS_G3, k=3)
+        devices = [bank.device_for_io(i) for i in range(9)]
+        assert devices == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_device_for_io_requires_round_robin(self):
+        bank = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.STRIPED)
+        with pytest.raises(ConfigurationError):
+            bank.device_for_io(0)
+
+    def test_stream_partitioning(self):
+        bank = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.REPLICATED)
+        assignments = [bank.device_for_stream(i, 7) for i in range(7)]
+        assert assignments == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_streams_per_device_balanced(self):
+        bank = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.REPLICATED)
+        assert bank.streams_per_device(7) == [3, 2, 2]
+        striped = MemsBank(device=MEMS_G3, k=3, policy=BankPolicy.STRIPED)
+        assert striped.streams_per_device(7) == [7, 7, 7]  # lock step
+
+    def test_stripe_unit(self):
+        bank = MemsBank(device=MEMS_G3, k=4, policy=BankPolicy.STRIPED)
+        assert bank.stripe_unit(4 * MB) == 1 * MB
+        rr = MemsBank(device=MEMS_G3, k=4)
+        with pytest.raises(ConfigurationError):
+            rr.stripe_unit(4 * MB)
+
+
+class TestTransferTime:
+    def test_striping_divides_transfer_time(self):
+        bank = MemsBank(device=MEMS_G3, k=4, policy=BankPolicy.STRIPED)
+        assert bank.io_transfer_time(4 * MB) == \
+            pytest.approx(MEMS_G3.transfer_time(1 * MB))
+
+    def test_whole_io_policies_use_device_rate(self):
+        bank = MemsBank(device=MEMS_G3, k=4)
+        assert bank.io_transfer_time(4 * MB) == \
+            pytest.approx(MEMS_G3.transfer_time(4 * MB))
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemsBank(device=MEMS_G3, k=0)
+
+    def test_device_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            MemsBank(device="not a device", k=2)  # type: ignore[arg-type]

@@ -1,0 +1,78 @@
+"""StorageDevice interface and the Figure 2 throughput curve."""
+
+import pytest
+
+from repro.devices.base import effective_throughput, io_size_for_throughput
+from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+
+
+class TestEffectiveThroughput:
+    def test_zero_io_size_yields_zero(self):
+        assert effective_throughput(0, 0.003, 300 * MB) == 0.0
+
+    def test_zero_latency_reaches_media_rate(self):
+        assert effective_throughput(1 * MB, 0.0, 300 * MB) == \
+            pytest.approx(300 * MB)
+
+    def test_known_value(self):
+        # 1 MB IO, 1 ms latency, 100 MB/s: 1 MB / (1 ms + 10 ms).
+        assert effective_throughput(1 * MB, 0.001, 100 * MB) == \
+            pytest.approx(1 * MB / 0.011)
+
+    def test_monotone_in_io_size(self):
+        values = [effective_throughput(s, 0.003, 300 * MB)
+                  for s in (10 * KB, 100 * KB, 1 * MB, 10 * MB)]
+        assert values == sorted(values)
+        assert values[-1] < 300 * MB  # never exceeds media rate
+
+    @pytest.mark.parametrize("kwargs", [
+        {"io_size": -1, "latency": 0.001, "transfer_rate": 1e8},
+        {"io_size": 1e6, "latency": -0.001, "transfer_rate": 1e8},
+        {"io_size": 1e6, "latency": 0.001, "transfer_rate": 0},
+    ])
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            effective_throughput(**kwargs)
+
+
+class TestIoSizeForThroughput:
+    def test_inverts_effective_throughput(self):
+        size = io_size_for_throughput(150 * MB, 0.003, 300 * MB)
+        assert effective_throughput(size, 0.003, 300 * MB) == \
+            pytest.approx(150 * MB)
+
+    def test_target_at_or_above_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            io_size_for_throughput(300 * MB, 0.003, 300 * MB)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            io_size_for_throughput(0, 0.003, 300 * MB)
+
+
+class TestDeviceThroughputMethods:
+    def test_figure2_ordering_at_small_ios(self):
+        # At small IOs the MEMS device (max latency) beats the disk
+        # (avg latency) because its latency is ~5x smaller.
+        io = 256 * KB
+        mems = MEMS_G3.effective_throughput(io, worst_case=True)
+        disk = FUTURE_DISK_2007.effective_throughput(io)
+        assert mems > disk
+
+    def test_io_size_for_utilization_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.io_size_for_utilization(0.0)
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.io_size_for_utilization(1.0)
+
+    def test_half_utilization_io_sizes(self):
+        # The paper's Figure 2 point: masking overheads needs an order
+        # of magnitude smaller IOs on MEMS than on disk.
+        mems_io = MEMS_G3.io_size_for_utilization(0.5, worst_case=True)
+        disk_io = FUTURE_DISK_2007.io_size_for_utilization(0.5)
+        assert disk_io / mems_io > 4
+
+    def test_cost_per_device(self):
+        assert MEMS_G3.cost_per_device == pytest.approx(10.0)

@@ -1,0 +1,139 @@
+"""Disk drive model: seek curve calibration, latency, zoned transfer."""
+
+import pytest
+
+from repro.devices.catalog import FUTURE_DISK_2007
+from repro.devices.disk import DiskDrive, SeekCurve, future_disk_like
+from repro.errors import ConfigurationError
+from repro.units import GB, MB, MS
+
+
+class TestSeekCurveCalibration:
+    def test_matches_datasheet_average(self):
+        curve = SeekCurve.calibrate(average_seek=2.8 * MS,
+                                    full_stroke_seek=7.0 * MS,
+                                    n_cylinders=50_000)
+        assert curve.average_seek_time() == pytest.approx(2.8 * MS)
+
+    def test_matches_full_stroke(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        assert curve.seek_time(curve.n_cylinders) == pytest.approx(7.0 * MS)
+
+    def test_zero_distance_is_free(self):
+        assert FUTURE_DISK_2007.seek_curve.seek_time(0) == 0.0
+
+    def test_single_cylinder_seek_is_minimum(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        assert curve.seek_time(1) == pytest.approx(curve.t_min, rel=0.05)
+
+    def test_monotone_and_concave(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        distances = [100, 1_000, 10_000, 25_000, 50_000]
+        times = [curve.seek_time(d) for d in distances]
+        assert times == sorted(times)
+        # Concavity: marginal cost per cylinder falls with distance.
+        slopes = [(t2 - t1) / (d2 - d1) for (d1, t1), (d2, t2)
+                  in zip(zip(distances, times), zip(distances[1:], times[1:]))]
+        assert slopes == sorted(slopes, reverse=True)
+
+    def test_distance_beyond_stroke_clamps(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        assert curve.seek_time(10 * curve.n_cylinders) == \
+            pytest.approx(curve.t_full)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FUTURE_DISK_2007.seek_curve.seek_time(-1)
+
+    def test_inconsistent_datasheet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeekCurve.calibrate(average_seek=7 * MS, full_stroke_seek=2 * MS,
+                                n_cylinders=1000)
+
+    def test_min_seek_must_be_below_average(self):
+        with pytest.raises(ConfigurationError):
+            SeekCurve.calibrate(average_seek=2 * MS, full_stroke_seek=7 * MS,
+                                n_cylinders=1000, min_seek=3 * MS)
+
+
+class TestDiskLatencies:
+    def test_rotation_time_from_rpm(self):
+        assert FUTURE_DISK_2007.rotation_time() == pytest.approx(3 * MS)
+
+    def test_average_access_is_seek_plus_half_rotation(self):
+        disk = FUTURE_DISK_2007
+        expected = disk.seek_curve.average_seek_time() + 1.5 * MS
+        assert disk.average_access_time() == pytest.approx(expected)
+
+    def test_max_access_is_full_stroke_plus_full_rotation(self):
+        assert FUTURE_DISK_2007.max_access_time() == \
+            pytest.approx(7.0 * MS + 3.0 * MS)
+
+    def test_elevator_beats_random_access(self):
+        disk = FUTURE_DISK_2007
+        assert disk.scheduled_latency(8) < disk.average_access_time()
+
+    def test_elevator_improves_with_queue_depth(self):
+        disk = FUTURE_DISK_2007
+        latencies = [disk.scheduled_latency(q) for q in (1, 4, 16, 64)]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_latency_ratio_near_paper_value(self):
+        # Section 5.1: "around 5 for the FutureDisk and the G3 MEMS".
+        from repro.devices.catalog import MEMS_G3
+
+        ratio = (FUTURE_DISK_2007.scheduled_latency()
+                 / MEMS_G3.max_access_time())
+        assert 4.0 < ratio < 6.0
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FUTURE_DISK_2007.scheduled_latency(0)
+
+
+class TestAccessAndTransfer:
+    def test_access_time_uses_cylinder_distance(self):
+        disk = FUTURE_DISK_2007
+        near = disk.access_time(1_000, 1_100)
+        far = disk.access_time(1_000, 45_000)
+        assert near < far
+
+    def test_rotation_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FUTURE_DISK_2007.access_time(0, 1, rotation_fraction=1.5)
+
+    def test_transfer_time_peak_rate(self):
+        assert FUTURE_DISK_2007.transfer_time(300 * MB) == pytest.approx(1.0)
+
+    def test_zoned_transfer_slower_on_inner_cylinders(self):
+        disk = FUTURE_DISK_2007
+        outer = disk.transfer_time(100 * MB, cylinder=0)
+        inner = disk.transfer_time(100 * MB,
+                                   cylinder=disk.geometry.n_cylinders - 1)
+        assert inner > outer
+
+    def test_service_time_combines_latency_and_transfer(self):
+        disk = FUTURE_DISK_2007
+        assert disk.service_time(3 * MB) == pytest.approx(
+            disk.scheduled_latency() + 0.01)
+
+
+class TestConstruction:
+    def test_future_disk_matches_table3(self):
+        disk = future_disk_like()
+        assert disk.transfer_rate == 300 * MB
+        assert disk.capacity == 1_000 * GB
+        assert disk.cost_per_byte * GB == pytest.approx(0.2)
+        assert disk.rpm == 20_000
+
+    @pytest.mark.parametrize("field,value", [
+        ("rpm", 0), ("max_bandwidth", -1), ("capacity_bytes", 0),
+        ("dollars_per_byte", -0.1),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(name="bad", rpm=10_000, max_bandwidth=100 * MB,
+                      seek_curve=FUTURE_DISK_2007.seek_curve,
+                      capacity_bytes=100 * GB, dollars_per_byte=1.0 / GB)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            DiskDrive(**kwargs)

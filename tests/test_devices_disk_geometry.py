@@ -1,0 +1,122 @@
+"""Zoned disk geometry and LBA mapping."""
+
+import pytest
+
+from repro.devices.disk_geometry import (
+    SECTOR_SIZE,
+    DiskGeometry,
+    DiskZone,
+    PhysicalAddress,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@pytest.fixture
+def small_geometry() -> DiskGeometry:
+    """Two zones, hand-countable: 4 heads, 10+10 cylinders."""
+    return DiskGeometry(n_heads=4, zones=[
+        DiskZone(first_cylinder=0, n_cylinders=10, sectors_per_track=100),
+        DiskZone(first_cylinder=10, n_cylinders=10, sectors_per_track=60),
+    ])
+
+
+class TestZoneValidation:
+    def test_zone_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            DiskZone(first_cylinder=-1, n_cylinders=10, sectors_per_track=50)
+        with pytest.raises(ConfigurationError):
+            DiskZone(first_cylinder=0, n_cylinders=0, sectors_per_track=50)
+        with pytest.raises(ConfigurationError):
+            DiskZone(first_cylinder=0, n_cylinders=10, sectors_per_track=0)
+
+    def test_zones_must_tile_contiguously(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(n_heads=2, zones=[
+                DiskZone(first_cylinder=0, n_cylinders=10,
+                         sectors_per_track=50),
+                DiskZone(first_cylinder=11, n_cylinders=10,
+                         sectors_per_track=40),
+            ])
+
+    def test_needs_at_least_one_zone(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(n_heads=2, zones=[])
+
+
+class TestCounting(object):
+    def test_totals(self, small_geometry):
+        geo = small_geometry
+        assert geo.n_cylinders == 20
+        assert geo.total_sectors == 10 * 4 * 100 + 10 * 4 * 60
+        assert geo.capacity_bytes == geo.total_sectors * SECTOR_SIZE
+
+    def test_zone_lookup(self, small_geometry):
+        assert small_geometry.zone_of_cylinder(0).sectors_per_track == 100
+        assert small_geometry.zone_of_cylinder(9).sectors_per_track == 100
+        assert small_geometry.zone_of_cylinder(10).sectors_per_track == 60
+        with pytest.raises(ConfigurationError):
+            small_geometry.zone_of_cylinder(20)
+
+
+class TestLbaMapping:
+    def test_first_lba(self, small_geometry):
+        addr = small_geometry.lba_to_physical(0)
+        assert addr == PhysicalAddress(cylinder=0, head=0, sector=0)
+
+    def test_track_then_head_then_cylinder_order(self, small_geometry):
+        assert small_geometry.lba_to_physical(99).sector == 99
+        addr = small_geometry.lba_to_physical(100)
+        assert (addr.cylinder, addr.head, addr.sector) == (0, 1, 0)
+        addr = small_geometry.lba_to_physical(400)
+        assert (addr.cylinder, addr.head, addr.sector) == (1, 0, 0)
+
+    def test_zone_boundary_crossing(self, small_geometry):
+        first_inner_lba = 10 * 4 * 100
+        addr = small_geometry.lba_to_physical(first_inner_lba)
+        assert (addr.cylinder, addr.head, addr.sector) == (10, 0, 0)
+
+    def test_roundtrip_everywhere(self, small_geometry):
+        geo = small_geometry
+        for lba in (0, 1, 99, 100, 399, 400, 3_999, 4_000, 5_239,
+                    geo.total_sectors - 1):
+            assert geo.physical_to_lba(geo.lba_to_physical(lba)) == lba
+
+    def test_out_of_range_rejected(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            small_geometry.lba_to_physical(small_geometry.total_sectors)
+        with pytest.raises(ConfigurationError):
+            small_geometry.lba_to_physical(-1)
+
+    def test_cylinder_of_byte(self, small_geometry):
+        assert small_geometry.cylinder_of_byte(0) == 0
+        one_cylinder = 4 * 100 * SECTOR_SIZE
+        assert small_geometry.cylinder_of_byte(one_cylinder) == 1
+
+
+class TestSynthesize:
+    def test_capacity_close_to_request(self):
+        geo = DiskGeometry.synthesize(capacity_bytes=1_000 * GB)
+        assert geo.capacity_bytes == pytest.approx(1_000 * GB, rel=0.01)
+
+    def test_outer_to_inner_rate_ratio(self):
+        geo = DiskGeometry.synthesize(capacity_bytes=1_000 * GB,
+                                      outer_to_inner_ratio=300 / 170)
+        outer = geo.zones[0].sectors_per_track
+        inner = geo.zones[-1].sectors_per_track
+        assert outer / inner == pytest.approx(300 / 170, rel=0.05)
+
+    def test_track_transfer_rate_scales_with_zone(self):
+        geo = DiskGeometry.synthesize(capacity_bytes=1_000 * GB)
+        outer = geo.track_transfer_rate(0, rpm=20_000)
+        inner = geo.track_transfer_rate(geo.n_cylinders - 1, rpm=20_000)
+        assert outer > inner
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry.synthesize(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            DiskGeometry.synthesize(capacity_bytes=1 * GB, n_zones=0)
+        with pytest.raises(ConfigurationError):
+            DiskGeometry.synthesize(capacity_bytes=1 * GB,
+                                    outer_to_inner_ratio=0.5)

@@ -1,0 +1,125 @@
+"""DRAM model and the Table 1 / Table 3 catalogs."""
+
+import pytest
+
+from repro.devices.catalog import (
+    DISK_2002,
+    DRAM_2002,
+    DRAM_2007,
+    FUTURE_DISK_2007,
+    MEDIA_BITRATES,
+    MEMS_G3,
+    device_table_2002,
+    device_table_2007,
+    table3_devices,
+)
+from repro.devices.dram import Dram
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB, US
+
+
+class TestDram:
+    def test_2007_figures(self):
+        assert DRAM_2007.transfer_rate == 10_000 * MB
+        assert DRAM_2007.capacity == 5 * GB
+        assert DRAM_2007.cost_per_byte * GB == pytest.approx(20.0)
+        assert DRAM_2007.access_latency == pytest.approx(0.03 * US)
+
+    def test_flat_latency(self):
+        assert DRAM_2007.average_access_time() == DRAM_2007.max_access_time()
+
+    def test_transfer_time(self):
+        # 10 GB at 10 GB/s: one second plus the (negligible) latency.
+        assert DRAM_2007.transfer_time(10_000 * MB) == \
+            pytest.approx(1.0, rel=1e-6)
+
+    def test_cost_of(self):
+        assert DRAM_2007.cost_of(1 * GB) == pytest.approx(20.0)
+        with pytest.raises(ConfigurationError):
+            DRAM_2007.cost_of(-1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("bandwidth", 0), ("capacity_bytes", 0), ("dollars_per_byte", -1),
+        ("access_latency", -1),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(name="bad", bandwidth=1 * GB, capacity_bytes=1 * GB,
+                      dollars_per_byte=1 / GB, access_latency=1e-8)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            Dram(**kwargs)
+
+
+class TestCatalog2002:
+    def test_disk_2002_within_table1_bands(self):
+        assert DISK_2002.capacity == 100 * GB
+        assert 30 * MB <= DISK_2002.transfer_rate <= 55 * MB
+        assert 0.001 <= DISK_2002.average_access_time() <= 0.011
+        assert 100 <= DISK_2002.cost_per_device <= 300
+
+    def test_dram_2002(self):
+        assert DRAM_2002.capacity == 0.5 * GB
+        assert DRAM_2002.cost_per_byte * GB == pytest.approx(200.0)
+
+    def test_table_rows(self):
+        table = device_table_2002()
+        media = [row.medium for row in table]
+        assert media == ["DRAM", "MEMS", "Disk"]
+        mems_row = table[1]
+        assert mems_row.capacity_gb is None  # no MEMS devices in 2002
+
+
+class TestCatalog2007:
+    def test_table_rows_match_models(self):
+        table = {row.medium: row for row in device_table_2007()}
+        assert table["MEMS"].capacity_gb == MEMS_G3.capacity / GB
+        assert table["Disk"].capacity_gb == FUTURE_DISK_2007.capacity / GB
+        assert table["DRAM"].cost_per_gb == \
+            pytest.approx(DRAM_2007.cost_per_byte * GB)
+
+    def test_mems_access_band_contains_model(self):
+        row = {r.medium: r for r in device_table_2007()}["MEMS"]
+        lo, hi = row.access_time_ms
+        avg_ms = MEMS_G3.average_access_time() * 1e3
+        max_ms = MEMS_G3.max_access_time() * 1e3
+        assert lo <= max_ms <= hi
+        assert avg_ms <= hi
+
+    def test_disk_bandwidth_band_contains_model(self):
+        row = {r.medium: r for r in device_table_2007()}["Disk"]
+        lo, hi = row.bandwidth_mb_s
+        assert lo <= FUTURE_DISK_2007.transfer_rate / MB <= hi
+        # The zoned geometry's inner tracks approach the low end.
+        inner_rate = FUTURE_DISK_2007.geometry.track_transfer_rate(
+            FUTURE_DISK_2007.geometry.n_cylinders - 1,
+            FUTURE_DISK_2007.rpm)
+        assert inner_rate / MB == pytest.approx(lo, rel=0.35)
+
+    def test_table3_devices_mapping(self):
+        devices = table3_devices()
+        assert devices["FutureDisk"] is FUTURE_DISK_2007
+        assert devices["G3 MEMS"] is MEMS_G3
+        assert devices["DRAM"] is DRAM_2007
+
+    def test_mems_20x_cheaper_than_dram(self):
+        # Section 5.1.2: "MEMS buffering is 20 times cheaper than DRAM
+        # buffering per-byte."
+        ratio = DRAM_2007.cost_per_byte / MEMS_G3.cost_per_byte
+        assert ratio == pytest.approx(20.0)
+
+
+class TestMediaBitrates:
+    def test_paper_sweep_values(self):
+        assert MEDIA_BITRATES["mp3"] == 10 * KB
+        assert MEDIA_BITRATES["DivX"] == 100 * KB
+        assert MEDIA_BITRATES["DVD"] == 1 * MB
+        assert MEDIA_BITRATES["HDTV"] == 10 * MB
+
+    def test_intro_stream_counts(self):
+        # Section 5: the FutureDisk supports "tens" of HDTV, >100 DVD,
+        # ~1000 DivX, tens of thousands of mp3 streams.
+        disk_rate = FUTURE_DISK_2007.transfer_rate
+        assert 10 <= disk_rate / MEDIA_BITRATES["HDTV"] < 100
+        assert disk_rate / MEDIA_BITRATES["DVD"] > 100
+        assert disk_rate / MEDIA_BITRATES["DivX"] >= 1000
+        assert disk_rate / MEDIA_BITRATES["mp3"] >= 10_000

@@ -1,0 +1,114 @@
+"""MEMS device kinematics and the G3 reference figures."""
+
+import pytest
+
+from repro.devices.catalog import MEMS_G1, MEMS_G2, MEMS_G3
+from repro.devices.mems import MemsDevice
+from repro.devices.mems_geometry import TipSector
+from repro.errors import ConfigurationError
+from repro.units import GB, MB, MS
+
+
+class TestG3ReferenceValues:
+    def test_table3_figures(self):
+        assert MEMS_G3.transfer_rate == 320 * MB
+        assert MEMS_G3.capacity == 10 * GB
+        assert MEMS_G3.cost_per_device == pytest.approx(10.0)
+
+    def test_max_access_time_is_full_stroke_plus_settle(self):
+        # 0.45 ms X full stroke + 0.14 ms settle (Y overlaps X).
+        assert MEMS_G3.max_access_time() == pytest.approx(0.59 * MS)
+
+    def test_average_below_max(self):
+        avg = MEMS_G3.average_access_time()
+        assert 0 < avg < MEMS_G3.max_access_time()
+
+    def test_average_in_table1_band(self):
+        # Table 1 quotes 0.4-1 ms MEMS access for 2007; our mean of
+        # max(t_x + settle, t_y) over random accesses sits inside it.
+        assert 0.3 * MS < MEMS_G3.average_access_time() < 1.0 * MS
+
+
+class TestKinematics:
+    def test_zero_move_is_free(self):
+        assert MEMS_G3.seek_time_x(0) == 0.0
+        assert MEMS_G3.seek_time_y(0) == 0.0
+        assert MEMS_G3.positioning_time(0, 0) == 0.0
+
+    def test_x_move_includes_settle(self):
+        quarter = MEMS_G3.seek_time_x(0.25)
+        # sqrt(0.25) = 0.5 of the stroke time, plus settle.
+        assert quarter == pytest.approx(0.5 * 0.45 * MS + 0.14 * MS)
+
+    def test_y_move_has_no_settle(self):
+        assert MEMS_G3.seek_time_y(1.0) == pytest.approx(0.45 * MS)
+
+    def test_sqrt_profile(self):
+        # Constant-acceleration spring sled: t ~ sqrt(distance).
+        t1 = MEMS_G3.seek_time_y(0.01)
+        t2 = MEMS_G3.seek_time_y(0.04)
+        assert t2 / t1 == pytest.approx(2.0)
+
+    def test_concurrent_xy_takes_max(self):
+        tx = MEMS_G3.seek_time_x(0.5)
+        ty = MEMS_G3.seek_time_y(0.9)
+        assert MEMS_G3.positioning_time(0.5, 0.9) == max(tx, ty)
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.seek_time_x(1.5)
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.seek_time_y(-0.1)
+
+    def test_access_time_between_sectors(self):
+        geo = MEMS_G3.geometry
+        origin = TipSector(tip_group=0, x_index=0, y_index=0)
+        near = TipSector(tip_group=0, x_index=1, y_index=1)
+        far = TipSector(tip_group=0, x_index=geo.bits_per_tip_x - 1,
+                        y_index=geo.sectors_per_sweep - 1)
+        assert MEMS_G3.access_time(origin, near) < \
+            MEMS_G3.access_time(origin, far)
+        assert MEMS_G3.access_time(origin, far) == \
+            pytest.approx(MEMS_G3.max_access_time())
+
+
+class TestServiceTime:
+    def test_worst_case_default(self):
+        expected = MEMS_G3.max_access_time() + 1 * MB / (320 * MB)
+        assert MEMS_G3.service_time(1 * MB) == pytest.approx(expected)
+
+    def test_average_mode(self):
+        assert MEMS_G3.service_time(1 * MB, worst_case=False) < \
+            MEMS_G3.service_time(1 * MB)
+
+    def test_transfer_time(self):
+        assert MEMS_G3.transfer_time(320 * MB) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.transfer_time(-1)
+
+
+class TestGenerations:
+    def test_generations_improve_monotonically(self):
+        for older, newer in ((MEMS_G1, MEMS_G2), (MEMS_G2, MEMS_G3)):
+            assert newer.transfer_rate > older.transfer_rate
+            assert newer.capacity > older.capacity
+            assert newer.max_access_time() < older.max_access_time()
+            assert newer.cost_per_byte < older.cost_per_byte
+
+    def test_symmetric_y_stroke_default(self):
+        assert MEMS_G3.full_stroke_y == MEMS_G3.full_stroke_x
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("nominal_bandwidth", 0), ("nominal_capacity", -1),
+        ("full_stroke_x", 0), ("settle_x", -1e-6),
+        ("dollars_per_byte", -1),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = dict(name="bad", nominal_bandwidth=100 * MB,
+                      nominal_capacity=1 * GB, full_stroke_x=1 * MS,
+                      settle_x=0.1 * MS, dollars_per_byte=1.0 / GB)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            MemsDevice(**kwargs)

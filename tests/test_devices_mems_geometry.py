@@ -1,0 +1,113 @@
+"""MEMS sled geometry: tip groups, block mapping, seek distances."""
+
+import pytest
+
+from repro.devices.mems_geometry import MemsGeometry, TipSector
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@pytest.fixture
+def small_geometry() -> MemsGeometry:
+    """Hand-countable: 8 tips in 2 groups of 4, 3x(2 sectors) per tip."""
+    return MemsGeometry(n_tips=8, active_tips=4, bits_per_tip_x=3,
+                        bits_per_tip_y=1024, sector_bits=512)
+
+
+class TestValidation:
+    def test_tips_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            MemsGeometry(n_tips=10, active_tips=4, bits_per_tip_x=10,
+                         bits_per_tip_y=1024)
+
+    def test_sector_bits_must_divide_y(self):
+        with pytest.raises(ConfigurationError):
+            MemsGeometry(n_tips=8, active_tips=4, bits_per_tip_x=10,
+                         bits_per_tip_y=1000, sector_bits=512)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_tips": 0}, {"active_tips": 0}, {"active_tips": 16},
+        {"bits_per_tip_x": 0}, {"bits_per_tip_y": 0},
+    ])
+    def test_invalid_counts_rejected(self, kwargs):
+        base = dict(n_tips=8, active_tips=4, bits_per_tip_x=3,
+                    bits_per_tip_y=1024)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            MemsGeometry(**base)
+
+
+class TestCounting:
+    def test_derived_quantities(self, small_geometry):
+        geo = small_geometry
+        assert geo.n_tip_groups == 2
+        assert geo.sectors_per_sweep == 2
+        assert geo.sector_bytes == 512 * 4 // 8  # 256 B per group-sector
+        assert geo.sectors_total == 2 * 3 * 2
+        assert geo.capacity_bytes == geo.sectors_total * geo.sector_bytes
+
+
+class TestBlockMapping:
+    def test_layout_order_y_then_x_then_group(self, small_geometry):
+        geo = small_geometry
+        assert geo.block_to_sector(0) == TipSector(0, 0, 0)
+        assert geo.block_to_sector(1) == TipSector(0, 0, 1)
+        assert geo.block_to_sector(2) == TipSector(0, 1, 0)
+        assert geo.block_to_sector(6) == TipSector(1, 0, 0)
+
+    def test_roundtrip(self, small_geometry):
+        geo = small_geometry
+        for block in range(geo.sectors_total):
+            assert geo.sector_to_block(geo.block_to_sector(block)) == block
+
+    def test_sequential_blocks_need_no_x_motion(self, small_geometry):
+        geo = small_geometry
+        a = geo.block_to_sector(0)
+        b = geo.block_to_sector(1)
+        dx, dy = geo.seek_fractions(a, b)
+        assert dx == 0.0
+        assert dy > 0.0
+
+    def test_out_of_range_rejected(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            small_geometry.block_to_sector(small_geometry.sectors_total)
+        with pytest.raises(ConfigurationError):
+            small_geometry.sector_to_block(TipSector(5, 0, 0))
+
+    def test_block_of_byte(self, small_geometry):
+        geo = small_geometry
+        assert geo.block_of_byte(0) == 0
+        assert geo.block_of_byte(geo.sector_bytes) == 1
+        with pytest.raises(ConfigurationError):
+            geo.block_of_byte(-1)
+
+
+class TestSeekFractions:
+    def test_bounds(self, small_geometry):
+        geo = small_geometry
+        corner_a = TipSector(0, 0, 0)
+        corner_b = TipSector(0, geo.bits_per_tip_x - 1,
+                             geo.sectors_per_sweep - 1)
+        dx, dy = geo.seek_fractions(corner_a, corner_b)
+        assert dx == 1.0
+        assert dy == 1.0
+
+    def test_group_switch_is_free(self, small_geometry):
+        a = TipSector(0, 1, 1)
+        b = TipSector(1, 1, 1)
+        assert small_geometry.seek_fractions(a, b) == (0.0, 0.0)
+
+
+class TestSynthesize:
+    def test_capacity_close_to_request(self):
+        geo = MemsGeometry.synthesize(capacity_bytes=10 * GB)
+        assert geo.capacity_bytes == pytest.approx(10 * GB, rel=0.01)
+
+    def test_region_roughly_square(self):
+        geo = MemsGeometry.synthesize(capacity_bytes=10 * GB)
+        assert geo.bits_per_tip_x == pytest.approx(geo.bits_per_tip_y,
+                                                   rel=0.2)
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemsGeometry.synthesize(capacity_bytes=0)

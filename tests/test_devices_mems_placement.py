@@ -1,0 +1,116 @@
+"""MEMS sled data placement (the paper's future-work direction #2)."""
+
+import pytest
+
+from repro.devices.catalog import MEMS_G3
+from repro.devices.mems_placement import (
+    SledLayout,
+    expected_seek_time,
+    organ_pipe_layout,
+    placement_improvement,
+    sequential_layout,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSledLayout:
+    def test_positions_are_band_centres(self):
+        layout = SledLayout(band_of=(0, 2), n_bands=4)
+        assert layout.position_of(0) == pytest.approx(0.125)
+        assert layout.position_of(1) == pytest.approx(0.625)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SledLayout(band_of=(0, 0), n_bands=4)   # duplicate band
+        with pytest.raises(ConfigurationError):
+            SledLayout(band_of=(0, 4), n_bands=4)   # out of range
+        with pytest.raises(ConfigurationError):
+            SledLayout(band_of=(0, 1, 2), n_bands=2)  # too many items
+
+
+class TestSequentialLayout:
+    def test_identity_assignment(self):
+        layout = sequential_layout(5)
+        assert layout.band_of == (0, 1, 2, 3, 4)
+        assert layout.n_bands == 5
+
+    def test_wider_band_space(self):
+        layout = sequential_layout(3, n_bands=10)
+        assert layout.n_bands == 10
+
+
+class TestOrganPipe:
+    def test_heaviest_item_takes_centre(self):
+        layout = organ_pipe_layout([1.0, 10.0, 2.0])
+        centre = layout.n_bands // 2
+        assert layout.band_of[1] == centre
+
+    def test_alternates_outward_by_weight(self):
+        weights = [40.0, 30.0, 20.0, 10.0]
+        layout = organ_pipe_layout(weights)
+        centre = layout.n_bands // 2
+        distances = [abs(layout.band_of[i] - centre)
+                     for i in range(len(weights))]
+        # Heavier items sit closer to the centre.
+        assert distances == sorted(distances)
+
+    def test_all_bands_distinct(self):
+        layout = organ_pipe_layout(list(range(20, 0, -1)))
+        assert len(set(layout.band_of)) == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            organ_pipe_layout([])
+        with pytest.raises(ConfigurationError):
+            organ_pipe_layout([-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            organ_pipe_layout([1.0, 2.0, 3.0], n_bands=2)
+
+
+class TestExpectedSeek:
+    def test_single_item_never_seeks(self):
+        layout = sequential_layout(1)
+        assert expected_seek_time(layout, [1.0], MEMS_G3) == 0.0
+
+    def test_bounded_by_max_access(self):
+        weights = [1.0] * 16
+        layout = sequential_layout(16)
+        expected = expected_seek_time(layout, weights, MEMS_G3)
+        assert 0 < expected < MEMS_G3.max_access_time()
+
+    def test_concentrated_weight_reduces_seeks(self):
+        layout = sequential_layout(8)
+        uniform = expected_seek_time(layout, [1.0] * 8, MEMS_G3)
+        skewed = expected_seek_time(layout, [100.0] + [1.0] * 7, MEMS_G3)
+        assert skewed < uniform
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            expected_seek_time(sequential_layout(3), [1.0, 2.0], MEMS_G3)
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_seek_time(sequential_layout(2), [0.0, 0.0], MEMS_G3)
+
+
+class TestImprovement:
+    def test_skewed_popularity_gains(self):
+        weights = [2.0 ** -i for i in range(16)]
+        assert placement_improvement(weights, MEMS_G3) > 1.05
+
+    def test_gain_peaks_at_moderate_skew(self):
+        # Non-monotone in the skew: at uniform weights every layout is
+        # equivalent, and at extreme skew most accesses repeat the same
+        # item (no repositioning at all), so layout matters most in
+        # between.
+        uniform = placement_improvement([1.0] * 16, MEMS_G3)
+        moderate = placement_improvement([1.5 ** -i for i in range(16)],
+                                         MEMS_G3)
+        extreme = placement_improvement([8.0 ** -i for i in range(16)],
+                                        MEMS_G3)
+        assert moderate > extreme > uniform * (1 - 1e-9)
+        assert moderate > 1.05 and extreme > 1.0
+
+    def test_uniform_weights_no_regression(self):
+        # Organ-pipe never loses to the sequential baseline.
+        assert placement_improvement([1.0] * 12, MEMS_G3) >= 1.0 - 1e-9

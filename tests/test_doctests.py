@@ -1,0 +1,14 @@
+"""Run the doctest examples embedded in the library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.units
+
+
+@pytest.mark.parametrize("module", [repro.units])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+    assert results.failed == 0

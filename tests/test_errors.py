@@ -1,0 +1,42 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigurationError, AdmissionError, CapacityError, SchedulingError,
+        SimulationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_single_catch_covers_library_failures(self):
+        for exc_type in (ConfigurationError, AdmissionError, CapacityError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+
+class TestAdmissionError:
+    def test_carries_load_and_capacity(self):
+        err = AdmissionError("over capacity", load=2e8, capacity=1e8)
+        assert err.load == 2e8
+        assert err.capacity == 1e8
+        assert "over capacity" in str(err)
+
+    def test_defaults_are_none(self):
+        err = AdmissionError("plain")
+        assert err.load is None
+        assert err.capacity is None

@@ -1,0 +1,147 @@
+"""Experiment infrastructure: result containers, ASCII charts, CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import render_chart, render_contours
+from repro.experiments.base import ExperimentResult, Series, Table
+from repro.experiments.cli import main
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="x", x=[1, 2], y=[1])
+
+
+class TestTable:
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            Table(columns=["a", "b"], rows=[[1]])
+
+    def test_render_aligns_columns(self):
+        table = Table(columns=["name", "value"],
+                      rows=[["alpha", 1.0], ["b", 123456.789]])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) == 1
+        assert "alpha" in rendered
+        assert "1.235e+05" in rendered  # compact float formatting
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="demo", title="Demo", x_label="N", y_label="GB",
+            series=[Series(label="a", x=[1.0, 10.0], y=[2.0, 20.0])],
+            log_x=True, log_y=True)
+
+    def test_csv_long_format(self, result):
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "series,N,GB"
+        assert len(lines) == 3
+
+    def test_csv_table_format(self):
+        result = ExperimentResult(
+            experiment_id="t", title="T",
+            table=Table(columns=["c1"], rows=[["v"]]))
+        assert result.to_csv().splitlines()[0] == "c1"
+
+    def test_write_csv(self, result, tmp_path):
+        path = result.write_csv(tmp_path / "out.csv")
+        assert path.read_text() == result.to_csv()
+
+    def test_render_includes_title_and_legend(self, result):
+        text = result.render()
+        assert "demo" in text
+        assert "a" in text
+
+
+class TestAsciiChart:
+    def test_basic_chart_dimensions(self):
+        result = ExperimentResult(
+            experiment_id="d", title="d",
+            series=[Series(label="s", x=[0.0, 1.0], y=[0.0, 1.0])])
+        chart = render_chart(result, width=40, height=10)
+        # 10 grid rows + axis + labels + legend.
+        assert len(chart.splitlines()) >= 12
+
+    def test_log_scale_drops_nonpositive_points(self):
+        result = ExperimentResult(
+            experiment_id="d", title="d", log_y=True,
+            series=[Series(label="s", x=[1.0, 2.0], y=[0.0, 10.0])])
+        chart = render_chart(result)
+        assert "(no drawable points)" not in chart
+
+    def test_empty_series(self):
+        result = ExperimentResult(experiment_id="d", title="d",
+                                  series=[Series(label="s", x=[], y=[])])
+        assert "(no drawable points)" in render_chart(result)
+
+    def test_size_validation(self):
+        result = ExperimentResult(experiment_id="d", title="d")
+        with pytest.raises(ConfigurationError):
+            render_chart(result, width=5, height=5)
+
+    def test_contours_band_markers(self):
+        grid = [[10.0, 60.0], [30.0, 90.0]]
+        text = render_contours(grid, [1.0, 2.0], [1.0, 2.0], [25.0, 75.0])
+        assert "." in text  # below first level
+        assert "1" in text and "2" in text
+
+    def test_contours_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_contours([], [], [], [25.0])
+        with pytest.raises(ConfigurationError):
+            render_contours([[1.0]], [1.0], [1.0], list(range(10)))
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6a" in out and "table1" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "FutureDisk" in out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        target = tmp_path / "fig2.csv"
+        assert main(["run", "figure2", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert "MEMS" in target.read_text()
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "figure99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_design_requirements_report(self, capsys):
+        assert main(["design", "--streams", "500", "--bitrate", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "plain disk-to-DRAM" in out
+        assert "MEMS buffer" in out
+        assert "MEMS cache (replicated)" in out
+        assert "Throughput" not in out  # no budget given
+
+    def test_design_with_budget_reports_throughput(self, capsys):
+        assert main(["design", "--streams", "500", "--bitrate", "100",
+                     "--budget", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Throughput at a $150 total budget" in out
+        assert "<- requested" in out
+
+    def test_design_popularity_knob(self, capsys):
+        assert main(["design", "--streams", "100", "--bitrate", "1000",
+                     "--popularity", "1:99", "--devices", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4" in out
+
+    def test_design_infeasible_load_reports_error(self, capsys):
+        # 1000 HDTV streams exceed the disk's bandwidth outright.
+        assert main(["design", "--streams", "1000",
+                     "--bitrate", "10000"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) on the analytical core.
+
+These check structural invariants over wide parameter ranges rather
+than hand-picked values: monotonicity, positivity, tight feasibility
+boundaries, hit-rate laws, and exactness of the inverse solvers.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer_model import (
+    design_mems_buffer,
+    disk_cycle_bounds,
+    mems_cycle_floor,
+)
+from repro.core.cache_model import (
+    replicated_cache_buffer,
+    striped_cache_buffer,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity, ZipfPopularity
+from repro.core.theorems import max_streams_direct, min_buffer_direct
+from repro.devices.disk import SeekCurve
+from repro.devices.disk_geometry import DiskGeometry
+from repro.devices.mems_geometry import MemsGeometry
+from repro.errors import AdmissionError
+from repro.simulation.streams import StreamBuffer
+from repro.units import GB, KB, MB, MS
+
+# -- Strategies ---------------------------------------------------------------
+
+bit_rates = st.floats(min_value=1 * KB, max_value=20 * MB)
+rates = st.floats(min_value=10 * MB, max_value=1_000 * MB)
+latencies = st.floats(min_value=0.0, max_value=20 * MS)
+stream_counts = st.integers(min_value=1, max_value=100_000)
+ks = st.integers(min_value=1, max_value=16)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+# -- Theorem 1 -----------------------------------------------------------------
+
+class TestTheorem1Properties:
+    @given(n=stream_counts, b=bit_rates, r=rates, latency=latencies)
+    def test_positive_when_feasible(self, n, b, r, latency):
+        assume(n * b < r * 0.999)
+        s = min_buffer_direct(n, b, r, latency)
+        assert s >= 0.0
+        assert math.isfinite(s)
+
+    @given(n=stream_counts, b=bit_rates, r=rates, latency=latencies)
+    def test_monotone_in_streams(self, n, b, r, latency):
+        assume((n + 1) * b < r * 0.999)
+        assert min_buffer_direct(n + 1, b, r, latency) >= \
+            min_buffer_direct(n, b, r, latency)
+
+    @given(n=stream_counts, b=bit_rates, r=rates, latency=latencies)
+    def test_monotone_in_latency(self, n, b, r, latency):
+        assume(n * b < r * 0.999)
+        assert min_buffer_direct(n, b, r, latency + 1 * MS) >= \
+            min_buffer_direct(n, b, r, latency)
+
+    @given(n=stream_counts, b=bit_rates, r=rates, latency=latencies)
+    def test_fixed_point_identity(self, n, b, r, latency):
+        assume(n * b < r * 0.999)
+        s = min_buffer_direct(n, b, r, latency)
+        t = n * (latency + s / r)
+        assert s == pytest.approx(b * t, rel=1e-9, abs=1e-9)
+
+    @given(n=stream_counts, b=bit_rates, r=rates, latency=latencies)
+    def test_infeasible_raises(self, n, b, r, latency):
+        assume(n * b >= r)
+        with pytest.raises(AdmissionError):
+            min_buffer_direct(n, b, r, latency)
+
+    @given(b=bit_rates, r=rates, latency=st.floats(min_value=1e-5,
+                                                   max_value=20 * MS),
+           budget=st.floats(min_value=1 * MB, max_value=1_000 * GB))
+    def test_inverse_solver_exact(self, b, r, latency, budget):
+        n = max_streams_direct(b, r, latency, budget)
+        assume(n > 1e-6)
+        if n < r / b * (1 - 1e-6):
+            # Near saturation the quadratic root suffers catastrophic
+            # cancellation, hence the modest tolerance.
+            total = n * min_buffer_direct(n, b, r, latency)
+            assert total == pytest.approx(budget, rel=1e-4)
+
+
+# -- Theorem 2 -----------------------------------------------------------------
+
+class TestTheorem2Properties:
+    @given(n=st.integers(min_value=2, max_value=500), k=ks,
+           b=st.floats(min_value=10 * KB, max_value=1 * MB))
+    @settings(max_examples=60)
+    def test_design_internally_consistent(self, n, k, b):
+        params = SystemParameters(
+            n_streams=n, bit_rate=b, r_disk=300 * MB, r_mems=320 * MB,
+            l_disk=3 * MS, l_mems=0.59 * MS, k=k, size_mems=10 * GB)
+        doubled = 2 * (n + k - 1) * b
+        assume(doubled < k * 320 * MB * 0.99)
+        assume(n * b < 300 * MB * 0.99)
+        lower, upper = disk_cycle_bounds(params)
+        assume(upper > lower and upper > mems_cycle_floor(params) * 1.01)
+        design = design_mems_buffer(params, quantise=False)
+        assert design.s_mems_dram > 0
+        assert design.t_disk >= lower
+        # Eq. 7 holds at the operating point.
+        assert 2 * n * b * design.t_disk <= k * 10 * GB * (1 + 1e-9)
+
+    @given(n=st.integers(min_value=2, max_value=300),
+           b=st.floats(min_value=10 * KB, max_value=500 * KB))
+    @settings(max_examples=60)
+    def test_quantised_m_in_range(self, n, b):
+        params = SystemParameters(
+            n_streams=n, bit_rate=b, r_disk=300 * MB, r_mems=320 * MB,
+            l_disk=3 * MS, l_mems=0.59 * MS, k=2, size_mems=10 * GB)
+        try:
+            design = design_mems_buffer(params)
+        except Exception:
+            assume(False)
+        if design.m is not None:
+            assert 1 <= design.m < n
+            assert design.t_mems == pytest.approx(
+                design.m / n * design.t_disk)
+
+    @given(n=st.integers(min_value=2, max_value=400), k=ks,
+           b=st.floats(min_value=10 * KB, max_value=1 * MB))
+    @settings(max_examples=60)
+    def test_more_devices_never_hurt(self, n, k, b):
+        def dram(k_val: int) -> float:
+            params = SystemParameters(
+                n_streams=n, bit_rate=b, r_disk=300 * MB, r_mems=320 * MB,
+                l_disk=3 * MS, l_mems=0.59 * MS, k=k_val, size_mems=None)
+            return design_mems_buffer(params, quantise=False).total_dram
+
+        doubled = 2 * (n + k - 1) * b
+        assume(doubled < k * 320 * MB * 0.99)
+        assume(n * b < 300 * MB * 0.99)
+        # Adding a device to an *unlimited-storage* design never
+        # increases the DRAM requirement.
+        assert dram(k + 1) <= dram(k) * (1 + 1e-9)
+
+
+# -- Cache buffers --------------------------------------------------------------
+
+class TestCacheProperties:
+    @given(n=st.integers(min_value=1, max_value=200), k=ks, b=bit_rates)
+    def test_striped_positive_and_monotone(self, n, k, b):
+        assume((n + 1) * b < k * 320 * MB * 0.99)
+        small = striped_cache_buffer(n, b, k, 320 * MB, 0.59 * MS)
+        large = striped_cache_buffer(n + 1, b, k, 320 * MB, 0.59 * MS)
+        assert 0 <= small <= large
+
+    @given(n=st.integers(min_value=1, max_value=200), k=ks, b=bit_rates)
+    def test_replication_beats_striping_above_k_streams(self, n, k, b):
+        assume(n >= k)
+        assume((n + k) * b < k * 320 * MB * 0.99)
+        replicated = replicated_cache_buffer(n, b, k, 320 * MB, 0.59 * MS)
+        striped = striped_cache_buffer(n, b, k, 320 * MB, 0.59 * MS)
+        # With at least k streams the (n+k-1)/k per-device load never
+        # exceeds the striped n seeks; replication needs no more DRAM.
+        assert replicated <= striped * (1 + 1e-9)
+
+
+# -- Popularity ------------------------------------------------------------------
+
+class TestPopularityProperties:
+    @given(x=st.floats(min_value=0.5, max_value=50),
+           extra=st.floats(min_value=0.0, max_value=49),
+           p1=fractions, p2=fractions)
+    def test_bimodal_monotone_and_bounded(self, x, extra, p1, p2):
+        y = min(x + extra + 0.5, 99.0)
+        assume(y >= x)
+        dist = BimodalPopularity(x, y)
+        lo, hi = sorted((p1, p2))
+        assert 0.0 <= dist.hit_rate(lo) <= dist.hit_rate(hi) <= 1.0
+
+    @given(x=st.floats(min_value=1, max_value=49))
+    def test_bimodal_endpoint_identities(self, x):
+        dist = BimodalPopularity(x, 100 - x if 100 - x > x else x)
+        assert dist.hit_rate(0.0) == 0.0
+        assert dist.hit_rate(1.0) == pytest.approx(1.0)
+
+    @given(alpha=st.floats(min_value=0.0, max_value=2.0),
+           n=st.integers(min_value=1, max_value=2_000),
+           p1=fractions, p2=fractions)
+    @settings(max_examples=60)
+    def test_zipf_monotone_and_bounded(self, alpha, n, p1, p2):
+        dist = ZipfPopularity(alpha=alpha, n_titles=n)
+        lo, hi = sorted((p1, p2))
+        assert 0.0 <= dist.hit_rate(lo) <= dist.hit_rate(hi) + 1e-12
+        assert dist.hit_rate(hi) <= 1.0
+
+    @given(x=st.floats(min_value=1, max_value=49), p=fractions)
+    def test_skew_never_reduces_hit_rate(self, x, p):
+        # At the same cached fraction, a more skewed distribution hits
+        # at least as often (for p below the popular-class size).
+        mild = BimodalPopularity(x, 60.0)
+        sharp = BimodalPopularity(x, 95.0)
+        assert sharp.hit_rate(p) >= mild.hit_rate(p) - 1e-12
+
+
+# -- Device geometry --------------------------------------------------------------
+
+class TestGeometryProperties:
+    @given(lba_seed=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=40)
+    def test_disk_lba_roundtrip(self, lba_seed):
+        geo = DiskGeometry.synthesize(capacity_bytes=100 * GB,
+                                      n_cylinders=5_000)
+        lba = lba_seed % geo.total_sectors
+        assert geo.physical_to_lba(geo.lba_to_physical(lba)) == lba
+
+    @given(block_seed=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=40)
+    def test_mems_block_roundtrip(self, block_seed):
+        geo = MemsGeometry.synthesize(capacity_bytes=1 * GB)
+        block = block_seed % geo.sectors_total
+        assert geo.sector_to_block(geo.block_to_sector(block)) == block
+
+    @given(avg=st.floats(min_value=0.5 * MS, max_value=10 * MS),
+           spread=st.floats(min_value=1.3, max_value=5.0))
+    def test_seek_curve_calibration_recovers_average(self, avg, spread):
+        curve = SeekCurve.calibrate(average_seek=avg,
+                                    full_stroke_seek=avg * spread,
+                                    n_cylinders=10_000)
+        assert curve.average_seek_time() == pytest.approx(avg, rel=1e-6)
+
+    @given(avg=st.floats(min_value=0.5 * MS, max_value=10 * MS),
+           spread=st.floats(min_value=1.3, max_value=5.0),
+           d1=st.integers(min_value=0, max_value=10_000),
+           d2=st.integers(min_value=0, max_value=10_000))
+    def test_seek_curve_monotone(self, avg, spread, d1, d2):
+        curve = SeekCurve.calibrate(average_seek=avg,
+                                    full_stroke_seek=avg * spread,
+                                    n_cylinders=10_000)
+        lo, hi = sorted((d1, d2))
+        assert curve.seek_time(lo) <= curve.seek_time(hi) + 1e-15
+
+
+# -- Stream buffer conservation -----------------------------------------------------
+
+class TestStreamBufferProperties:
+    @given(credits=st.lists(
+        st.tuples(st.floats(min_value=0.01, max_value=5.0),
+                  st.floats(min_value=0.0, max_value=5e6)),
+        min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_byte_conservation(self, credits):
+        """credited == level + consumed + deficit at all times."""
+        buf = StreamBuffer(0, bit_rate=1e6)
+        clock = 0.0
+        total_credited = 0.0
+        buf.credit(0.0, 1e6)
+        total_credited += 1e6
+        buf.start_playback(0.0)
+        for gap, amount in credits:
+            clock += gap
+            buf.credit(clock, amount)
+            total_credited += amount
+        level = buf.level(clock)
+        deficit = sum(u.deficit for u in buf.underflows)
+        consumed = 1e6 * clock - deficit
+        assert total_credited == pytest.approx(level + consumed,
+                                               rel=1e-6, abs=10.0)

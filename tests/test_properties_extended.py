@@ -1,0 +1,183 @@
+"""Property-based tests for the extension modules and device statistics."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import SystemParameters
+from repro.core.write_streams import design_mixed_streams
+from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
+from repro.devices.mems_placement import (
+    expected_seek_time,
+    organ_pipe_layout,
+    sequential_layout,
+)
+from repro.errors import AdmissionError, CapacityError
+from repro.scheduling.elevator import ElevatorScheduler
+from repro.scheduling.requests import IoKind, IoRequest
+from repro.scheduling.sptf import (
+    batch_positioning_time,
+    sptf_order,
+    x_elevator_order,
+)
+from repro.units import GB, KB, MB, MS
+from repro.workloads.arrivals import erlang_b
+
+
+class TestErlangBProperties:
+    @given(load=st.floats(min_value=0.0, max_value=500.0),
+           capacity=st.integers(min_value=0, max_value=400))
+    def test_is_a_probability(self, load, capacity):
+        b = erlang_b(load, capacity)
+        assert 0.0 <= b <= 1.0
+
+    @given(load=st.floats(min_value=0.01, max_value=300.0),
+           capacity=st.integers(min_value=1, max_value=300))
+    def test_recurrence_identity(self, load, capacity):
+        # B(c) = a·B(c-1) / (c + a·B(c-1)) — the defining recurrence.
+        prev = erlang_b(load, capacity - 1)
+        current = erlang_b(load, capacity)
+        assert current == pytest.approx(
+            load * prev / (capacity + load * prev), rel=1e-12)
+
+    @given(load=st.floats(min_value=0.1, max_value=100.0),
+           capacity=st.integers(min_value=1, max_value=100))
+    def test_carried_load_below_capacity(self, load, capacity):
+        carried = load * (1.0 - erlang_b(load, capacity))
+        assert carried <= capacity + 1e-9
+
+
+class TestElevatorOrderStatistics:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           queue=st.integers(min_value=4, max_value=128))
+    @settings(max_examples=30)
+    def test_sweep_visits_each_position_once(self, seed, queue):
+        rng = random.Random(seed)
+        requests = [IoRequest(deadline=1.0, stream_id=i, kind=IoKind.READ,
+                              size=1.0, position=rng.random())
+                    for i in range(queue)]
+        scheduler = ElevatorScheduler(head_position=rng.random())
+        ordered = scheduler.order(list(requests))
+        assert sorted(r.request_id for r in ordered) == \
+            sorted(r.request_id for r in requests)
+
+    def test_mean_gap_matches_latency_model(self):
+        # The scheduled_latency model assumes mean inter-service seek
+        # distance 1/(q+1) of the stroke; verify by Monte Carlo.
+        rng = random.Random(7)
+        queue = 16
+        gaps = []
+        for _ in range(4_000):
+            positions = sorted(rng.random() for _ in range(queue))
+            gaps.append(positions[0])
+            gaps.extend(b - a for a, b in zip(positions, positions[1:]))
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1.0 / (queue + 1), rel=0.05)
+
+
+class TestSptfProperties:
+    @given(seed=st.integers(min_value=0, max_value=1_000),
+           batch=st.integers(min_value=2, max_value=48))
+    @settings(max_examples=25, deadline=None)
+    def test_sptf_no_worse_than_submission_order(self, seed, batch):
+        points = np.random.default_rng(seed).random((batch, 2))
+        sptf = batch_positioning_time(MEMS_G3, points,
+                                      sptf_order(MEMS_G3, points))
+        fifo = batch_positioning_time(MEMS_G3, points, list(range(batch)))
+        assert sptf <= fifo * (1 + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=1_000),
+           batch=st.integers(min_value=2, max_value=48))
+    @settings(max_examples=25, deadline=None)
+    def test_orders_are_permutations(self, seed, batch):
+        points = np.random.default_rng(seed).random((batch, 2))
+        assert sorted(sptf_order(MEMS_G3, points)) == list(range(batch))
+        assert sorted(x_elevator_order(points)) == list(range(batch))
+
+
+class TestPlacementProperties:
+    @given(seed=st.integers(min_value=0, max_value=1_000),
+           n=st.integers(min_value=2, max_value=24))
+    @settings(max_examples=30)
+    def test_organ_pipe_no_worse_than_sequential(self, seed, n):
+        rng = np.random.default_rng(seed)
+        weights = list(rng.random(n) + 0.01)
+        tuned = expected_seek_time(organ_pipe_layout(weights), weights,
+                                   MEMS_G3)
+        naive = expected_seek_time(sequential_layout(n), weights, MEMS_G3)
+        assert tuned <= naive * (1 + 1e-9)
+
+    @given(n=st.integers(min_value=1, max_value=24))
+    def test_expected_seek_below_worst_case(self, n):
+        weights = [1.0] * n
+        value = expected_seek_time(sequential_layout(n), weights, MEMS_G3)
+        assert 0.0 <= value <= MEMS_G3.max_access_time()
+
+
+class TestMixedStreamProperties:
+    @given(readers=st.integers(min_value=0, max_value=800),
+           writers=st.integers(min_value=0, max_value=800))
+    @settings(max_examples=40)
+    def test_writers_never_cost_more_dram_than_readers(self, readers,
+                                                       writers):
+        assume(readers + writers >= 1)
+        params = SystemParameters.table3_default(
+            n_streams=1, bit_rate=100 * KB, k=2)
+        n = readers + writers
+        try:
+            mixed = design_mixed_streams(params, n_readers=readers,
+                                         n_writers=writers)
+            all_readers = design_mixed_streams(params, n_readers=n,
+                                               n_writers=0)
+        except (AdmissionError, CapacityError):
+            assume(False)
+        # Swapping readers for writers relaxes the staging bound and
+        # never increases the per-stream DRAM.
+        assert mixed.s_dram <= all_readers.s_dram * (1 + 1e-9)
+
+    @given(readers=st.integers(min_value=1, max_value=800))
+    @settings(max_examples=30)
+    def test_bank_requirement_monotone_in_readers(self, readers):
+        params = SystemParameters.table3_default(
+            n_streams=1, bit_rate=100 * KB, k=2)
+        try:
+            fewer = design_mixed_streams(params, n_readers=readers,
+                                         n_writers=100)
+            more = design_mixed_streams(params, n_readers=readers + 50,
+                                        n_writers=100)
+        except (AdmissionError, CapacityError):
+            assume(False)
+        # At the binding storage bound, both saturate the bank.
+        assert fewer.bank_bytes_required == \
+            pytest.approx(more.bank_bytes_required, rel=1e-9)
+
+
+class TestMemsAccessStatistics:
+    def test_average_access_matches_monte_carlo(self):
+        # The quadrature in MemsDevice.average_access_time against a
+        # direct Monte-Carlo of the same kinematic model.
+        rng = np.random.default_rng(3)
+        n = 200_000
+        dx = np.abs(rng.random(n) - rng.random(n))
+        dy = np.abs(rng.random(n) - rng.random(n))
+        t_x = np.where(dx > 0, MEMS_G3.full_stroke_x * np.sqrt(dx)
+                       + MEMS_G3.settle_x, 0.0)
+        t_y = MEMS_G3.full_stroke_y * np.sqrt(dy)
+        empirical = float(np.maximum(t_x, t_y).mean())
+        assert MEMS_G3.average_access_time() == \
+            pytest.approx(empirical, rel=0.01)
+
+    def test_disk_average_seek_matches_monte_carlo(self):
+        rng = np.random.default_rng(4)
+        n = 200_000
+        curve = FUTURE_DISK_2007.seek_curve
+        distances = np.abs(rng.random(n) - rng.random(n)) \
+            * curve.n_cylinders
+        empirical = float(np.mean([curve.seek_time(float(d))
+                                   for d in distances[:20_000]]))
+        assert curve.average_seek_time() == \
+            pytest.approx(empirical, rel=0.02)

@@ -1,0 +1,92 @@
+"""Admission control against the analytical bounds."""
+
+import pytest
+
+from repro.core.cache_model import CachePolicy
+from repro.core.capacity import streams_supported
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.errors import ConfigurationError
+from repro.scheduling.admission import AdmissionController
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=1, bit_rate=1 * MB, k=2)
+
+
+class TestBasicAdmission:
+    def test_starts_empty(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        assert controller.admitted_streams == 0
+
+    def test_admits_first_stream(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        decision = controller.try_admit()
+        assert decision.admitted
+        assert decision.n_streams == 1
+        assert decision.dram_required is not None
+
+    def test_fill_matches_capacity_solver(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        filled = controller.fill()
+        assert filled == streams_supported(params, 1 * GB)
+
+    def test_rejection_reason_mentions_dram(self):
+        tiny = SystemParameters.table3_default(n_streams=1,
+                                               bit_rate=100 * KB, k=2)
+        controller = AdmissionController(tiny, 10 * 1e6)  # 10 MB only
+        controller.fill()
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert "DRAM" in decision.reason
+
+    def test_bandwidth_rejection(self, params):
+        # Huge DRAM: the rejection must come from the device bandwidth.
+        controller = AdmissionController(params, 1e15)
+        controller.fill()
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert decision.dram_required is None  # feasibility failure
+
+    def test_release_returns_capacity(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        filled = controller.fill()
+        controller.release(5)
+        assert controller.admitted_streams == filled - 5
+        assert controller.try_admit().admitted
+
+    def test_release_validation(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        with pytest.raises(ConfigurationError):
+            controller.release(1)
+
+
+class TestConfigurations:
+    def test_buffer_admits_more_than_plain_when_dram_bound(self):
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=100 * KB, k=2)
+        plain = AdmissionController(params, 1 * GB).fill()
+        buffered = AdmissionController(params, 1 * GB,
+                                       configuration="buffer").fill()
+        assert buffered > plain
+
+    def test_cache_configuration(self, params):
+        controller = AdmissionController(
+            params, 1 * GB, configuration="cache",
+            policy=CachePolicy.REPLICATED,
+            popularity=BimodalPopularity(5, 95))
+        assert controller.fill() > 0
+
+    def test_cache_requires_policy(self, params):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(params, 1 * GB, configuration="cache")
+
+    def test_unknown_configuration(self, params):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(params, 1 * GB, configuration="magic")
+
+    def test_negative_budget(self, params):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(params, -1.0)

@@ -1,0 +1,122 @@
+"""IO requests, elevator (C-LOOK) ordering, and EDF ordering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduling.edf import EdfScheduler
+from repro.scheduling.elevator import ElevatorScheduler
+from repro.scheduling.requests import IoKind, IoRequest
+
+
+def make_request(position: float, deadline: float = 1.0,
+                 stream_id: int = 0) -> IoRequest:
+    return IoRequest(deadline=deadline, stream_id=stream_id,
+                     kind=IoKind.READ, size=1e6, position=position)
+
+
+class TestIoRequest:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_request(position=1.5)
+        with pytest.raises(ConfigurationError):
+            IoRequest(deadline=1.0, stream_id=0, kind=IoKind.READ, size=-1)
+
+    def test_ordering_by_deadline_then_arrival(self):
+        early = make_request(0.5, deadline=1.0)
+        late = make_request(0.5, deadline=2.0)
+        tie = make_request(0.1, deadline=1.0)
+        assert early < late
+        assert early < tie  # same deadline: earlier request id wins
+
+    def test_slack(self):
+        req = IoRequest(deadline=5.0, stream_id=0, kind=IoKind.WRITE,
+                        size=10, issue_time=2.0)
+        assert req.slack == pytest.approx(3.0)
+
+    def test_unique_ids(self):
+        a, b = make_request(0.1), make_request(0.2)
+        assert a.request_id != b.request_id
+
+
+class TestElevator:
+    def test_ascending_sweep_from_head(self):
+        scheduler = ElevatorScheduler(head_position=0.3)
+        requests = [make_request(p) for p in (0.9, 0.1, 0.5, 0.4, 0.2)]
+        ordered = scheduler.order(requests)
+        assert [r.position for r in ordered] == [0.4, 0.5, 0.9, 0.1, 0.2]
+
+    def test_head_advances_to_last_serviced(self):
+        scheduler = ElevatorScheduler()
+        scheduler.order([make_request(0.7), make_request(0.2)])
+        assert scheduler.head_position == 0.7
+
+    def test_empty_batch(self):
+        scheduler = ElevatorScheduler()
+        assert scheduler.order([]) == []
+
+    def test_stable_for_equal_positions(self):
+        scheduler = ElevatorScheduler()
+        a, b = make_request(0.5), make_request(0.5)
+        ordered = scheduler.order([b, a])
+        # Equal positions keep request-id (submission) order.
+        assert ordered[0].request_id < ordered[1].request_id
+
+    def test_sweep_distance_sorted_batch(self):
+        scheduler = ElevatorScheduler(head_position=0.0)
+        requests = [make_request(p) for p in (0.2, 0.5, 0.9)]
+        assert scheduler.sweep_distance(requests) == pytest.approx(0.9)
+
+    def test_sweep_distance_with_wrap(self):
+        scheduler = ElevatorScheduler(head_position=0.5)
+        requests = [make_request(p) for p in (0.7, 0.1, 0.3)]
+        # 0.5 -> 0.7 (0.2), wrap 0.7 -> 0.1 (0.6), 0.1 -> 0.3 (0.2).
+        assert scheduler.sweep_distance(requests) == pytest.approx(1.0)
+
+    def test_elevator_travel_beats_fifo(self):
+        import random
+
+        rng = random.Random(3)
+        positions = [rng.random() for _ in range(64)]
+        requests = [make_request(p) for p in positions]
+        scheduler = ElevatorScheduler(head_position=0.0)
+        sweep = scheduler.sweep_distance(requests)
+        fifo = sum(abs(b - a) for a, b in zip([0.0] + positions, positions))
+        assert sweep < fifo
+
+    def test_head_position_validated(self):
+        with pytest.raises(ConfigurationError):
+            ElevatorScheduler(head_position=2.0)
+
+
+class TestEdf:
+    def test_pop_order_is_deadline_order(self):
+        scheduler = EdfScheduler()
+        reqs = [make_request(0.1, deadline=d) for d in (3.0, 1.0, 2.0)]
+        scheduler.submit_all(reqs)
+        deadlines = [scheduler.pop().deadline for _ in range(3)]
+        assert deadlines == [1.0, 2.0, 3.0]
+
+    def test_pop_empty_returns_none(self):
+        assert EdfScheduler().pop() is None
+
+    def test_len(self):
+        scheduler = EdfScheduler()
+        scheduler.submit(make_request(0.1))
+        assert len(scheduler) == 1
+
+    def test_static_order(self):
+        reqs = [make_request(0.1, deadline=d) for d in (2.0, 1.0)]
+        ordered = EdfScheduler.order(reqs)
+        assert [r.deadline for r in ordered] == [1.0, 2.0]
+
+    def test_edf_ignores_position(self):
+        # The related-work trade-off: EDF seeks more than the elevator.
+        reqs = [make_request(0.9, deadline=1.0), make_request(0.1,
+                                                              deadline=2.0),
+                make_request(0.8, deadline=3.0)]
+        ordered = EdfScheduler.order(reqs)
+        positions = [r.position for r in ordered]
+        assert positions == [0.9, 0.1, 0.8]  # deadline order, not C-LOOK
+        travel = sum(abs(b - a) for a, b in zip(positions, positions[1:]))
+        elevator = ElevatorScheduler(head_position=0.0)
+        assert elevator.sweep_distance(reqs) <= travel + 0.9

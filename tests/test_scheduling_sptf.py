@@ -1,0 +1,103 @@
+"""SPTF scheduling on MEMS devices."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import MEMS_G3
+from repro.errors import ConfigurationError
+from repro.scheduling.sptf import (
+    batch_positioning_time,
+    positioning_time_matrix,
+    sptf_order,
+    sptf_speedup,
+    x_elevator_order,
+)
+
+
+@pytest.fixture
+def points() -> np.ndarray:
+    return np.random.default_rng(5).random((32, 2))
+
+
+class TestMatrix:
+    def test_symmetric_zero_diagonal(self, points):
+        matrix = positioning_time_matrix(MEMS_G3, points)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_entries_match_device_model(self, points):
+        matrix = positioning_time_matrix(MEMS_G3, points)
+        i, j = 3, 17
+        dx = abs(points[i, 0] - points[j, 0])
+        dy = abs(points[i, 1] - points[j, 1])
+        assert matrix[i, j] == pytest.approx(
+            MEMS_G3.positioning_time(dx, dy))
+
+    def test_bounded_by_max_access(self, points):
+        matrix = positioning_time_matrix(MEMS_G3, points)
+        assert matrix.max() <= MEMS_G3.max_access_time() + 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            positioning_time_matrix(MEMS_G3, np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            positioning_time_matrix(MEMS_G3, np.array([[0.5, 1.5]]))
+
+
+class TestOrders:
+    def test_sptf_is_a_permutation(self, points):
+        order = sptf_order(MEMS_G3, points)
+        assert sorted(order) == list(range(len(points)))
+
+    def test_sptf_first_pick_is_cheapest_from_start(self, points):
+        order = sptf_order(MEMS_G3, points, start=(0.5, 0.0))
+        costs = [MEMS_G3.positioning_time(abs(p[0] - 0.5), abs(p[1]))
+                 for p in points]
+        assert order[0] == int(np.argmin(costs))
+
+    def test_elevator_sweeps_ascending_x(self, points):
+        order = x_elevator_order(points, head_x=0.0)
+        xs = [points[i, 0] for i in order]
+        assert xs == sorted(xs)
+
+    def test_elevator_wraps(self):
+        pts = np.array([[0.2, 0.5], [0.8, 0.5], [0.4, 0.5]])
+        order = x_elevator_order(pts, head_x=0.5)
+        assert order == [1, 0, 2]
+
+    def test_empty_batch(self):
+        assert sptf_order(MEMS_G3, np.zeros((0, 2))) == []
+        assert x_elevator_order(np.zeros((0, 2))) == []
+
+    def test_start_validated(self, points):
+        with pytest.raises(ConfigurationError):
+            sptf_order(MEMS_G3, points, start=(2.0, 0.0))
+
+
+class TestBatchTime:
+    def test_respects_order(self, points):
+        sptf = batch_positioning_time(MEMS_G3, points,
+                                      sptf_order(MEMS_G3, points))
+        reverse = batch_positioning_time(
+            MEMS_G3, points, list(reversed(range(len(points)))))
+        assert sptf <= reverse
+
+    def test_permutation_checked(self, points):
+        with pytest.raises(ConfigurationError):
+            batch_positioning_time(MEMS_G3, points, [0, 0, 1])
+
+
+class TestSpeedup:
+    def test_sptf_beats_x_elevator(self):
+        # Griffin et al.'s qualitative finding: single-axis orderings
+        # are suboptimal on a sled that moves both axes concurrently.
+        assert sptf_speedup(MEMS_G3, batch_size=48, n_batches=8) > 1.05
+
+    def test_deterministic_for_seed(self):
+        a = sptf_speedup(MEMS_G3, batch_size=16, n_batches=4, seed=2)
+        b = sptf_speedup(MEMS_G3, batch_size=16, n_batches=4, seed=2)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sptf_speedup(MEMS_G3, batch_size=0)

@@ -1,0 +1,141 @@
+"""Time-cycle schedule construction and the Figures 4-5 structure."""
+
+import math
+
+import pytest
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError, SchedulingError
+from repro.scheduling.time_cycle import (
+    CycleOperation,
+    OperationKind,
+    build_buffer_schedule,
+    build_direct_schedule,
+)
+from repro.units import MB
+
+
+@pytest.fixture
+def params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=10, bit_rate=1 * MB,
+                                           k=1)
+
+
+@pytest.fixture
+def bank_params() -> SystemParameters:
+    # The paper's Figure 5 example: N=45, k=3.
+    return SystemParameters.table3_default(n_streams=45, bit_rate=1 * MB,
+                                           k=3)
+
+
+class TestDirectSchedule:
+    def test_one_io_per_stream(self, params):
+        schedule = build_direct_schedule(params)
+        assert len(schedule.disk_cycles) == 1
+        ops = schedule.disk_cycles[0]
+        assert len(ops) == 10
+        assert {op.stream_id for op in ops} == set(range(10))
+        assert all(op.kind is OperationKind.DISK_READ for op in ops)
+
+    def test_io_size_is_cycle_worth(self, params):
+        schedule = build_direct_schedule(params)
+        op = schedule.disk_cycles[0][0]
+        assert op.size == pytest.approx(params.bit_rate * schedule.t_disk)
+
+    def test_longer_cycle_allowed(self, params):
+        schedule = build_direct_schedule(params, t_cycle=10.0)
+        assert schedule.t_disk == 10.0
+        schedule.verify_steady_state()
+
+    def test_below_minimum_cycle_rejected(self, params):
+        minimum = build_direct_schedule(params).t_disk
+        with pytest.raises(SchedulingError):
+            build_direct_schedule(params, t_cycle=minimum / 2)
+
+    def test_steady_state_holds(self, params):
+        build_direct_schedule(params).verify_steady_state()
+
+    def test_fractional_streams_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            build_direct_schedule(params.replace(n_streams=2.5))
+
+
+class TestBufferSchedule:
+    def test_figure4_structure(self, params):
+        # Single MEMS device, N=10: each MEMS cycle has 10 DRAM
+        # transfers and M disk transfers (M < N).
+        design = design_mems_buffer(params)
+        schedule = build_buffer_schedule(design)
+        cycle = schedule.mems_cycles[0]
+        reads = [op for op in cycle if op.kind is OperationKind.MEMS_READ]
+        writes = [op for op in cycle if op.kind is OperationKind.MEMS_WRITE]
+        assert len(reads) == 10
+        assert len(writes) == design.m
+
+    def test_figure5_round_robin_device_assignment(self, bank_params):
+        design = design_mems_buffer(bank_params)
+        schedule = build_buffer_schedule(design)
+        disk_ops = schedule.disk_cycles[0]
+        # Every k-th disk IO lands on the same device (Section 3.1.2).
+        devices = [op.device_index for op in disk_ops]
+        assert devices[:6] == [0, 1, 2, 0, 1, 2]
+        # 45 streams over 3 devices: 15 DRAM transfers per device/cycle.
+        cycle = schedule.mems_cycles[0]
+        per_device = {}
+        for op in cycle:
+            if op.kind is OperationKind.MEMS_READ:
+                per_device[op.device_index] = \
+                    per_device.get(op.device_index, 0) + 1
+        assert per_device == {0: 15, 1: 15, 2: 15}
+
+    def test_cycle_ratio_matches_m_over_n(self, bank_params):
+        design = design_mems_buffer(bank_params)
+        schedule = build_buffer_schedule(design)
+        assert schedule.t_mems / schedule.t_disk == \
+            pytest.approx(design.m / 45)
+
+    def test_hyper_period_balance(self, bank_params):
+        design = design_mems_buffer(bank_params)
+        schedule = build_buffer_schedule(design)
+        schedule.verify_steady_state()
+        read = schedule.bytes_by_kind(OperationKind.MEMS_READ)
+        written = schedule.bytes_by_kind(OperationKind.MEMS_WRITE)
+        assert read == pytest.approx(written)
+
+    def test_writes_preserve_disk_io_size(self, bank_params):
+        # Routing whole IOs (not striping) preserves the disk-side IO
+        # size on the MEMS device.
+        design = design_mems_buffer(bank_params)
+        schedule = build_buffer_schedule(design)
+        writes = [op for cycle in schedule.mems_cycles for op in cycle
+                  if op.kind is OperationKind.MEMS_WRITE]
+        assert all(op.size == pytest.approx(design.s_disk_mems)
+                   for op in writes)
+
+    def test_unquantised_design_rejected(self, params):
+        design = design_mems_buffer(params, quantise=False)
+        with pytest.raises(SchedulingError):
+            build_buffer_schedule(design)
+
+    def test_steady_state_detects_imbalance(self, params):
+        design = design_mems_buffer(params)
+        schedule = build_buffer_schedule(design)
+        # Corrupt one operation's size: the invariant must trip.
+        bad = CycleOperation(kind=OperationKind.MEMS_READ, stream_id=0,
+                             device_index=0, size=1.0)
+        schedule.mems_cycles[0][0] = bad
+        with pytest.raises(SchedulingError):
+            schedule.verify_steady_state()
+
+
+class TestOperationValidation:
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CycleOperation(kind=OperationKind.DISK_READ, stream_id=-1,
+                           device_index=None, size=1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CycleOperation(kind=OperationKind.DISK_READ, stream_id=0,
+                           device_index=None, size=-1.0)

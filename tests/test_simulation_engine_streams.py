@@ -1,0 +1,167 @@
+"""DES core and the piecewise-linear stream buffer model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation.engine import EventQueue, Simulator
+from repro.simulation.streams import StreamBuffer
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(2.0, lambda s: seen.append("b"))
+        queue.push(1.0, lambda s: seen.append("a"))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 2.0
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda s: None, label="first")
+        queue.push(1.0, lambda s: None, label="second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, lambda s: None)
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 1
+        assert bool(queue)
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(2.0, lambda s: order.append(2))
+        sim.at(1.0, lambda s: order.append(1))
+        sim.run()
+        assert order == [1, 2]
+        assert sim.now == 2.0
+
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        times = []
+        sim.after(1.0, lambda s: (times.append(s.now),
+                                  s.after(0.5, lambda s2:
+                                          times.append(s2.now))))
+        sim.run()
+        assert times == [1.0, 1.5]
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda s: seen.append(1))
+        sim.at(5.0, lambda s: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(1.0, lambda s: s.at(0.5, lambda s2: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda s: None)
+
+    def test_event_budget(self):
+        sim = Simulator(max_events=10)
+
+        def rearm(s):
+            s.after(0.1, rearm)
+
+        sim.after(0.1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_validated(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(max_events=0)
+
+
+class TestStreamBuffer:
+    def test_no_drain_before_playback(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(0.0, 5e6)
+        assert buf.level(10.0) == pytest.approx(5e6)
+
+    def test_linear_drain_after_playback(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(0.0, 5e6)
+        buf.start_playback(0.0)
+        assert buf.level(2.0) == pytest.approx(3e6)
+
+    def test_exact_exhaustion_is_not_underflow(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(0.0, 5e6)
+        buf.start_playback(0.0)
+        assert buf.level(5.0) == pytest.approx(0.0)
+        assert not buf.underflows
+
+    def test_underflow_recorded_with_deficit(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(0.0, 5e6)
+        buf.start_playback(0.0)
+        buf.level(7.0)
+        assert len(buf.underflows) == 1
+        event = buf.underflows[0]
+        assert event.deficit == pytest.approx(2e6)
+        assert event.duration == pytest.approx(2.0)
+        assert event.start == pytest.approx(5.0)
+
+    def test_epsilon_deficits_forgiven(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(0.0, 1e6)
+        buf.start_playback(0.0)
+        buf.level(1.0 + 1e-12)  # rounding-scale overshoot
+        assert not buf.underflows
+
+    def test_overflow_raises(self):
+        buf = StreamBuffer(0, bit_rate=1e6, capacity=1e6)
+        with pytest.raises(SimulationError):
+            buf.credit(0.0, 2e6)
+
+    def test_time_cannot_go_backwards(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(5.0, 1e6)
+        with pytest.raises(SimulationError):
+            buf.level(4.0)
+
+    def test_min_and_peak_levels(self):
+        buf = StreamBuffer(0, bit_rate=1e6, capacity=1e7)
+        buf.credit(0.0, 4e6)
+        buf.start_playback(0.0)
+        buf.credit(2.0, 1e6)  # level 2e6 -> 3e6
+        buf.level(5.0)  # drains to 0
+        assert buf.peak_level == pytest.approx(4e6)
+        assert buf.min_level == pytest.approx(0.0)
+
+    def test_playback_start_recorded(self):
+        buf = StreamBuffer(0, bit_rate=1e6)
+        buf.credit(1.0, 1e6)
+        buf.start_playback(1.5)
+        assert buf.playback_start == 1.5
+        with pytest.raises(SimulationError):
+            buf.start_playback(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(-1, bit_rate=1e6)
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(0, bit_rate=0)
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(0, bit_rate=1e6, capacity=0)
+        buf = StreamBuffer(0, bit_rate=1e6)
+        with pytest.raises(ConfigurationError):
+            buf.credit(0.0, -1)

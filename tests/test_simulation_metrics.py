@@ -1,0 +1,106 @@
+"""Metrics containers: resource usage accounting and stream summaries."""
+
+import math
+
+import pytest
+
+from repro.simulation.metrics import (
+    ResourceUsage,
+    SimulationReport,
+    summarize_streams,
+)
+from repro.simulation.streams import StreamBuffer
+
+
+class TestResourceUsage:
+    def test_record_cycle_accumulates(self):
+        usage = ResourceUsage(name="disk")
+        usage.record_cycle(0.5, 1.0)
+        usage.record_cycle(0.7, 1.0)
+        assert usage.busy_time == pytest.approx(1.2)
+        assert usage.worst_cycle_utilization == pytest.approx(0.7)
+        assert usage.cycle_overruns == 0
+
+    def test_overrun_detection(self):
+        usage = ResourceUsage(name="disk")
+        usage.record_cycle(1.2, 1.0)
+        assert usage.cycle_overruns == 1
+        assert usage.worst_cycle_utilization == pytest.approx(1.2)
+
+    def test_exact_fit_is_not_an_overrun(self):
+        usage = ResourceUsage(name="disk")
+        usage.record_cycle(1.0, 1.0)
+        assert usage.cycle_overruns == 0
+
+    def test_zero_length_cycle_ignored_for_utilization(self):
+        usage = ResourceUsage(name="disk")
+        usage.record_cycle(0.5, 0.0)
+        assert usage.worst_cycle_utilization == 0.0
+        assert usage.busy_time == 0.5
+
+
+class TestSimulationReport:
+    def _report(self, **overrides):
+        defaults = dict(horizon=10.0, bytes_delivered=100.0, underflows=[],
+                        resources={"disk": ResourceUsage(name="disk",
+                                                         busy_time=5.0)},
+                        min_stream_level=1.0, peak_stream_level=2.0)
+        defaults.update(overrides)
+        return SimulationReport(**defaults)
+
+    def test_jitter_free(self):
+        assert self._report().jitter_free
+        from repro.simulation.streams import UnderflowInterval
+
+        bad = self._report(underflows=[UnderflowInterval(
+            stream_id=0, start=1.0, duration=0.5, deficit=100.0)])
+        assert not bad.jitter_free
+        assert bad.total_underflow_time == pytest.approx(0.5)
+
+    def test_utilization(self):
+        report = self._report()
+        assert report.utilization("disk") == pytest.approx(0.5)
+
+    def test_zero_horizon_utilization(self):
+        report = self._report(horizon=0.0)
+        assert report.utilization("disk") == 0.0
+
+
+class TestSummarizeStreams:
+    def test_aggregates_across_buffers(self):
+        a = StreamBuffer(0, bit_rate=10.0)
+        b = StreamBuffer(1, bit_rate=10.0)
+        a.credit(0.0, 100.0)
+        a.start_playback(0.0)
+        b.credit(0.0, 50.0)
+        b.start_playback(0.0)
+        underflows, delivered, min_level, peak_level = summarize_streams(
+            [a, b], horizon=6.0)
+        # b runs dry at t=5: one underflow of 10 bytes / 1 second.
+        assert len(underflows) == 1
+        assert underflows[0].stream_id == 1
+        assert underflows[0].deficit == pytest.approx(10.0)
+        # delivered: a plays 60 bytes, b plays 60 - 10 deficit.
+        assert delivered == pytest.approx(110.0)
+        assert min_level == 0.0
+        assert peak_level == pytest.approx(100.0)
+
+    def test_never_played_stream(self):
+        idle = StreamBuffer(0, bit_rate=10.0)
+        idle.credit(0.0, 100.0)
+        underflows, delivered, min_level, peak_level = summarize_streams(
+            [idle], horizon=5.0)
+        assert not underflows
+        assert delivered == 0.0
+        assert math.isinf(min_level)  # never observed while playing
+        assert peak_level == pytest.approx(100.0)
+
+    def test_underflows_sorted_by_start(self):
+        early = StreamBuffer(0, bit_rate=10.0)
+        late = StreamBuffer(1, bit_rate=10.0)
+        early.credit(0.0, 10.0)
+        early.start_playback(0.0)   # dry at t=1
+        late.credit(0.0, 30.0)
+        late.start_playback(0.0)    # dry at t=3
+        underflows, *_ = summarize_streams([late, early], horizon=5.0)
+        assert [u.stream_id for u in underflows] == [0, 1]

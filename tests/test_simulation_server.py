@@ -1,0 +1,94 @@
+"""StreamingServer facade."""
+
+import pytest
+
+from repro.core.cache_model import CachePolicy
+from repro.core.popularity import BimodalPopularity
+from repro.errors import ConfigurationError
+from repro.core.parameters import SystemParameters
+from repro.simulation.server import ServerConfig, StreamingServer
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def base_params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=1, bit_rate=1 * MB, k=2)
+
+
+class TestConfigValidation:
+    def test_cache_needs_policy(self, base_params):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(params=base_params, dram_budget=1 * GB,
+                         configuration="cache")
+
+    def test_unknown_configuration(self, base_params):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(params=base_params, dram_budget=1 * GB,
+                         configuration="other")
+
+    def test_budget_positive(self, base_params):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(params=base_params, dram_budget=0)
+
+
+class TestLifecycle:
+    def test_fill_then_simulate_plain(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=1 * GB))
+        n = server.fill()
+        assert n > 0
+        assert server.dram_required() <= 1 * GB
+        report = server.simulate(n_cycles=8)
+        assert report.jitter_free
+
+    def test_fill_then_simulate_buffer(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=200 * 1e6,
+                                              configuration="buffer"))
+        n = server.fill()
+        assert n > 0
+        design = server.buffer_design()
+        assert design.total_dram <= 200 * 1e6 * (1 + 1e6)
+        report = server.simulate(n_cycles=4)
+        assert report.jitter_free
+
+    def test_fill_then_simulate_cache(self, base_params):
+        config = ServerConfig(params=base_params, dram_budget=1 * GB,
+                              configuration="cache",
+                              policy=CachePolicy.REPLICATED,
+                              popularity=BimodalPopularity(5, 95))
+        server = StreamingServer(config)
+        n = server.fill()
+        assert n > 0
+        design = server.cache_design()
+        assert design.hit_rate > 0
+        report = server.simulate(n_cycles=8)
+        assert report.jitter_free
+
+    def test_admit_counts_successes(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=1 * GB))
+        assert server.admit(5) == 5
+        assert server.admitted_streams == 5
+
+    def test_admit_stops_at_capacity(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=1 * GB))
+        capacity = server.fill()
+        assert server.admit(10) == 0
+        assert server.admitted_streams == capacity
+
+    def test_design_accessors_require_matching_config(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=1 * GB))
+        server.admit(3)
+        with pytest.raises(ConfigurationError):
+            server.buffer_design()
+        with pytest.raises(ConfigurationError):
+            server.cache_design()
+
+    def test_simulate_requires_streams(self, base_params):
+        server = StreamingServer(ServerConfig(params=base_params,
+                                              dram_budget=1 * GB))
+        with pytest.raises(ConfigurationError):
+            server.simulate()

@@ -1,0 +1,101 @@
+"""Schedule trace reconstruction and Gantt rendering."""
+
+import pytest
+
+from repro.core.buffer_model import design_mems_buffer
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.simulation.tracing import (
+    ScheduleTrace,
+    TraceSegment,
+    trace_buffer_schedule,
+)
+from repro.units import MB
+
+
+@pytest.fixture
+def design():
+    params = SystemParameters.table3_default(n_streams=10, bit_rate=1 * MB,
+                                             k=1)
+    return design_mems_buffer(params)
+
+
+@pytest.fixture
+def bank_design():
+    params = SystemParameters.table3_default(n_streams=45, bit_rate=1 * MB,
+                                             k=3)
+    return design_mems_buffer(params)
+
+
+class TestTraceSegments:
+    def test_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSegment(lane="disk", start=2.0, end=1.0, activity="seek",
+                         stream_id=0)
+
+
+class TestTraceConstruction:
+    def test_lanes_present(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=2)
+        assert trace.lanes == ["disk", "mems0"]
+
+    def test_bank_lanes(self, bank_design):
+        trace = trace_buffer_schedule(bank_design, n_mems_cycles=2)
+        assert trace.lanes == ["disk", "mems0", "mems1", "mems2"]
+
+    def test_activity_mix_per_mems_cycle(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=1)
+        dram = [s for s in trace.segments
+                if s.lane == "mems0" and s.activity == "dram_xfer"]
+        writes = [s for s in trace.segments
+                  if s.lane == "mems0" and s.activity == "write_xfer"]
+        assert len(dram) == 10          # one DRAM transfer per stream
+        assert len(writes) == design.m  # M disk landings
+
+    def test_segments_are_ordered_per_lane(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=3)
+        for lane in trace.lanes:
+            times = [s.start for s in trace.segments if s.lane == lane]
+            assert times == sorted(times)
+
+    def test_busy_time_accounting(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=2)
+        params = design.params
+        per_read = params.l_mems + params.bit_rate * design.t_mems \
+            / params.r_mems
+        per_write = params.l_mems + design.s_disk_mems / params.r_mems
+        expected = 2 * (10 * per_read + design.m * per_write)
+        assert trace.busy_time("mems0") == pytest.approx(expected)
+
+    def test_default_window_covers_one_disk_cycle(self, design):
+        trace = trace_buffer_schedule(design)
+        assert trace.horizon >= design.t_disk * 0.9
+
+    def test_validation(self, design):
+        with pytest.raises(ConfigurationError):
+            trace_buffer_schedule(design, n_mems_cycles=0)
+
+
+class TestRendering:
+    def test_gantt_has_a_row_per_lane(self, bank_design):
+        trace = trace_buffer_schedule(bank_design, n_mems_cycles=2)
+        rendered = trace.render(width=60)
+        lines = rendered.splitlines()
+        assert any(line.startswith("  disk") for line in lines)
+        assert sum(1 for line in lines if "mems" in line) == 3
+
+    def test_glyphs_present(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=3)
+        rendered = trace.render(width=70)
+        assert "D" in rendered   # disk transfers
+        assert "d" in rendered   # DRAM transfers
+        assert "w" in rendered   # buffer writes
+
+    def test_empty_trace(self):
+        trace = ScheduleTrace(t_disk=1.0, t_mems=0.1)
+        assert trace.render() == "(empty trace)"
+
+    def test_width_validated(self, design):
+        trace = trace_buffer_schedule(design, n_mems_cycles=1)
+        with pytest.raises(ConfigurationError):
+            trace.render(width=5)

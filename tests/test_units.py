@@ -1,0 +1,75 @@
+"""Unit constants and formatting helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    TB,
+    US,
+    bytes_to_human,
+    rate_to_human,
+    rpm_to_rotation_time,
+    seconds_to_human,
+)
+
+
+class TestConstants:
+    def test_decimal_byte_units(self):
+        assert KB == 1_000
+        assert MB == 1_000 * KB
+        assert GB == 1_000 * MB
+        assert TB == 1_000 * GB
+
+    def test_time_units(self):
+        assert MS == pytest.approx(1e-3)
+        assert US == pytest.approx(1e-6)
+
+
+class TestRpmConversion:
+    def test_paper_future_disk(self):
+        # 20,000 RPM -> 3 ms per rotation (Table 3).
+        assert rpm_to_rotation_time(20_000) == pytest.approx(0.003)
+
+    def test_slow_disk(self):
+        assert rpm_to_rotation_time(7_200) == pytest.approx(60 / 7_200)
+
+    @pytest.mark.parametrize("bad", [0, -1, -7200])
+    def test_nonpositive_rpm_rejected(self, bad):
+        with pytest.raises(ValueError):
+            rpm_to_rotation_time(bad)
+
+
+class TestBytesToHuman:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0 B"),
+        (512, "512 B"),
+        (1_000, "1.00 KB"),
+        (1_500_000, "1.50 MB"),
+        (10 * GB, "10.00 GB"),
+        (2.5 * TB, "2.50 TB"),
+    ])
+    def test_formatting(self, value, expected):
+        assert bytes_to_human(value) == expected
+
+    def test_negative_values(self):
+        assert bytes_to_human(-1_500_000) == "-1.50 MB"
+
+    def test_rate_suffix(self):
+        assert rate_to_human(320 * MB) == "320.00 MB/s"
+
+
+class TestSecondsToHuman:
+    @pytest.mark.parametrize("value,expected", [
+        (2.0, "2.000 s"),
+        (0.00059, "0.590 ms"),
+        (0.0000005, "0.500 us"),
+    ])
+    def test_formatting(self, value, expected):
+        assert seconds_to_human(value) == expected
+
+    def test_negative(self):
+        assert seconds_to_human(-0.001) == "-1.000 ms"

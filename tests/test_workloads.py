@@ -1,0 +1,215 @@
+"""Workload models: bit-rates, request sampling, stream sets, VBR."""
+
+import numpy as np
+import pytest
+
+from repro.core.popularity import (
+    BimodalPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+from repro.workloads.bitrates import (
+    DIVX,
+    DVD,
+    HDTV,
+    MEDIA_TYPES,
+    MP3,
+    MediaType,
+    average_bit_rate,
+    media_type_by_name,
+)
+from repro.workloads.popularity_gen import (
+    RequestSampler,
+    empirical_hit_rate,
+    sample_title_requests,
+)
+from repro.workloads.streams_gen import StreamSet, Title, make_catalog
+from repro.workloads.vbr import (
+    VbrTrace,
+    cushion_for_trace,
+    make_vbr_trace,
+    vbr_buffer_requirement,
+)
+
+
+class TestMediaTypes:
+    def test_paper_bitrates(self):
+        assert MP3.bit_rate == 10 * KB
+        assert DIVX.bit_rate == 100 * KB
+        assert DVD.bit_rate == 1 * MB
+        assert HDTV.bit_rate == 10 * MB
+
+    def test_lookup_by_name(self):
+        assert media_type_by_name("dvd") is DVD
+        assert media_type_by_name("MP3") is MP3
+        with pytest.raises(ConfigurationError):
+            media_type_by_name("betamax")
+
+    def test_typical_size(self):
+        assert DVD.typical_size == DVD.bit_rate * DVD.typical_duration
+
+    def test_average_bit_rate_weighted(self):
+        avg = average_bit_rate({MP3: 3, DVD: 1})
+        assert avg == pytest.approx((3 * 10 * KB + 1 * MB) / 4)
+
+    def test_average_bit_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            average_bit_rate({})
+        with pytest.raises(ConfigurationError):
+            average_bit_rate({MP3: 0})
+        with pytest.raises(ConfigurationError):
+            average_bit_rate({MP3: -1, DVD: 2})
+
+    def test_media_type_validation(self):
+        with pytest.raises(ConfigurationError):
+            MediaType(name="x", bit_rate=0, typical_duration=10)
+
+
+class TestRequestSampler:
+    def test_bimodal_weights_match_classes(self):
+        sampler = RequestSampler(BimodalPopularity(10, 90), n_titles=100,
+                                 seed=1)
+        weights = sampler.title_weights
+        # 10 popular titles share 90% of the mass.
+        assert weights[:10].sum() == pytest.approx(0.90)
+        assert weights[10:].sum() == pytest.approx(0.10)
+
+    def test_uniform_weights(self):
+        sampler = RequestSampler(UniformPopularity(), n_titles=50)
+        assert np.allclose(sampler.title_weights, 1 / 50)
+
+    def test_zipf_title_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestSampler(ZipfPopularity(alpha=1, n_titles=10), n_titles=20)
+
+    def test_sample_range(self):
+        requests = sample_title_requests(BimodalPopularity(5, 95), 100, 500,
+                                         seed=3)
+        assert requests.min() >= 0 and requests.max() < 100
+
+    def test_reproducible_with_seed(self):
+        a = sample_title_requests(BimodalPopularity(5, 95), 100, 50, seed=9)
+        b = sample_title_requests(BimodalPopularity(5, 95), 100, 50, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_empirical_hit_rate_matches_eq11(self):
+        dist = BimodalPopularity(10, 90)
+        for p in (0.05, 0.10, 0.30):
+            empirical = empirical_hit_rate(dist, n_titles=1_000,
+                                           cached_fraction=p, seed=5)
+            assert empirical == pytest.approx(dist.hit_rate(p), abs=0.02)
+
+    def test_zipf_empirical_hit_rate(self):
+        dist = ZipfPopularity(alpha=0.9, n_titles=500)
+        empirical = empirical_hit_rate(dist, n_titles=500,
+                                       cached_fraction=0.1, seed=5)
+        assert empirical == pytest.approx(dist.hit_rate(0.1), abs=0.02)
+
+
+class TestCatalog:
+    def test_total_size_pinned(self):
+        catalog = make_catalog(DVD, n_titles=100, total_size=1e12)
+        assert sum(t.size for t in catalog) == pytest.approx(1e12)
+
+    def test_ranks_are_title_order(self):
+        catalog = make_catalog(DVD, n_titles=10)
+        assert [t.rank for t in catalog] == list(range(10))
+
+    def test_duration_consistent(self):
+        title = make_catalog(DVD, n_titles=1)[0]
+        assert title.duration == pytest.approx(title.size / DVD.bit_rate)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_catalog(DVD, n_titles=0)
+        with pytest.raises(ConfigurationError):
+            make_catalog(DVD, n_titles=5, size_jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            Title(title_id=0, media=DVD, size=-1, rank=0)
+
+
+class TestStreamSet:
+    @pytest.fixture
+    def stream_set(self) -> StreamSet:
+        catalog = make_catalog(DVD, n_titles=20, total_size=2e10, seed=2)
+        return StreamSet(catalog=catalog,
+                         requests=[0, 0, 1, 5, 5, 5, 19])
+
+    def test_counts(self, stream_set):
+        assert stream_set.n_streams == 7
+        assert stream_set.catalog_size == pytest.approx(2e10)
+        assert stream_set.average_bit_rate == DVD.bit_rate
+
+    def test_prefix_hits(self, stream_set):
+        assert stream_set.streams_hitting_prefix(1) == 2   # title 0
+        assert stream_set.streams_hitting_prefix(6) == 6   # 0,1,5
+        assert stream_set.streams_hitting_prefix(20) == 7
+
+    def test_titles_fitting_greedy(self, stream_set):
+        one_title = stream_set.catalog[0].size
+        assert stream_set.titles_fitting(one_title * 1.01) >= 1
+        assert stream_set.titles_fitting(0.0) == 0
+
+    def test_request_bounds_validated(self):
+        catalog = make_catalog(DVD, n_titles=3)
+        with pytest.raises(ConfigurationError):
+            StreamSet(catalog=catalog, requests=[3])
+
+
+class TestVbr:
+    def test_trace_statistics(self):
+        trace = VbrTrace(rates=(1e6, 3e6, 2e6), window=2.0)
+        assert trace.average_rate == pytest.approx(2e6)
+        assert trace.peak_rate == 3e6
+        assert trace.duration == 6.0
+
+    def test_synthesized_trace_hits_average(self):
+        trace = make_vbr_trace(average_rate=1 * MB, n_windows=500,
+                               burstiness=0.4, seed=1)
+        assert trace.average_rate == pytest.approx(1 * MB, rel=1e-9)
+
+    def test_constant_trace_needs_no_cushion(self):
+        trace = VbrTrace(rates=(1e6,) * 10, window=1.0)
+        assert cushion_for_trace(trace) == 0.0
+
+    def test_bursty_trace_needs_cushion(self):
+        trace = make_vbr_trace(average_rate=1 * MB, n_windows=600,
+                               burstiness=0.3, seed=4)
+        assert cushion_for_trace(trace) > 0
+
+    def test_cushion_grows_with_burstiness(self):
+        cushions = [cushion_for_trace(make_vbr_trace(
+            average_rate=1 * MB, n_windows=600, burstiness=b, seed=4))
+            for b in (0.1, 0.3, 0.5)]
+        assert cushions == sorted(cushions)
+
+    def test_cushion_is_sufficient(self):
+        # Prefilling the cushion and delivering at the average rate
+        # never underflows over the trace.
+        trace = make_vbr_trace(average_rate=1 * MB, n_windows=400,
+                               burstiness=0.4, seed=8)
+        cushion = cushion_for_trace(trace)
+        level = cushion
+        for rate in trace.rates:
+            level += (trace.average_rate - rate) * trace.window
+            assert level >= -1e-6
+
+    def test_buffer_requirement_adds_cushion(self):
+        trace = make_vbr_trace(average_rate=1 * MB, n_windows=100,
+                               burstiness=0.3, seed=2)
+        assert vbr_buffer_requirement(1e6, trace) == \
+            pytest.approx(1e6 + cushion_for_trace(trace))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VbrTrace(rates=(), window=1.0)
+        with pytest.raises(ConfigurationError):
+            VbrTrace(rates=(1e6,), window=0)
+        with pytest.raises(ConfigurationError):
+            make_vbr_trace(average_rate=0)
+        with pytest.raises(ConfigurationError):
+            make_vbr_trace(average_rate=1e6, burstiness=1.5)
+        with pytest.raises(ConfigurationError):
+            vbr_buffer_requirement(-1, VbrTrace(rates=(1e6,), window=1.0))

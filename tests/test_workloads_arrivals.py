@@ -1,0 +1,102 @@
+"""Session arrivals, Erlang-B, and the blocking simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    BlockingStats,
+    erlang_b,
+    simulate_blocking,
+)
+
+
+class TestErlangB:
+    def test_zero_capacity_blocks_everything(self):
+        assert erlang_b(5.0, 0) == 1.0
+
+    def test_single_server_closed_form(self):
+        # B(a, 1) = a / (1 + a).
+        assert erlang_b(2.0, 1) == pytest.approx(2.0 / 3.0)
+
+    def test_two_servers_closed_form(self):
+        # B(a, 2) = a^2/2 / (1 + a + a^2/2).
+        a = 3.0
+        expected = (a * a / 2) / (1 + a + a * a / 2)
+        assert erlang_b(a, 2) == pytest.approx(expected)
+
+    def test_monotone_in_capacity(self):
+        values = [erlang_b(50.0, c) for c in (40, 50, 60, 80)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_load(self):
+        values = [erlang_b(a, 50) for a in (30.0, 45.0, 60.0)]
+        assert values == sorted(values)
+
+    def test_light_load_negligible_blocking(self):
+        assert erlang_b(1.0, 50) < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_b(-1.0, 10)
+        with pytest.raises(ConfigurationError):
+            erlang_b(1.0, -1)
+
+
+class TestBlockingSimulation:
+    def test_matches_erlang_b(self):
+        # 80 Erlangs on 90 servers: theory 2.6%; simulation converges.
+        stats = simulate_blocking(capacity=90, arrival_rate=80 / 600,
+                                  mean_holding=600, horizon=600 * 3_000,
+                                  seed=3)
+        theory = erlang_b(80.0, 90)
+        assert stats.blocking_probability == pytest.approx(theory, abs=0.01)
+
+    def test_occupancy_near_carried_load(self):
+        stats = simulate_blocking(capacity=200, arrival_rate=0.1,
+                                  mean_holding=600, horizon=600 * 2_000,
+                                  seed=7)
+        # Offered 60 Erlangs, negligible blocking: occupancy ~ 60.
+        assert stats.mean_occupancy == pytest.approx(60.0, rel=0.1)
+        assert stats.peak_occupancy <= 200
+
+    def test_zero_capacity(self):
+        stats = simulate_blocking(capacity=0, arrival_rate=1.0,
+                                  mean_holding=10.0, horizon=1_000.0,
+                                  seed=1)
+        assert stats.blocked == stats.arrivals > 0
+        assert stats.blocking_probability == 1.0
+
+    def test_reproducible(self):
+        kwargs = dict(capacity=10, arrival_rate=0.05, mean_holding=100,
+                      horizon=50_000.0, seed=11)
+        a = simulate_blocking(**kwargs)
+        b = simulate_blocking(**kwargs)
+        assert a == b
+
+    def test_capacity_relieves_blocking(self):
+        kwargs = dict(arrival_rate=0.2, mean_holding=600,
+                      horizon=600 * 500, seed=5)
+        tight = simulate_blocking(capacity=100, **kwargs)
+        roomy = simulate_blocking(capacity=160, **kwargs)
+        assert roomy.blocking_probability < tight.blocking_probability
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_blocking(capacity=-1, arrival_rate=1, mean_holding=1,
+                              horizon=10)
+        with pytest.raises(ConfigurationError):
+            simulate_blocking(capacity=1, arrival_rate=0, mean_holding=1,
+                              horizon=10)
+        with pytest.raises(ConfigurationError):
+            simulate_blocking(capacity=1, arrival_rate=1, mean_holding=0,
+                              horizon=10)
+        with pytest.raises(ConfigurationError):
+            simulate_blocking(capacity=1, arrival_rate=1, mean_holding=1,
+                              horizon=0)
+
+
+class TestBlockingStats:
+    def test_probability_with_no_arrivals(self):
+        stats = BlockingStats(arrivals=0, blocked=0, mean_occupancy=0.0,
+                              peak_occupancy=0, horizon=1.0)
+        assert stats.blocking_probability == 0.0
