@@ -156,6 +156,65 @@ class ZipfPopularity(PopularityDistribution):
         return float(self._weights()[rank - 1])
 
 
+@dataclass(frozen=True)
+class EmpiricalPopularity(PopularityDistribution):
+    """Hit-rate map fitted to observed per-title access counts.
+
+    The online runtime re-estimates popularity from the requests it has
+    actually served (see :mod:`repro.runtime.placement`); the cache
+    theorems only consume ``hit_rate(p)``, so an empirical curve plugs
+    into :func:`~repro.core.cache_model.design_mems_cache` unchanged.
+
+    ``weights`` are normalised access shares sorted most-popular-first.
+    A partially cached marginal title is counted proportionally, making
+    ``hit_rate`` continuous and monotone with ``hit_rate(0) = 0`` and
+    ``hit_rate(1) = 1``.
+    """
+
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigurationError("weights must be non-empty")
+        if any(w < 0 for w in self.weights):
+            raise ConfigurationError("weights must be >= 0")
+        if any(b > a + 1e-12 for a, b in zip(self.weights,
+                                             self.weights[1:])):
+            raise ConfigurationError(
+                "weights must be sorted most-popular-first")
+        total = sum(self.weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+            raise ConfigurationError(
+                f"weights must sum to 1, got {total!r}")
+
+    @classmethod
+    def from_counts(cls, counts) -> "EmpiricalPopularity":
+        """Build from raw (unsorted, unnormalised) access counts.
+
+        All-zero counts degrade to the uniform distribution — a cold
+        server has no popularity signal yet.
+        """
+        values = sorted((float(c) for c in counts), reverse=True)
+        if not values:
+            raise ConfigurationError("counts must be non-empty")
+        if any(v < 0 for v in values):
+            raise ConfigurationError("counts must be >= 0")
+        total = sum(values)
+        if total <= 0:
+            return cls(weights=(1.0 / len(values),) * len(values))
+        return cls(weights=tuple(v / total for v in values))
+
+    def hit_rate(self, cached_fraction: float) -> float:
+        p = self._check_fraction(cached_fraction)
+        scaled = p * len(self.weights)
+        n_whole = int(math.floor(scaled + 1e-9))
+        head = sum(self.weights[:n_whole])
+        remainder = scaled - n_whole
+        if n_whole < len(self.weights) and remainder > 1e-9:
+            head += remainder * self.weights[n_whole]
+        return min(head, 1.0)
+
+
 #: The popularity distributions swept in Figures 9 and 10 of the paper.
 PAPER_DISTRIBUTIONS: tuple[str, ...] = ("1:99", "5:95", "10:90", "20:80", "50:50")
 

@@ -111,6 +111,25 @@ class MemsBank:
             return self.k * n_streams
         return n_streams
 
+    def without_failed(self, n_failed: int) -> "MemsBank":
+        """The surviving bank after ``n_failed`` devices drop out.
+
+        Failure injection (see :mod:`repro.runtime.failures`) models a
+        dead device as simply absent: the bank keeps its policy but
+        shrinks to ``k - n_failed`` devices.  Losing the whole bank is a
+        :class:`~repro.errors.ConfigurationError` — the caller must fall
+        back to the direct disk path instead.
+        """
+        if n_failed < 0:
+            raise ConfigurationError(
+                f"n_failed must be >= 0, got {n_failed!r}")
+        if n_failed >= self.k:
+            raise ConfigurationError(
+                f"cannot lose {n_failed} of {self.k} devices and still "
+                "have a bank; fall back to the direct disk path")
+        return MemsBank(device=self.device, k=self.k - n_failed,
+                        policy=self.policy)
+
     # -- Routing --------------------------------------------------------------
 
     def device_for_io(self, io_index: int) -> int:

@@ -8,6 +8,9 @@ Usage::
     mems-repro run figure8 --csv out.csv   # also export the data series
     mems-repro design --streams 1000 --bitrate 100 --budget 150
                                     # size a server across configurations
+    mems-repro runtime list         # enumerate online-runtime scenarios
+    mems-repro runtime device-failure --seed 7 --json metrics.json
+                                    # run a scenario, print the dashboard
 """
 
 from __future__ import annotations
@@ -50,7 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default 5:95)")
     design_cmd.add_argument("--devices", type=int, default=2,
                             help="MEMS devices in the bank (default 2)")
+    runtime_cmd = sub.add_parser(
+        "runtime", help="run an online-server scenario (or 'list')")
+    runtime_cmd.add_argument("scenario",
+                             help="scenario name (see 'runtime list')")
+    runtime_cmd.add_argument("--seed", type=int, default=0,
+                             help="random seed (default 0)")
+    runtime_cmd.add_argument("--horizon", type=float, default=None,
+                             help="simulated seconds (scenario default)")
+    runtime_cmd.add_argument("--json", metavar="PATH", default=None,
+                             help="write the full result (events, "
+                                  "migrations, metrics) as JSON")
     return parser
+
+
+def _run_runtime(args: argparse.Namespace) -> int:
+    """The ``runtime`` subcommand: run a scenario, print the dashboard."""
+    from repro.runtime.scenarios import SCENARIOS, run_scenario
+
+    if args.scenario == "list":
+        for name, factory in SCENARIOS.items():
+            doc = (factory.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>20}  {doc}")
+        return 0
+    result = run_scenario(args.scenario, seed=args.seed,
+                          horizon=args.horizon)
+    print(result.dashboard())
+    print()
+    print(result.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2))
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
 
 
 def _run_design(args: argparse.Namespace) -> int:
@@ -126,6 +161,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "design":
             return _run_design(args)
+        if args.command == "runtime":
+            return _run_runtime(args)
         if args.experiment == "all":
             ids = list(EXPERIMENTS)
         else:

@@ -1,0 +1,133 @@
+"""Failure injection and degraded-mode recovery.
+
+Mid-run, a MEMS device can die outright (the bank shrinks to ``k-1``
+devices, losing bandwidth and — for striping — capacity) or degrade
+(its media rate drops by a factor, e.g. thermal throttling).  The
+runtime must answer, *online*: which server configuration is still
+feasible, and how many of the live sessions survive it?
+
+:func:`plan_recovery` searches the configuration ladder in preference
+order — replicated cache, striped cache, MEMS buffer, plain
+disk-to-DRAM — and picks the first rung that carries the whole live
+population, or failing that the rung that saves the most sessions.
+Sessions beyond the surviving capacity are shed newest-first (they have
+watched the least), which the runtime reports as ``DROP`` events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.cache_model import CachePolicy
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import PopularityDistribution
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.scheduling.admission import AdmissionController
+
+
+class FailureKind(enum.Enum):
+    """What goes wrong with the MEMS bank."""
+
+    #: A device drops out of the bank entirely.
+    DEVICE_LOSS = "device_loss"
+    #: All surviving devices' media rate is scaled by ``factor``.
+    BANDWIDTH_DEGRADE = "bandwidth_degrade"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled fault."""
+
+    time: float
+    kind: FailureKind
+    #: Devices lost (DEVICE_LOSS).
+    count: int = 1
+    #: Surviving media-rate multiplier (BANDWIDTH_DEGRADE).
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+        if self.kind is FailureKind.DEVICE_LOSS and self.count < 1:
+            raise ConfigurationError(
+                f"count must be >= 1 for a device loss, got {self.count!r}")
+        if self.kind is FailureKind.BANDWIDTH_DEGRADE and not (
+                0 < self.factor < 1):
+            raise ConfigurationError(
+                f"degrade factor must be in (0, 1), got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A feasible (possibly degraded) configuration after a fault."""
+
+    #: "cache", "buffer", or "none" (direct disk-to-DRAM path).
+    mode: str
+    policy: CachePolicy | None
+    #: Surviving MEMS devices (0 means the bank is gone).
+    k_active: int
+    #: Largest population the degraded configuration admits.
+    capacity: int
+    #: Live sessions that must be shed (0 when everyone survives).
+    n_dropped: int
+    #: DRAM demand at the surviving population, bytes.
+    dram_required: float
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan is anything but a healthy cache."""
+        return self.mode != "cache" or self.n_dropped > 0
+
+
+def plan_recovery(params: SystemParameters, dram_budget: float,
+                  n_active: int, popularity: PopularityDistribution, *,
+                  k_active: int, r_mems_factor: float = 1.0) -> RecoveryPlan:
+    """Find the best surviving configuration for ``n_active`` sessions.
+
+    ``params`` carries the healthy geometry; ``k_active`` and
+    ``r_mems_factor`` describe what the faults left standing.  The
+    direct-disk rung is always feasible to *evaluate* (its capacity may
+    still be below the population), so a plan is always returned.
+    """
+    if n_active < 0:
+        raise ConfigurationError(
+            f"n_active must be >= 0, got {n_active!r}")
+    if k_active < 0:
+        raise ConfigurationError(
+            f"k_active must be >= 0, got {k_active!r}")
+    if not 0 < r_mems_factor <= 1:
+        raise ConfigurationError(
+            f"r_mems_factor must be in (0, 1], got {r_mems_factor!r}")
+
+    candidates: list[tuple[str, CachePolicy | None, SystemParameters]] = []
+    if k_active >= 1:
+        degraded = params.replace(k=k_active,
+                                  r_mems=params.r_mems * r_mems_factor)
+        candidates.append(("cache", CachePolicy.REPLICATED, degraded))
+        candidates.append(("cache", CachePolicy.STRIPED, degraded))
+        candidates.append(("buffer", None, degraded))
+    candidates.append(("none", None, params))
+
+    best: RecoveryPlan | None = None
+    for mode, policy, mode_params in candidates:
+        controller = AdmissionController(
+            mode_params, dram_budget, configuration=mode, policy=policy,
+            popularity=popularity if mode == "cache" else None)
+        capacity = controller.capacity()
+        survivors = min(capacity, n_active)
+        try:
+            dram = controller.dram_required(survivors)
+        except (AdmissionError, CapacityError):  # pragma: no cover
+            continue
+        plan = RecoveryPlan(mode=mode, policy=policy,
+                            k_active=k_active if mode != "none" else k_active,
+                            capacity=capacity,
+                            n_dropped=n_active - survivors,
+                            dram_required=dram)
+        if plan.n_dropped == 0:
+            return plan
+        if best is None or plan.capacity > best.capacity:
+            best = plan
+    assert best is not None  # the direct-disk rung always evaluates
+    return best

@@ -1,0 +1,157 @@
+"""Adaptive MEMS-cache placement for the online runtime.
+
+The paper's cache configuration picks the cached titles once, from an
+assumed popularity distribution.  Online, popularity drifts; this
+module closes the loop:
+
+1. every admission is *observed* (per-title counters aged by an
+   exponentially weighted moving average, so old traffic fades);
+2. at each epoch the titles are re-ranked, the cached set becomes the
+   top titles that fit the bank, and the differences are *migrations*
+   (titles staged onto / evicted from the MEMS bank between cycles);
+3. the cache design (Theorems 3/4) is re-solved against the observed
+   :class:`~repro.core.popularity.EmpiricalPopularity`, choosing
+   whichever policy (striped / replicated) needs less DRAM for the
+   live population.
+
+The chosen design then becomes the admission controller's demand model
+for the next epoch (see :meth:`AdmissionController.reconfigure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache_model import (
+    CacheDesign,
+    CachePolicy,
+    cache_capacity_fraction,
+    design_mems_cache,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import EmpiricalPopularity
+from repro.errors import AdmissionError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of one epoch's re-planning."""
+
+    policy: CachePolicy
+    #: Titles resident on the MEMS bank after the migration, sorted.
+    cached_titles: tuple[int, ...]
+    #: Titles staged onto the bank this epoch, sorted.
+    migrations_in: tuple[int, ...]
+    #: Titles evicted from the bank this epoch, sorted.
+    migrations_out: tuple[int, ...]
+    #: Popularity model fitted to the observed traffic.
+    popularity: EmpiricalPopularity
+    #: Cache design at the live population; None when no policy is
+    #: schedulable at that population (the runtime must shed load).
+    design: CacheDesign | None
+
+
+class AdaptivePlacement:
+    """Tracks observed popularity and re-plans the cached title set."""
+
+    def __init__(self, n_titles: int, *, decay: float = 0.5,
+                 prior_weights: np.ndarray | None = None,
+                 prior_strength: float = 10.0) -> None:
+        if n_titles < 1:
+            raise ConfigurationError(
+                f"n_titles must be >= 1, got {n_titles!r}")
+        if not 0.0 <= decay < 1.0:
+            raise ConfigurationError(
+                f"decay must be in [0, 1), got {decay!r}")
+        if prior_strength < 0:
+            raise ConfigurationError(
+                f"prior_strength must be >= 0, got {prior_strength!r}")
+        self.n_titles = n_titles
+        self.decay = decay
+        # Aged score per title.  Seeding with the assumed distribution
+        # lets a cold server start from the designed-for placement
+        # instead of an arbitrary one.
+        self._scores = np.zeros(n_titles)
+        if prior_weights is not None:
+            prior = np.asarray(prior_weights, dtype=float)
+            if prior.shape != (n_titles,):
+                raise ConfigurationError(
+                    f"prior_weights must have shape ({n_titles},), "
+                    f"got {prior.shape}")
+            self._scores += prior_strength * prior
+        self._epoch_counts = np.zeros(n_titles)
+        self._cached: tuple[int, ...] = ()
+
+    @property
+    def cached_titles(self) -> tuple[int, ...]:
+        """Titles currently resident on the MEMS bank, sorted."""
+        return self._cached
+
+    def observe(self, title: int) -> None:
+        """Record one admission for ``title`` in the current epoch."""
+        if not 0 <= title < self.n_titles:
+            raise ConfigurationError(
+                f"title must be in [0, {self.n_titles}), got {title!r}")
+        self._epoch_counts[title] += 1.0
+
+    def scores(self) -> np.ndarray:
+        """Aged per-title scores including the in-flight epoch."""
+        return self.decay * self._scores + self._epoch_counts
+
+    def replan(self, params: SystemParameters,
+               n_active: float) -> PlacementDecision:
+        """Close the epoch: age scores, re-rank, migrate, re-solve.
+
+        ``params.k`` / ``params.size_mems`` reflect the *surviving*
+        bank, so the same path serves both drift adaptation and
+        post-failure shrinkage.  ``n_active`` is the live population the
+        design is evaluated at.
+        """
+        if n_active < 0:
+            raise ConfigurationError(
+                f"n_active must be >= 0, got {n_active!r}")
+        if params.size_mems is None or params.size_disk is None:
+            raise ConfigurationError(
+                "adaptive placement needs finite size_mems and size_disk")
+        self._scores = self.scores()
+        self._epoch_counts = np.zeros(self.n_titles)
+        popularity = EmpiricalPopularity.from_counts(self._scores)
+
+        best_policy: CachePolicy | None = None
+        best_design: CacheDesign | None = None
+        for policy in (CachePolicy.REPLICATED, CachePolicy.STRIPED):
+            try:
+                design = design_mems_cache(
+                    params.replace(n_streams=n_active), policy, popularity)
+            except AdmissionError:
+                continue
+            if best_design is None or design.total_dram < best_design.total_dram:
+                best_policy = policy
+                best_design = design
+        if best_policy is None:
+            # Neither policy is schedulable at this population; report
+            # under the replicated geometry so the caller can shed load
+            # and re-plan.
+            best_policy = CachePolicy.REPLICATED
+
+        fraction = cache_capacity_fraction(best_policy, params.k,
+                                           params.size_mems,
+                                           params.size_disk)
+        n_cacheable = int(np.floor(fraction * self.n_titles + 1e-9))
+        # Stable ranking: higher score first, lower title id on ties.
+        ranked = sorted(range(self.n_titles),
+                        key=lambda t: (-self._scores[t], t))
+        new_cached = tuple(sorted(ranked[:n_cacheable]))
+        old = set(self._cached)
+        new = set(new_cached)
+        decision = PlacementDecision(
+            policy=best_policy,
+            cached_titles=new_cached,
+            migrations_in=tuple(sorted(new - old)),
+            migrations_out=tuple(sorted(old - new)),
+            popularity=popularity,
+            design=best_design)
+        self._cached = new_cached
+        return decision

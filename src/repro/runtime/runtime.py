@@ -1,0 +1,538 @@
+"""The online server runtime: analytical models as live controllers.
+
+Everything the repository could previously evaluate only as a static
+snapshot — admission feasibility (Theorems 1-4), cache placement
+(Section 4.2), Erlang-B blocking — runs here as a closed loop on the
+discrete-event engine:
+
+* Poisson session arrivals with exponential holding times flow through
+  an :class:`~repro.scheduling.admission.AdmissionController`;
+* between epochs the :class:`~repro.runtime.placement.AdaptivePlacement`
+  re-ranks titles by observed popularity and migrates the MEMS-cached
+  set, re-solving the striped/replicated cache design each time;
+* injected faults (:mod:`repro.runtime.failures`) shrink or throttle
+  the bank mid-run and the runtime recomputes a feasible degraded
+  configuration, shedding the newest sessions when it must;
+* every reporting interval the :class:`~repro.runtime.metrics.MetricsLog`
+  seals a snapshot of the session funnel and operator gauges.
+
+A fixed seed reproduces the run exactly: all randomness flows through
+one generator and the event calendar is stable for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache_model import CachePolicy
+from repro.core.parameters import SystemParameters
+from repro.devices.bank import BankPolicy, MemsBank
+from repro.devices.mems import MemsDevice
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.runtime.failures import FailureEvent, FailureKind, plan_recovery
+from repro.runtime.metrics import MetricsLog, render_dashboard
+from repro.runtime.placement import AdaptivePlacement
+from repro.runtime.sessions import (
+    Session,
+    SessionEvent,
+    SessionEventKind,
+    SessionWorkload,
+)
+from repro.scheduling.admission import AdmissionController
+from repro.simulation.engine import Simulator
+from repro.workloads.arrivals import predicted_blocking
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """Popularity drift: rotate the title ranking at ``time``."""
+
+    time: float
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+
+
+@dataclass(frozen=True)
+class SurgeEvent:
+    """Flash crowd: scale the arrival rate by ``factor`` at ``time``."""
+
+    time: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+        if self.factor <= 0:
+            raise ConfigurationError(
+                f"factor must be > 0, got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One epoch's placement change."""
+
+    time: float
+    policy: str
+    migrations_in: tuple[int, ...]
+    migrations_out: tuple[int, ...]
+    n_cached: int
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "policy": self.policy,
+                "migrations_in": list(self.migrations_in),
+                "migrations_out": list(self.migrations_out),
+                "n_cached": self.n_cached}
+
+
+@dataclass
+class RuntimeConfig:
+    """Everything one runtime scenario needs."""
+
+    params: SystemParameters
+    dram_budget: float
+    workload: SessionWorkload
+    horizon: float
+    epoch: float = 600.0
+    metrics_interval: float = 60.0
+    #: "cache" (adaptive placement), "buffer", or "none" (direct disk).
+    configuration: str = "cache"
+    device: MemsDevice | None = None
+    placement_decay: float = 0.5
+    failures: tuple[FailureEvent, ...] = ()
+    drifts: tuple[DriftEvent, ...] = ()
+    surges: tuple[SurgeEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError(
+                f"horizon must be > 0, got {self.horizon!r}")
+        if self.epoch <= 0:
+            raise ConfigurationError(
+                f"epoch must be > 0, got {self.epoch!r}")
+        if self.metrics_interval <= 0:
+            raise ConfigurationError(
+                f"metrics_interval must be > 0, got {self.metrics_interval!r}")
+        if self.dram_budget < 0:
+            raise ConfigurationError(
+                f"dram_budget must be >= 0, got {self.dram_budget!r}")
+        if self.configuration not in ("none", "buffer", "cache"):
+            raise ConfigurationError(
+                f"configuration must be 'none', 'buffer' or 'cache', "
+                f"got {self.configuration!r}")
+        if self.device is None:
+            from repro.devices.catalog import MEMS_G3
+
+            self.device = MEMS_G3
+
+
+@dataclass
+class RuntimeResult:
+    """Everything one runtime run produced."""
+
+    events: list[SessionEvent]
+    metrics: MetricsLog
+    migrations: list[MigrationRecord]
+    final_mode: str
+    final_policy: str | None
+    k_active: int
+    final_capacity: int
+    final_dram_required: float
+    dram_budget: float
+    degraded_time: float
+    horizon: float
+    events_executed: int
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def totals(self) -> dict[str, int]:
+        return self.metrics.totals()
+
+    @property
+    def blocking_probability(self) -> float:
+        totals = self.totals
+        arrivals = totals.get("arrivals", 0)
+        if arrivals == 0:
+            return 0.0
+        return totals.get("rejects", 0) / arrivals
+
+    @property
+    def active_sessions(self) -> int:
+        totals = self.totals
+        return (totals.get("admits", 0) - totals.get("departures", 0)
+                - totals.get("drops", 0))
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        payload = {
+            "schema": 1,
+            "summary": {
+                "final_mode": self.final_mode,
+                "final_policy": self.final_policy,
+                "k_active": self.k_active,
+                "final_capacity": self.final_capacity,
+                "final_dram_required": self.final_dram_required,
+                "dram_budget": self.dram_budget,
+                "degraded_time": self.degraded_time,
+                "horizon": self.horizon,
+                "events_executed": self.events_executed,
+                "blocking_probability": self.blocking_probability,
+                "totals": self.totals,
+                "notes": dict(sorted(self.notes.items())),
+            },
+            "events": [e.to_dict() for e in self.events],
+            "migrations": [m.to_dict() for m in self.migrations],
+            "metrics": json.loads(self.metrics.to_json()),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        totals = self.totals
+        lines = [
+            f"mode {self.final_mode}"
+            + (f" ({self.final_policy})" if self.final_policy else "")
+            + f", k_active={self.k_active}, "
+              f"capacity={self.final_capacity} streams",
+            f"sessions: {totals.get('arrivals', 0)} arrived, "
+            f"{totals.get('admits', 0)} admitted, "
+            f"{totals.get('rejects', 0)} rejected, "
+            f"{totals.get('drops', 0)} dropped, "
+            f"{self.active_sessions} still playing",
+            f"blocking {self.blocking_probability:.4f}, "
+            f"degraded {self.degraded_time:.0f}s of {self.horizon:.0f}s, "
+            f"DRAM {self.final_dram_required / 1e6:.1f} MB of "
+            f"{self.dram_budget / 1e6:.1f} MB",
+            f"migrations: "
+            f"{sum(len(m.migrations_in) for m in self.migrations)} in / "
+            f"{sum(len(m.migrations_out) for m in self.migrations)} out "
+            f"over {len(self.migrations)} re-plans",
+        ]
+        return "\n".join(lines)
+
+    def dashboard(self) -> str:
+        return render_dashboard(self.metrics)
+
+
+class ServerRuntime:
+    """One scenario's event-driven run loop."""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._sim = Simulator()
+        self._events: list[SessionEvent] = []
+        self._metrics = MetricsLog()
+        self._migrations: list[MigrationRecord] = []
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 0
+        self._mode = config.configuration
+        self._policy: CachePolicy | None = None
+        self._k_active = config.params.k
+        self._rate_factor = 1.0  # surviving MEMS media-rate multiplier
+        self._degraded_since: float | None = None
+        self._degraded_time = 0.0
+        self._arrivals_total = 0
+        self._rejects_total = 0
+        assert config.device is not None
+        self._bank: MemsBank | None = MemsBank(
+            config.device, config.params.k, BankPolicy.ROUND_ROBIN)
+
+        workload = config.workload
+        if self._mode == "cache":
+            self._placement: AdaptivePlacement | None = AdaptivePlacement(
+                workload.n_titles, decay=config.placement_decay,
+                prior_weights=workload.current_weights())
+            decision = self._placement.replan(self._degraded_params(), 0.0)
+            self._policy = decision.policy
+            self._record_migration(0.0, decision)
+            self._controller = AdmissionController(
+                self._degraded_params(), config.dram_budget,
+                configuration="cache", policy=decision.policy,
+                popularity=decision.popularity)
+        else:
+            self._placement = None
+            self._controller = AdmissionController(
+                self._degraded_params(), config.dram_budget,
+                configuration=self._mode)
+
+    # -- Geometry ------------------------------------------------------------
+
+    def _degraded_params(self) -> SystemParameters:
+        """Healthy parameters projected onto the surviving bank."""
+        params = self.config.params
+        k = max(self._k_active, 1)
+        return params.replace(k=k, r_mems=params.r_mems * self._rate_factor)
+
+    def _served_by(self, title: int) -> str:
+        if self._mode == "cache":
+            assert self._placement is not None
+            return ("cache" if title in set(self._placement.cached_titles)
+                    else "disk")
+        return "buffer" if self._mode == "buffer" else "disk"
+
+    # -- Event handlers ------------------------------------------------------
+
+    def _schedule_arrival(self, sim: Simulator) -> None:
+        delay = self.config.workload.next_interarrival(self._rng)
+        sim.after(delay, self._on_arrival, "arrival")
+
+    def _on_arrival(self, sim: Simulator) -> None:
+        workload = self.config.workload
+        title = workload.next_title(self._rng)
+        self._arrivals_total += 1
+        self._metrics.count("arrivals")
+        if self._placement is not None:
+            self._placement.observe(title)
+        decision = self._controller.try_admit()
+        if decision.admitted:
+            session = Session(session_id=self._next_id, title=title,
+                              arrival_time=sim.now,
+                              holding_time=workload.next_holding(self._rng),
+                              served_by=self._served_by(title))
+            self._next_id += 1
+            self._sessions[session.session_id] = session
+            self._metrics.count("admits")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.ADMIT,
+                session_id=session.session_id, title=title,
+                served_by=session.served_by))
+            sim.after(session.holding_time, self._make_departure(session),
+                      "departure")
+        else:
+            self._rejects_total += 1
+            self._metrics.count("rejects")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.REJECT,
+                session_id=-1, title=title, reason=decision.reason))
+        self._schedule_arrival(sim)
+
+    def _make_departure(self, session: Session):
+        def depart(sim: Simulator) -> None:
+            # The session may have been shed by a failure already.
+            if self._sessions.pop(session.session_id, None) is None:
+                return
+            self._controller.release(1)
+            self._metrics.count("departures")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.DEPART,
+                session_id=session.session_id, title=session.title,
+                served_by=session.served_by))
+
+        return depart
+
+    def _shed_sessions(self, sim: Simulator, n_drop: int,
+                       reason: str) -> None:
+        """Drop the ``n_drop`` newest sessions (least watched first)."""
+        victims = list(self._sessions.values())[::-1][:n_drop]
+        for session in victims:
+            del self._sessions[session.session_id]
+            self._controller.release(1)
+            self._metrics.count("drops")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.DROP,
+                session_id=session.session_id, title=session.title,
+                served_by=session.served_by, reason=reason))
+
+    def _record_migration(self, time: float, decision) -> None:
+        if decision.migrations_in or decision.migrations_out:
+            self._metrics.count("migrations_in", len(decision.migrations_in))
+            self._metrics.count("migrations_out",
+                                len(decision.migrations_out))
+            self._migrations.append(MigrationRecord(
+                time=time, policy=decision.policy.value,
+                migrations_in=decision.migrations_in,
+                migrations_out=decision.migrations_out,
+                n_cached=len(decision.cached_titles)))
+
+    def _replan(self, sim: Simulator, *, reason: str) -> None:
+        """Re-rank, migrate, and swap the admission demand model."""
+        assert self._placement is not None
+        self._metrics.count("replans")
+        decision = self._placement.replan(self._degraded_params(),
+                                          float(len(self._sessions)))
+        self._policy = decision.policy
+        self._record_migration(sim.now, decision)
+        self._controller.reconfigure(params=self._degraded_params(),
+                                     configuration="cache",
+                                     policy=decision.policy,
+                                     popularity=decision.popularity)
+        # Live sessions follow their titles across the migration.
+        cached = set(decision.cached_titles)
+        for session in self._sessions.values():
+            session.served_by = ("cache" if session.title in cached
+                                 else "disk")
+        # The observed popularity may be harsher than what the old
+        # population was admitted under; shed to the new capacity.
+        capacity = self._controller.capacity()
+        if len(self._sessions) > capacity:
+            self._shed_sessions(sim, len(self._sessions) - capacity, reason)
+
+    def _on_epoch(self, sim: Simulator) -> None:
+        if self._mode == "cache":
+            self._replan(sim, reason="epoch re-plan over capacity")
+
+    def _make_failure(self, event: FailureEvent):
+        def fail(sim: Simulator) -> None:
+            self._metrics.count("failures")
+            if event.kind is FailureKind.DEVICE_LOSS:
+                self._k_active = max(0, self._k_active - event.count)
+            else:
+                self._rate_factor *= event.factor
+            popularity = self.config.workload.popularity
+            if self._placement is not None:
+                # Judge recovery against the observed traffic, not the
+                # configured distribution.
+                from repro.core.popularity import EmpiricalPopularity
+
+                popularity = EmpiricalPopularity.from_counts(
+                    self._placement.scores())
+            plan = plan_recovery(self.config.params,
+                                 self.config.dram_budget,
+                                 len(self._sessions), popularity,
+                                 k_active=self._k_active,
+                                 r_mems_factor=self._rate_factor)
+            if plan.n_dropped:
+                self._shed_sessions(sim, plan.n_dropped, "device failure")
+            previous_mode = self._mode
+            self._mode = plan.mode
+            self._policy = plan.policy
+            if plan.mode == "cache":
+                self._controller.reconfigure(
+                    params=self._degraded_params(), configuration="cache",
+                    policy=plan.policy, popularity=popularity)
+                # Shrink the cached set to the surviving capacity now
+                # rather than waiting for the next epoch tick.
+                self._replan(sim, reason="device failure")
+            else:
+                self._controller.reconfigure(
+                    params=self._degraded_params(),
+                    configuration=plan.mode)
+                if previous_mode == "cache":
+                    for session in self._sessions.values():
+                        session.served_by = self._served_by(session.title)
+            self._bank = (None if self._k_active < 1 else MemsBank(
+                self.config.device, self._k_active, BankPolicy.ROUND_ROBIN))
+            if self._degraded_since is None:
+                self._degraded_since = sim.now
+
+        return fail
+
+    def _make_drift(self, event: DriftEvent):
+        def drift(sim: Simulator) -> None:
+            self.config.workload.rotate_popularity(event.shift)
+
+        return drift
+
+    def _make_surge(self, event: SurgeEvent):
+        def surge(sim: Simulator) -> None:
+            self.config.workload.scale_rate(event.factor)
+
+        return surge
+
+    # -- Gauges --------------------------------------------------------------
+
+    def _device_utilization(self) -> float:
+        """Load fraction of the bottleneck device class."""
+        params = self.config.params
+        n = len(self._sessions)
+        disk_load = n * params.bit_rate / params.r_disk
+        if self._bank is None:
+            return disk_load
+        bank_rate = self._bank.aggregate_bandwidth * self._rate_factor
+        if self._mode == "cache":
+            n_cache = sum(1 for s in self._sessions.values()
+                          if s.served_by == "cache")
+            disk_load = (n - n_cache) * params.bit_rate / params.r_disk
+            return max(disk_load, n_cache * params.bit_rate / bank_rate)
+        if self._mode == "buffer":
+            # Buffered traffic crosses the bank twice (write + read).
+            return max(disk_load, 2 * n * params.bit_rate / bank_rate)
+        return disk_load
+
+    def _on_metrics(self, sim: Simulator) -> None:
+        workload = self.config.workload
+        n = len(self._sessions)
+        n_cache = sum(1 for s in self._sessions.values()
+                      if s.served_by == "cache")
+        try:
+            dram = self._controller.dram_required()
+        except (AdmissionError, CapacityError):  # pragma: no cover
+            dram = float("inf")
+        capacity = self._controller.capacity()
+        degraded = (self._mode != self.config.configuration
+                    or self._k_active < self.config.params.k
+                    or self._rate_factor < 1.0)
+        degraded_time = self._degraded_time
+        if self._degraded_since is not None:
+            degraded_time += sim.now - self._degraded_since
+        gauges = {
+            "active_sessions": float(n),
+            "cache_sessions": float(n_cache),
+            "cache_hit_ratio": (n_cache / n) if n else 0.0,
+            "dram_required": dram,
+            "dram_occupancy": (dram / self.config.dram_budget
+                               if self.config.dram_budget else 0.0),
+            "device_utilization": self._device_utilization(),
+            "capacity": float(capacity),
+            "blocking_probability": (self._rejects_total
+                                     / self._arrivals_total
+                                     if self._arrivals_total else 0.0),
+            "erlang_b_prediction": predicted_blocking(
+                workload.arrival_rate * workload.rate_factor,
+                workload.mean_holding, capacity),
+            "k_active": float(self._k_active),
+            "degraded": 1.0 if degraded else 0.0,
+            "degraded_time": degraded_time,
+        }
+        self._metrics.close_interval(sim.now, gauges)
+
+    # -- Run loop ------------------------------------------------------------
+
+    def run(self) -> RuntimeResult:
+        config = self.config
+        sim = self._sim
+        self._schedule_arrival(sim)
+        sim.every(config.epoch, self._on_epoch, "epoch")
+        sim.every(config.metrics_interval, self._on_metrics, "metrics")
+        for failure in sorted(config.failures, key=lambda e: e.time):
+            sim.at(failure.time, self._make_failure(failure), "failure")
+        for drift in sorted(config.drifts, key=lambda e: e.time):
+            sim.at(drift.time, self._make_drift(drift), "drift")
+        for surge in sorted(config.surges, key=lambda e: e.time):
+            sim.at(surge.time, self._make_surge(surge), "surge")
+        sim.run(until=config.horizon)
+        if (not self._metrics.snapshots
+                or self._metrics.snapshots[-1].t_end < config.horizon):
+            self._on_metrics(sim)
+        if self._degraded_since is not None:
+            self._degraded_time += config.horizon - self._degraded_since
+            self._degraded_since = None
+        try:
+            final_dram = self._controller.dram_required()
+        except (AdmissionError, CapacityError):  # pragma: no cover
+            final_dram = float("inf")
+        return RuntimeResult(
+            events=self._events,
+            metrics=self._metrics,
+            migrations=self._migrations,
+            final_mode=self._mode,
+            final_policy=self._policy.value if self._policy else None,
+            k_active=self._k_active,
+            final_capacity=self._controller.capacity(),
+            final_dram_required=final_dram,
+            dram_budget=config.dram_budget,
+            degraded_time=self._degraded_time,
+            horizon=config.horizon,
+            events_executed=sim.events_executed,
+            notes={"offered_load": config.workload.offered_load,
+                   "seed": float(config.seed)})
+
+
+def run_runtime(config: RuntimeConfig) -> RuntimeResult:
+    """Convenience: build and run one scenario."""
+    return ServerRuntime(config).run()

@@ -1,0 +1,168 @@
+"""Named runtime scenarios for the CLI and the test suite.
+
+Each scenario is a reproducible :class:`~repro.runtime.runtime.RuntimeConfig`
+factory: same name + seed + horizon => identical run (admissions,
+migrations, drops, and metrics all derive from one seeded generator).
+
+The content library is modelled as 100 equal-sized titles on a 200 GB
+slice of the disk, so the ``k = 2`` G3 bank caches the top 5-10% of the
+catalogue depending on policy — enough for the adaptive placement to
+matter without trivialising the disk path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import ZipfPopularity
+from repro.errors import ConfigurationError
+from repro.runtime.failures import FailureEvent, FailureKind
+from repro.runtime.runtime import (
+    DriftEvent,
+    RuntimeConfig,
+    RuntimeResult,
+    SurgeEvent,
+    run_runtime,
+)
+from repro.runtime.sessions import SessionWorkload
+from repro.units import GB, KB, MB
+
+#: Library size: 100 titles on a 200 GB disk slice.
+_N_TITLES = 100
+_LIBRARY_BYTES = 200 * GB
+_BIT_RATE = 500 * KB
+
+
+def _disk_params() -> SystemParameters:
+    return SystemParameters.table3_default(n_streams=1, bit_rate=_BIT_RATE,
+                                           k=1)
+
+
+def _cache_params() -> SystemParameters:
+    return SystemParameters.table3_default(
+        n_streams=1, bit_rate=_BIT_RATE, k=2).replace(
+            size_disk=_LIBRARY_BYTES)
+
+
+def _zipf() -> ZipfPopularity:
+    return ZipfPopularity(alpha=1.0, n_titles=_N_TITLES)
+
+
+def steady_disk(*, seed: int = 0,
+                horizon: float = 30_000.0) -> RuntimeConfig:
+    """Plain disk-to-DRAM loss system near its admission limit.
+
+    Fixed capacity, no adaptation — the run that validates the
+    empirical blocking probability against Erlang-B.
+    """
+    return RuntimeConfig(
+        params=_disk_params(), dram_budget=50 * MB,
+        workload=SessionWorkload(arrival_rate=160 / 600.0,
+                                 mean_holding=600.0, n_titles=_N_TITLES,
+                                 popularity=_zipf()),
+        horizon=horizon, epoch=3_600.0, metrics_interval=600.0,
+        configuration="none", seed=seed)
+
+
+def adaptive_cache(*, seed: int = 0,
+                   horizon: float = 6_000.0) -> RuntimeConfig:
+    """MEMS cache chasing a drifting Zipf popularity.
+
+    The title ranking rotates twice mid-run; each epoch the placement
+    re-ranks from observed admissions and migrates the cached set.
+    """
+    return RuntimeConfig(
+        params=_cache_params(), dram_budget=50 * MB,
+        workload=SessionWorkload(arrival_rate=150 / 1_200.0,
+                                 mean_holding=1_200.0, n_titles=_N_TITLES,
+                                 popularity=_zipf()),
+        horizon=horizon, epoch=300.0, metrics_interval=120.0,
+        configuration="cache",
+        drifts=(DriftEvent(time=horizon / 3, shift=25),
+                DriftEvent(time=2 * horizon / 3, shift=25)),
+        seed=seed)
+
+
+def device_failure(*, seed: int = 0,
+                   horizon: float = 6_000.0) -> RuntimeConfig:
+    """A MEMS device dies mid-run; the server re-plans degraded.
+
+    The bank halves at the midpoint: the runtime recomputes a feasible
+    configuration (smaller cache, or a fallback path), sheds sessions
+    it can no longer carry, and keeps serving the rest.  The DRAM
+    budget is deliberately tight so the run sits near capacity and the
+    failure is consequential.
+    """
+    return RuntimeConfig(
+        params=_cache_params(), dram_budget=10 * MB,
+        workload=SessionWorkload(arrival_rate=170 / 1_200.0,
+                                 mean_holding=1_200.0, n_titles=_N_TITLES,
+                                 popularity=_zipf()),
+        horizon=horizon, epoch=300.0, metrics_interval=120.0,
+        configuration="cache",
+        failures=(FailureEvent(time=horizon / 2,
+                               kind=FailureKind.DEVICE_LOSS, count=1),),
+        seed=seed)
+
+
+def degraded_bandwidth(*, seed: int = 0,
+                       horizon: float = 6_000.0) -> RuntimeConfig:
+    """Both MEMS devices throttle to 40% media rate mid-run."""
+    return RuntimeConfig(
+        params=_cache_params(), dram_budget=50 * MB,
+        workload=SessionWorkload(arrival_rate=150 / 1_200.0,
+                                 mean_holding=1_200.0, n_titles=_N_TITLES,
+                                 popularity=_zipf()),
+        horizon=horizon, epoch=300.0, metrics_interval=120.0,
+        configuration="cache",
+        failures=(FailureEvent(time=horizon / 2,
+                               kind=FailureKind.BANDWIDTH_DEGRADE,
+                               factor=0.4),),
+        seed=seed)
+
+
+def flash_crowd(*, seed: int = 0,
+                horizon: float = 30_000.0) -> RuntimeConfig:
+    """Arrival rate surges 2.5x through the middle third of the run."""
+    return RuntimeConfig(
+        params=_disk_params(), dram_budget=50 * MB,
+        workload=SessionWorkload(arrival_rate=120 / 600.0,
+                                 mean_holding=600.0, n_titles=_N_TITLES,
+                                 popularity=_zipf()),
+        horizon=horizon, epoch=3_600.0, metrics_interval=600.0,
+        configuration="none",
+        surges=(SurgeEvent(time=horizon / 3, factor=2.5),
+                SurgeEvent(time=2 * horizon / 3, factor=1.0)),
+        seed=seed)
+
+
+SCENARIOS: dict[str, Callable[..., RuntimeConfig]] = {
+    "steady-disk": steady_disk,
+    "adaptive-cache": adaptive_cache,
+    "device-failure": device_failure,
+    "degraded-bandwidth": degraded_bandwidth,
+    "flash-crowd": flash_crowd,
+}
+
+
+def build_scenario(name: str, *, seed: int = 0,
+                   horizon: float | None = None) -> RuntimeConfig:
+    """Instantiate a named scenario's configuration."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(SCENARIOS)}") from None
+    if horizon is None:
+        return factory(seed=seed)
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be > 0, got {horizon!r}")
+    return factory(seed=seed, horizon=horizon)
+
+
+def run_scenario(name: str, *, seed: int = 0,
+                 horizon: float | None = None) -> RuntimeResult:
+    """Build and run a named scenario."""
+    return run_runtime(build_scenario(name, seed=seed, horizon=horizon))

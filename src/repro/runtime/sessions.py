@@ -1,0 +1,152 @@
+"""Session lifecycle primitives for the online runtime.
+
+A *session* is one viewer playing one title: it arrives by a Poisson
+process, holds a server slot for an exponentially distributed viewing
+time, and departs (or is rejected at admission, or dropped when a
+failure shrinks the server).  The workload model follows the loss
+system of :mod:`repro.workloads.arrivals`, extended with the two
+time-varying effects the static model cannot express:
+
+* **popularity drift** — the title ranking rotates, so yesterday's hot
+  titles cool and the adaptive placement must chase the new head;
+* **rate surges** — the arrival rate scales by a factor mid-run (flash
+  crowds).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.popularity import PopularityDistribution
+from repro.errors import ConfigurationError
+from repro.workloads.popularity_gen import RequestSampler
+
+
+class SessionEventKind(enum.Enum):
+    """What happened to a session at a point in time."""
+
+    ADMIT = "admit"
+    REJECT = "reject"
+    DEPART = "depart"
+    #: Shed mid-play because a failure shrank the feasible population.
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One entry of the runtime's session audit log."""
+
+    time: float
+    kind: SessionEventKind
+    session_id: int
+    title: int
+    #: "cache" or "disk" at admission time; None for rejects.
+    served_by: str | None = None
+    #: Rejection/drop reason (None for admits and normal departures).
+    reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind.value,
+                "session_id": self.session_id, "title": self.title,
+                "served_by": self.served_by, "reason": self.reason}
+
+
+@dataclass
+class Session:
+    """An admitted session's mutable state."""
+
+    session_id: int
+    title: int
+    arrival_time: float
+    holding_time: float
+    served_by: str
+
+    @property
+    def departure_time(self) -> float:
+        return self.arrival_time + self.holding_time
+
+
+@dataclass
+class SessionWorkload:
+    """Stochastic session generator with drift and surge support.
+
+    All randomness flows through one ``numpy`` generator seeded by the
+    runtime, so a fixed seed reproduces the exact arrival/holding/title
+    sequence.
+    """
+
+    arrival_rate: float
+    mean_holding: float
+    n_titles: int
+    popularity: PopularityDistribution
+    _rate_factor: float = field(default=1.0, init=False)
+    _rotation: int = field(default=0, init=False)
+    _base_weights: np.ndarray = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigurationError(
+                f"arrival_rate must be > 0, got {self.arrival_rate!r}")
+        if self.mean_holding <= 0:
+            raise ConfigurationError(
+                f"mean_holding must be > 0, got {self.mean_holding!r}")
+        if self.n_titles < 1:
+            raise ConfigurationError(
+                f"n_titles must be >= 1, got {self.n_titles!r}")
+        sampler = RequestSampler(self.popularity, self.n_titles)
+        self._base_weights = sampler.title_weights
+
+    # -- Time-varying knobs --------------------------------------------------
+
+    @property
+    def offered_load(self) -> float:
+        """Current offered load in Erlangs."""
+        return self.arrival_rate * self._rate_factor * self.mean_holding
+
+    @property
+    def rate_factor(self) -> float:
+        return self._rate_factor
+
+    def scale_rate(self, factor: float) -> None:
+        """Apply a flash-crowd multiplier to the arrival rate."""
+        if factor <= 0:
+            raise ConfigurationError(
+                f"rate factor must be > 0, got {factor!r}")
+        self._rate_factor = factor
+
+    def rotate_popularity(self, shift: int) -> None:
+        """Drift: rotate the title ranking by ``shift`` positions.
+
+        The weight *vector* stays fixed (the aggregate skew is
+        unchanged) but which titles carry the head moves, so a cached
+        set chosen for the old ranking goes stale.
+        """
+        self._rotation = (self._rotation + shift) % self.n_titles
+
+    def title_weight(self, title: int) -> float:
+        """Current access probability of one title."""
+        if not 0 <= title < self.n_titles:
+            raise ConfigurationError(
+                f"title must be in [0, {self.n_titles}), got {title!r}")
+        return float(self._base_weights[
+            (title - self._rotation) % self.n_titles])
+
+    def current_weights(self) -> np.ndarray:
+        """Per-title access probabilities under the current rotation."""
+        return np.roll(self._base_weights, self._rotation)
+
+    # -- Sampling ------------------------------------------------------------
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(
+            1.0 / (self.arrival_rate * self._rate_factor)))
+
+    def next_holding(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_holding))
+
+    def next_title(self, rng: np.random.Generator) -> int:
+        rank = int(rng.choice(self.n_titles, p=self._base_weights))
+        return (rank + self._rotation) % self.n_titles

@@ -53,6 +53,18 @@ class AdmissionController:
         if dram_budget < 0:
             raise ConfigurationError(
                 f"dram_budget must be >= 0, got {dram_budget!r}")
+        self._check_configuration(configuration, policy, popularity)
+        self._params = params.replace(n_streams=0)
+        self._dram_budget = dram_budget
+        self._configuration = configuration
+        self._policy = policy
+        self._popularity = popularity
+        self._admitted = 0
+
+    @staticmethod
+    def _check_configuration(configuration: str,
+                             policy: CachePolicy | None,
+                             popularity: PopularityDistribution | None) -> None:
         if configuration not in ("none", "buffer", "cache"):
             raise ConfigurationError(
                 f"configuration must be 'none', 'buffer' or 'cache', "
@@ -60,12 +72,6 @@ class AdmissionController:
         if configuration == "cache" and (policy is None or popularity is None):
             raise ConfigurationError(
                 "cache configuration needs policy and popularity")
-        self._params = params.replace(n_streams=0)
-        self._dram_budget = dram_budget
-        self._configuration = configuration
-        self._policy = policy
-        self._popularity = popularity
-        self._admitted = 0
 
     @property
     def admitted_streams(self) -> int:
@@ -77,6 +83,11 @@ class AdmissionController:
         """Installed DRAM in bytes."""
         return self._dram_budget
 
+    @property
+    def configuration(self) -> str:
+        """Active server configuration: 'none', 'buffer' or 'cache'."""
+        return self._configuration
+
     def _dram_required(self, n: int) -> float:
         params = self._params.replace(n_streams=n)
         if self._configuration == "none":
@@ -86,6 +97,82 @@ class AdmissionController:
         assert self._policy is not None and self._popularity is not None
         return design_mems_cache(params, self._policy,
                                  self._popularity).total_dram
+
+    def dram_required(self, n_streams: int | None = None) -> float:
+        """DRAM the demand model charges for ``n_streams`` streams.
+
+        Defaults to the currently admitted population.  Raises
+        :class:`~repro.errors.AdmissionError` /
+        :class:`~repro.errors.CapacityError` when the population is not
+        schedulable at all (bandwidth or MEMS-capacity exhaustion).
+        """
+        n = self._admitted if n_streams is None else n_streams
+        if n < 0:
+            raise ConfigurationError(f"n_streams must be >= 0, got {n!r}")
+        return self._dram_required(n)
+
+    def reconfigure(self, *, params: SystemParameters | None = None,
+                    configuration: str | None = None,
+                    policy: CachePolicy | None = None,
+                    popularity: PopularityDistribution | None = None,
+                    dram_budget: float | None = None) -> None:
+        """Swap the demand model under a live population.
+
+        The online runtime re-plans between service epochs (popularity
+        drift, device failure): the admitted count is preserved and
+        future :meth:`try_admit` calls are judged against the new model.
+        The new population is *not* revalidated here — callers decide
+        how to shed load if the survivors no longer fit (see
+        :mod:`repro.runtime.failures`).
+        """
+        new_configuration = (self._configuration if configuration is None
+                             else configuration)
+        new_policy = self._policy if policy is None else policy
+        new_popularity = (self._popularity if popularity is None
+                          else popularity)
+        self._check_configuration(new_configuration, new_policy,
+                                  new_popularity)
+        if dram_budget is not None:
+            if dram_budget < 0:
+                raise ConfigurationError(
+                    f"dram_budget must be >= 0, got {dram_budget!r}")
+            self._dram_budget = dram_budget
+        if params is not None:
+            self._params = params.replace(n_streams=0)
+        self._configuration = new_configuration
+        self._policy = new_policy
+        self._popularity = new_popularity
+
+    def capacity(self, *, limit: int = 1_000_000) -> int:
+        """Largest admissible population under the current model.
+
+        Found by doubling + bisection on the feasibility predicate
+        (DRAM demand is strictly increasing in the population).  This is
+        the loss-system capacity the Erlang-B prediction compares
+        against.  ``limit`` bounds the search.
+        """
+
+        def feasible(n: int) -> bool:
+            try:
+                return self._dram_required(n) <= self._dram_budget
+            except (AdmissionError, CapacityError):
+                return False
+
+        if not feasible(1):
+            return 0
+        lo = 1
+        hi = 2
+        while hi <= limit and feasible(hi):
+            lo = hi
+            hi *= 2
+        hi = min(hi, limit + 1)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if feasible(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
 
     def try_admit(self) -> AdmissionDecision:
         """Test one more stream; admit it if the system stays feasible."""

@@ -59,6 +59,14 @@ def sptf_order(device: MemsDevice, points: np.ndarray, *,
 
     Returns indices into ``points``.  Ties break on the lower index so
     the order is deterministic.
+
+    Greedy nearest-in-time has no per-instance optimality guarantee —
+    a locally cheap first hop can strand the sled far from the rest of
+    the batch, occasionally losing even to the submission order.  The
+    scheduler therefore evaluates the greedy order against the
+    submission order under the same kinematic model and keeps the
+    cheaper, so callers get an anytime guarantee: never worse than
+    servicing the batch as submitted.
     """
     points = _check_points(points)
     n = len(points)
@@ -82,6 +90,16 @@ def sptf_order(device: MemsDevice, points: np.ndarray, *,
         order.append(best)
         remaining.discard(best)
         costs = matrix[best]
+
+    def order_cost(candidate: list[int]) -> float:
+        total = from_start[candidate[0]]
+        for a, b in zip(candidate, candidate[1:]):
+            total += matrix[a, b]
+        return total
+
+    submission = list(range(n))
+    if order_cost(submission) < order_cost(order):
+        return submission
     return order
 
 

@@ -95,6 +95,25 @@ class Simulator:
                 f"delay must be >= 0, got {delay!r} ({label or 'unlabelled'})")
         self._queue.push(self._now + delay, callback, label)
 
+    def every(self, interval: float, callback: EventCallback,
+              label: str = "", *, start: float | None = None) -> None:
+        """Schedule ``callback`` to recur every ``interval`` seconds.
+
+        The first firing is at ``start`` (default ``now + interval``);
+        the event re-arms itself after each firing, so a horizon passed
+        to :meth:`run` bounds the recurrence naturally.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be > 0, got {interval!r} "
+                f"({label or 'unlabelled'})")
+
+        def fire(sim: "Simulator") -> None:
+            callback(sim)
+            sim.after(interval, fire, label)
+
+        self.at(self._now + interval if start is None else start, fire, label)
+
     def run(self, until: float | None = None) -> float:
         """Execute events (optionally only up to time ``until``).
 

@@ -50,6 +50,22 @@ def erlang_b(offered_load: float, capacity: int) -> float:
     return blocking
 
 
+def predicted_blocking(arrival_rate: float, mean_holding: float,
+                       capacity: int) -> float:
+    """Erlang-B prediction for a session workload against a capacity.
+
+    Convenience wrapper used by the online runtime: the offered load is
+    ``arrival_rate * mean_holding`` Erlangs.
+    """
+    if arrival_rate < 0:
+        raise ConfigurationError(
+            f"arrival_rate must be >= 0, got {arrival_rate!r}")
+    if mean_holding <= 0:
+        raise ConfigurationError(
+            f"mean_holding must be > 0, got {mean_holding!r}")
+    return erlang_b(arrival_rate * mean_holding, capacity)
+
+
 @dataclass(frozen=True)
 class BlockingStats:
     """Outcome of a blocking simulation."""
