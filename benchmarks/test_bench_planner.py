@@ -1,0 +1,86 @@
+"""Planner memoization: repeated solves must come from the cache.
+
+The figure sweeps and the runtime's epoch loop re-ask the planner the
+same ``(params, configuration, budget)`` questions many times over; the
+:class:`~repro.planner.PlanCache` exists so only the first asking pays
+for the doubling+bisection search.  These benchmarks pin that contract:
+an identical sweep against a warm planner must run at least 2x faster
+than against a cold one (in practice it is orders of magnitude faster —
+pure dict lookups), and must add zero new misses.
+"""
+
+import time
+
+import pytest
+
+from repro.core.cache_model import CachePolicy
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.planner import Configuration, Planner
+from repro.units import GB, KB, MB
+
+#: Required cold/warm speedup (the acceptance floor; real runs are
+#: typically >100x).
+MIN_SPEEDUP = 2.0
+
+
+def _sweep(planner: Planner) -> float:
+    """A representative solve mix: figure-style budget sweeps across
+    configurations, plus forward plans over a population grid."""
+    params = SystemParameters.table3_default(n_streams=1,
+                                             bit_rate=100 * KB, k=2)
+    popularity = BimodalPopularity(10, 90)
+    checksum = 0.0
+    for budget in (100 * MB, 250 * MB, 500 * MB, 1 * GB, 2 * GB):
+        checksum += planner.max_streams(params, Configuration.direct(),
+                                        budget)
+        checksum += planner.max_streams(params, Configuration.buffer(),
+                                        budget)
+        for policy in (CachePolicy.STRIPED, CachePolicy.REPLICATED):
+            checksum += planner.max_streams(
+                params, Configuration.cache(policy, popularity), budget)
+        checksum += planner.capacity(params, Configuration.buffer(), budget)
+    for n in (100, 400, 1_600, 2_400):
+        checksum += planner.plan(params.replace(n_streams=n),
+                                 Configuration.buffer()).total_dram
+    return checksum
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_warm_cache_at_least_2x_faster():
+    planner = Planner()
+    cold = _timed(lambda: _sweep(planner))
+    after_cold = planner.stats()
+    assert after_cold["misses"] > 0
+
+    # Best warm time of a few repeats, to shrug off scheduler noise.
+    warm = min(_timed(lambda: _sweep(planner)) for _ in range(5))
+    after_warm = planner.stats()
+
+    assert after_warm["misses"] == after_cold["misses"], \
+        "a warm repeat of an identical sweep must be all hits"
+    assert after_warm["hits"] > after_cold["hits"]
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"\nplanner sweep: cold {cold * 1e3:.1f} ms, "
+          f"warm {warm * 1e3:.3f} ms ({speedup:.0f}x)")
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_warm_and_cold_agree():
+    cold_planner = Planner()
+    warm_planner = Planner()
+    _sweep(warm_planner)
+    assert _sweep(cold_planner) == pytest.approx(_sweep(warm_planner))
+
+
+def test_warm_sweep_throughput(benchmark):
+    planner = Planner()
+    _sweep(planner)  # warm it
+    benchmark(_sweep, planner)
+    stats = planner.stats()
+    assert stats["hits"] > stats["misses"]

@@ -11,6 +11,8 @@ scheduling.  This package implements:
   banks) — :mod:`repro.devices`;
 * the complete analytical framework (Theorems 1-4, the cost models,
   the X:Y popularity/hit-rate map) — :mod:`repro.core`;
+* the unified, memoized configuration planner every consumer solves
+  through — :mod:`repro.planner`;
 * schedulers and admission control — :mod:`repro.scheduling`;
 * a discrete-event simulator that executes the schedules and verifies
   the analytical bounds — :mod:`repro.simulation`;
@@ -63,6 +65,14 @@ from repro.devices import (
     MEMS_G3,
     DRAM_2007,
 )
+from repro.planner import (
+    Configuration,
+    ConfigurationKind,
+    Plan,
+    PlanCache,
+    Planner,
+    default_planner,
+)
 from repro.simulation import ServerConfig, StreamingServer
 
 __version__ = "1.0.0"
@@ -97,6 +107,12 @@ __all__ = [
     "FUTURE_DISK_2007",
     "MEMS_G3",
     "DRAM_2007",
+    "Configuration",
+    "ConfigurationKind",
+    "Plan",
+    "PlanCache",
+    "Planner",
+    "default_planner",
     "ServerConfig",
     "StreamingServer",
     "__version__",

@@ -3,10 +3,15 @@
 The paper's Figures 9 and 10 report *server throughput* — the maximum
 number of streams a configuration can admit — for a fixed buffering
 budget.  The forward models (Theorems 1-4) map ``N`` to a DRAM
-requirement; these solvers invert them.  Every forward model's DRAM
-requirement is strictly increasing in ``N`` (more streams, longer
-cycles, bigger buffers), so a bracketed bisection on the feasibility
-predicate is exact up to the requested tolerance.
+requirement; these solvers invert them.
+
+.. deprecated::
+    Since the unified planning layer landed, this module is a thin
+    compatibility wrapper: every function delegates to the shared,
+    memoized :class:`repro.planner.Planner`
+    (:func:`repro.planner.default_planner`).  New code should build a
+    :class:`repro.planner.Configuration` and call the planner directly;
+    these wrappers remain for the stable public API.
 """
 
 from __future__ import annotations
@@ -14,46 +19,49 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 
-from repro.core.buffer_model import design_mems_buffer
-from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
-from repro.core.theorems import max_streams_direct
-from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.errors import ConfigurationError
+from repro.planner.search import (
+    MAX_BISECTIONS as _MAX_BISECTIONS,
+    MAX_DOUBLINGS as _MAX_DOUBLINGS,
+    REL_TOL as _REL_TOL,
+    max_feasible_real,
+)
 
-#: Relative tolerance of the bisection solvers.
-_REL_TOL = 1e-9
-_MAX_DOUBLINGS = 80
-_MAX_BISECTIONS = 120
+__all__ = [
+    "max_streams_without_mems",
+    "max_streams_with_buffer",
+    "max_streams_with_cache",
+    "streams_supported",
+]
 
 
 def _max_feasible(predicate: Callable[[float], bool]) -> float:
-    """Largest ``n >= 0`` with ``predicate(n)`` true, by doubling + bisection.
+    """Deprecated alias for :func:`repro.planner.search.max_feasible_real`.
 
-    ``predicate`` must be monotone (true on an interval ``[0, n*]``).
-    Returns 0.0 when even a vanishing load is infeasible.
+    Kept so historical callers keep working; the solver itself (and its
+    tolerance constants ``_REL_TOL`` etc., also re-exported above) now
+    lives in the planning layer.
     """
-    if not predicate(1e-6):
-        return 0.0
-    lo = 1e-6
-    hi = 1.0
-    for _ in range(_MAX_DOUBLINGS):
-        if not predicate(hi):
-            break
-        lo = hi
-        hi *= 2.0
-    else:  # pragma: no cover - would need absurd parameters
-        raise ConfigurationError(
-            "feasible region appears unbounded; check the budget constraint")
-    for _ in range(_MAX_BISECTIONS):
-        mid = 0.5 * (lo + hi)
-        if predicate(mid):
-            lo = mid
-        else:
-            hi = mid
-        if hi - lo <= _REL_TOL * max(hi, 1.0):
-            break
-    return lo
+    return max_feasible_real(predicate)
+
+
+def _planner():
+    # Imported lazily: repro.planner.solver imports the core forward
+    # models, so a module-level import here would be circular.
+    from repro.planner.solver import default_planner
+
+    return default_planner()
+
+
+def _configuration(kind: str, policy: CachePolicy | None = None,
+                   popularity: PopularityDistribution | None = None):
+    from repro.planner.configuration import Configuration
+
+    return Configuration.from_legacy(kind, policy=policy,
+                                     popularity=popularity)
 
 
 def max_streams_without_mems(params: SystemParameters,
@@ -62,11 +70,7 @@ def max_streams_without_mems(params: SystemParameters,
 
     Closed form; ``params.n_streams`` is ignored.
     """
-    if dram_budget < 0:
-        raise ConfigurationError(
-            f"dram_budget must be >= 0, got {dram_budget!r}")
-    return max_streams_direct(params.bit_rate, params.r_disk, params.l_disk,
-                              dram_budget)
+    return _planner().max_streams(params, _configuration("none"), dram_budget)
 
 
 def max_streams_with_buffer(params: SystemParameters,
@@ -77,19 +81,8 @@ def max_streams_with_buffer(params: SystemParameters,
     limits, the MEMS storage bound (Eq. 7 vs Eq. 6 compatibility), and
     the DRAM budget.  ``params.n_streams`` is ignored.
     """
-    if dram_budget < 0:
-        raise ConfigurationError(
-            f"dram_budget must be >= 0, got {dram_budget!r}")
-
-    def feasible(n: float) -> bool:
-        try:
-            design = design_mems_buffer(params.replace(n_streams=n),
-                                        quantise=False)
-        except (AdmissionError, CapacityError):
-            return False
-        return design.total_dram <= dram_budget
-
-    return _max_feasible(feasible)
+    return _planner().max_streams(params, _configuration("buffer"),
+                                  dram_budget)
 
 
 def max_streams_with_cache(params: SystemParameters, policy: CachePolicy,
@@ -102,19 +95,9 @@ def max_streams_with_cache(params: SystemParameters, policy: CachePolicy,
     both device classes to admit their share and the combined DRAM to
     fit the budget.  ``params.n_streams`` is ignored.
     """
-    if dram_budget < 0:
-        raise ConfigurationError(
-            f"dram_budget must be >= 0, got {dram_budget!r}")
-
-    def feasible(n: float) -> bool:
-        try:
-            design = design_mems_cache(params.replace(n_streams=n), policy,
-                                       popularity)
-        except AdmissionError:
-            return False
-        return design.total_dram <= dram_budget
-
-    return _max_feasible(feasible)
+    return _planner().max_streams(params,
+                                  _configuration("cache", policy, popularity),
+                                  dram_budget)
 
 
 def streams_supported(params: SystemParameters, dram_budget: float, *,
@@ -127,17 +110,11 @@ def streams_supported(params: SystemParameters, dram_budget: float, *,
     ``"cache"`` (which additionally needs ``policy`` and
     ``popularity``).  Returns ``floor`` of the continuous solution.
     """
-    if configuration == "none":
-        n = max_streams_without_mems(params, dram_budget)
-    elif configuration == "buffer":
-        n = max_streams_with_buffer(params, dram_budget)
-    elif configuration == "cache":
-        if policy is None or popularity is None:
-            raise ConfigurationError(
-                "cache configuration needs policy and popularity")
-        n = max_streams_with_cache(params, policy, popularity, dram_budget)
-    else:
+    if configuration not in ("none", "buffer", "cache"):
         raise ConfigurationError(
             f"configuration must be 'none', 'buffer' or 'cache', "
             f"got {configuration!r}")
+    n = _planner().max_streams(
+        params, _configuration(configuration, policy, popularity),
+        dram_budget)
     return int(math.floor(n + 1e-9))

@@ -17,6 +17,11 @@ largest ``N`` such that
 * the summed DRAM fits the budget,
 
 and :func:`optimize_hybrid_split` scans all ``k + 1`` splits.
+
+The per-split solve itself (forward DRAM model and inverse throughput
+search) lives in the unified planning layer — this module is a thin
+wrapper building :meth:`repro.planner.Configuration.hybrid` specs and
+delegating to the shared, memoized planner.
 """
 
 from __future__ import annotations
@@ -24,21 +29,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.buffer_model import design_mems_buffer
-from repro.core.cache_model import (
-    CachePolicy,
-    cache_buffer,
-    cache_capacity_fraction,
-)
-from repro.core.capacity import _max_feasible
+from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
-from repro.core.theorems import min_buffer_direct
-from repro.errors import (
-    AdmissionError,
-    CapacityError,
-    ConfigurationError,
-)
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -71,6 +65,11 @@ def hybrid_throughput(params: SystemParameters, *, k_cache: int,
     ``params.size_disk`` must be finite.  ``params.n_streams`` is
     ignored.
     """
+    # Imported lazily: the planner imports the core forward models, so
+    # a module-level import here would be circular.
+    from repro.planner.configuration import Configuration
+    from repro.planner.solver import default_planner
+
     if not 0 <= k_cache <= params.k:
         raise ConfigurationError(
             f"k_cache must be in [0, {params.k}], got {k_cache!r}")
@@ -81,39 +80,13 @@ def hybrid_throughput(params: SystemParameters, *, k_cache: int,
         raise ConfigurationError(
             "hybrid analysis needs finite size_mems and size_disk")
     k_buffer = params.k - k_cache
-    if k_cache == 0:
-        hit_rate = 0.0
-    else:
-        p = cache_capacity_fraction(policy, k_cache, params.size_mems,
-                                    params.size_disk)
-        hit_rate = popularity.hit_rate(p)
-
-    def feasible(n: float) -> bool:
-        n_cache = hit_rate * n
-        n_disk = (1.0 - hit_rate) * n
-        try:
-            if n_cache > 0:
-                dram_cache = n_cache * cache_buffer(
-                    policy, n_cache, params.bit_rate, k_cache,
-                    params.r_mems, params.l_mems)
-            else:
-                dram_cache = 0.0
-            if n_disk > 0:
-                if k_buffer > 0:
-                    design = design_mems_buffer(
-                        params.replace(n_streams=n_disk, k=k_buffer),
-                        quantise=False)
-                    dram_disk = design.total_dram
-                else:
-                    dram_disk = n_disk * min_buffer_direct(
-                        n_disk, params.bit_rate, params.r_disk, params.l_disk)
-            else:
-                dram_disk = 0.0
-        except (AdmissionError, CapacityError):
-            return False
-        return dram_cache + dram_disk <= dram_budget
-
-    max_streams = _max_feasible(feasible)
+    configuration = Configuration.hybrid(k_cache, k_buffer, policy,
+                                         popularity)
+    planner = default_planner()
+    max_streams = planner.max_streams(params, configuration, dram_budget)
+    hit_rate = planner.plan(params.replace(n_streams=0),
+                            configuration).hit_rate
+    assert hit_rate is not None
     return HybridDesign(k_cache=k_cache, k_buffer=k_buffer, policy=policy,
                         hit_rate=hit_rate, max_streams=max_streams)
 
@@ -134,7 +107,11 @@ def optimize_hybrid_split(params: SystemParameters, *, policy: CachePolicy,
                                    dram_budget=dram_budget)
         if best is None or design.max_streams > best.max_streams * (1 + 1e-12):
             best = design
-    assert best is not None  # k >= 1 always yields at least two candidates
+    if best is None:
+        # k >= 1 always yields at least two candidates, so this is
+        # unreachable — but an assert would vanish under ``python -O``.
+        raise ConfigurationError(
+            f"no hybrid split candidates for k={params.k!r}")
     return best
 
 

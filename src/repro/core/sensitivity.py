@@ -23,11 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.buffer_model import design_mems_buffer
 from repro.core.capacity import max_streams_without_mems
 from repro.core.parameters import SystemParameters
 from repro.core.theorems import min_buffer_disk_dram
-from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -76,19 +75,23 @@ def cost_reduction_at_ratio(base: SystemParameters, ratio: float,
                                  dram_without=0.0, dram_with=0.0,
                                  cost_without=0.0,
                                  cost_with=params.mems_bank_cost)
+    # Imported lazily: the planner imports the core forward models, so
+    # a module-level import here would be circular.
+    from repro.planner.configuration import Configuration
+    from repro.planner.solver import default_planner
+
     at_n = params.replace(n_streams=n)
     dram_without = n * min_buffer_disk_dram(at_n)
     cost_without = params.c_dram * dram_without
-    try:
-        design = design_mems_buffer(at_n, quantise=False)
-    except (AdmissionError, CapacityError):
+    plan = default_planner().plan(at_n, Configuration.buffer())
+    if not plan.feasible:
         # The MEMS bank cannot carry this load at this ratio; the MEMS
         # configuration matches the baseline by not engaging the bank
         # (but its purchase cost is still sunk).
         dram_with = dram_without
         cost_with = params.mems_bank_cost + cost_without
     else:
-        dram_with = design.total_dram
+        dram_with = plan.total_dram
         cost_with = params.mems_bank_cost + params.c_dram * dram_with
     return LatencyRatioPoint(latency_ratio=ratio, bit_rate=params.bit_rate,
                              n_streams=n, dram_without=dram_without,

@@ -11,16 +11,12 @@ cache always degrades performance.
 from __future__ import annotations
 
 from repro.core.cache_model import CachePolicy
-from repro.core.capacity import (
-    max_streams_with_cache,
-    max_streams_without_mems,
-)
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007
-from repro.errors import AdmissionError
 from repro.experiments.base import ExperimentResult, Series
 from repro.experiments.figure9 import _dram_budget
+from repro.planner import Configuration, default_planner
 from repro.units import KB
 
 #: The experiment's fixed total budget, dollars.
@@ -34,10 +30,11 @@ def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
         distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
         policy: CachePolicy = CachePolicy.STRIPED) -> ExperimentResult:
     """Percentage throughput improvement vs k, one curve per distribution."""
+    planner = default_planner()
     baseline_params = SystemParameters.table3_default(
         n_streams=1, bit_rate=bit_rate, k=1)
-    baseline = max_streams_without_mems(
-        baseline_params, total_cost / DRAM_2007.cost_per_byte)
+    baseline = planner.max_streams(baseline_params, Configuration.direct(),
+                                   total_cost / DRAM_2007.cost_per_byte)
     series = []
     for spec in distributions:
         popularity = BimodalPopularity.parse(spec)
@@ -49,11 +46,8 @@ def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
                 break
             params = SystemParameters.table3_default(
                 n_streams=1, bit_rate=bit_rate, k=k)
-            try:
-                cached = max_streams_with_cache(params, policy, popularity,
-                                                dram)
-            except AdmissionError:
-                break
+            cached = planner.max_streams(
+                params, Configuration.cache(policy, popularity), dram)
             xs.append(float(k))
             ys.append(100.0 * (cached - baseline) / baseline)
         series.append(Series(label=spec, x=xs, y=ys))

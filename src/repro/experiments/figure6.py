@@ -6,18 +6,20 @@ paper's Section 5.1.1 relaxation).  Four bit-rates (mp3 / DivX / DVD /
 HDTV), both axes logarithmic.  Each curve ends where the load saturates
 the disk (or, with the buffer, the MEMS bank's doubled load saturates
 the bank).
+
+Both panels solve through the shared planner
+(:func:`repro.planner.default_planner`), so re-running a panel — or the
+double sweep of :func:`reduction_factors` — replays memoized solves.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.buffer_model import design_mems_buffer
 from repro.core.parameters import SystemParameters
-from repro.core.theorems import min_buffer_disk_dram
 from repro.devices.catalog import MEDIA_BITRATES
-from repro.errors import AdmissionError
 from repro.experiments.base import ExperimentResult, Series
+from repro.planner import Configuration, default_planner
 from repro.units import GB
 
 
@@ -55,6 +57,9 @@ def run(*, with_mems: bool, k: int = 2,
         max_streams: float = 1e5) -> ExperimentResult:
     """Panel (a) with ``with_mems=False``, panel (b) with ``True``."""
     rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
+    planner = default_planner()
+    configuration = (Configuration.buffer(k) if with_mems
+                     else Configuration.direct())
     series = []
     for name, bit_rate in rates.items():
         xs: list[float] = []
@@ -63,15 +68,11 @@ def run(*, with_mems: bool, k: int = 2,
             params = SystemParameters.table3_default(
                 n_streams=n, bit_rate=bit_rate, k=k,
                 size_mems_unlimited=True)
-            try:
-                if with_mems:
-                    total = design_mems_buffer(params, quantise=False).total_dram
-                else:
-                    total = n * min_buffer_disk_dram(params)
-            except AdmissionError:
+            plan = planner.plan(params, configuration)
+            if not plan.feasible:
                 break  # load saturates the device; the curve ends here
             xs.append(float(n))
-            ys.append(total / GB)
+            ys.append(plan.total_dram / GB)
         series.append(Series(label=f"{name}", x=xs, y=ys))
     panel = "b (with MEMS buffer)" if with_mems else "a (without MEMS buffer)"
     result = ExperimentResult(

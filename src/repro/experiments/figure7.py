@@ -5,6 +5,10 @@ The Section 5.1.3 case study: a 2007 off-the-shelf server with at most
 sweeps the disk/MEMS latency ratio from 1 to 10 (the FutureDisk-G3
 pair sits near 5) for the four media bit-rates; panel (b) maps the
 25% / 50% / 75% cost-reduction regions over the bit-rate x ratio plane.
+
+Every sweep point solves through the shared memoized planner (via
+:mod:`repro.core.sensitivity`), so points shared between panel (a)
+curves and the panel (b) grid are computed once.
 """
 
 from __future__ import annotations

@@ -8,20 +8,20 @@ admitted streams) is compared across three configurations — no cache,
 replicated cache, striped cache — for popularity distributions 1:99,
 5:95, 10:90, 20:80, and 50:50, at 10 KB/s (panel a) and 1 MB/s (panel
 b).
+
+All throughputs are solved by the shared memoized planner, so the
+headline notes at the end of :func:`run` (which re-query cells already
+in the table) and repeated panel runs replay cached solves.
 """
 
 from __future__ import annotations
 
 from repro.core.cache_model import CachePolicy
-from repro.core.capacity import (
-    max_streams_with_cache,
-    max_streams_without_mems,
-)
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007, MEMS_G3
-from repro.errors import AdmissionError
 from repro.experiments.base import ExperimentResult, Table
+from repro.planner import Configuration, default_planner
 from repro.units import GB, KB, MB
 
 #: (budget $, cache devices) pairs of the paper's experiment.
@@ -44,11 +44,13 @@ def throughput(bit_rate: float, total_cost: float, k_cache: int,
 
     ``configuration`` is ``"none"``, ``"replicated"``, or ``"striped"``.
     """
+    planner = default_planner()
     if configuration == "none":
         params = SystemParameters.table3_default(n_streams=1,
                                                  bit_rate=bit_rate, k=1)
         budget = total_cost / DRAM_2007.cost_per_byte
-        return int(max_streams_without_mems(params, budget))
+        return int(planner.max_streams(params, Configuration.direct(),
+                                       budget))
     params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
                                              k=k_cache)
     policy = (CachePolicy.REPLICATED if configuration == "replicated"
@@ -56,10 +58,8 @@ def throughput(bit_rate: float, total_cost: float, k_cache: int,
     budget = _dram_budget(total_cost, k_cache)
     if budget <= 0:
         return 0
-    try:
-        return int(max_streams_with_cache(params, policy, popularity, budget))
-    except AdmissionError:
-        return 0
+    return int(planner.max_streams(
+        params, Configuration.cache(policy, popularity), budget))
 
 
 def run(*, bit_rate: float = 10 * KB,

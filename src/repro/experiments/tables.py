@@ -97,4 +97,22 @@ def run_table3() -> ExperimentResult:
         "capacity-per-device cells follow Table 1's 2007 column; the "
         "printed Table 3 transposes the disk/DRAM capacities (see catalog "
         "docstring)")
+    # Cross-check the catalog against the planning layer: the paper's
+    # headline case study (2,400 DivX streams through the k=2 buffer)
+    # solved via the shared planner must agree with Theorem 2 directly.
+    from repro.core.buffer_model import design_mems_buffer
+    from repro.core.parameters import SystemParameters
+    from repro.planner import Configuration, default_planner
+    from repro.units import KB
+
+    case = SystemParameters.table3_default(n_streams=2_400,
+                                           bit_rate=100 * KB, k=2)
+    plan = default_planner().plan(case, Configuration.buffer()).require()
+    direct = design_mems_buffer(case, quantise=False).total_dram
+    agreement = ("agrees with" if plan.total_dram == direct
+                 else "DISAGREES with")
+    result.notes.append(
+        f"planner cross-check: 2,400 DivX streams via the 2-device buffer "
+        f"need {plan.total_dram / MB:.0f} MB DRAM "
+        f"(T_disk={plan.t_disk:.1f}s); the planner {agreement} Theorem 2")
     return result

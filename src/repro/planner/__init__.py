@@ -1,0 +1,53 @@
+"""The unified planning layer: one configuration solver for all layers.
+
+Every layer of the reproduction — the core capacity wrappers, admission
+control, the figure experiments, and the online runtime — asks the same
+question: *given a parameter set and a server configuration, what is
+the per-stream DRAM, the cycle structure, and the largest admissible
+population?*  This package is the single answer path:
+
+* :class:`~repro.planner.configuration.Configuration` — the canonical,
+  hashable spelling of the four configurations (DIRECT, BUFFER(k),
+  CACHE(policy, k), HYBRID(k_cache, k_buffer));
+* :class:`~repro.planner.plan.Plan` — the solved operating point, with
+  feasibility diagnostics instead of exceptions;
+* :mod:`~repro.planner.search` — the one monotone doubling+bisection
+  engine (continuous and integer) behind every inverse solve;
+* :class:`~repro.planner.cache.PlanCache` — bounded LRU memoization
+  with hit/miss/eviction counters;
+* :class:`~repro.planner.solver.Planner` — the memoizing solver tying
+  it together, plus the process-wide :func:`default_planner`.
+
+The legacy entry points (:mod:`repro.core.capacity`,
+:mod:`repro.core.hybrid`, ``AdmissionController.capacity``) remain as
+thin wrappers over this package.
+"""
+
+from repro.planner.search import (
+    DEFAULT_INT_LIMIT,
+    MAX_BISECTIONS,
+    MAX_DOUBLINGS,
+    REL_TOL,
+    max_feasible_int,
+    max_feasible_real,
+)
+from repro.planner.cache import DEFAULT_MAXSIZE, PlanCache
+from repro.planner.configuration import Configuration, ConfigurationKind
+from repro.planner.plan import Plan
+from repro.planner.solver import Planner, default_planner
+
+__all__ = [
+    "DEFAULT_INT_LIMIT",
+    "DEFAULT_MAXSIZE",
+    "MAX_BISECTIONS",
+    "MAX_DOUBLINGS",
+    "REL_TOL",
+    "Configuration",
+    "ConfigurationKind",
+    "Plan",
+    "PlanCache",
+    "Planner",
+    "default_planner",
+    "max_feasible_int",
+    "max_feasible_real",
+]

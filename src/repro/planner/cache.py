@@ -1,0 +1,88 @@
+"""Memoization store for configuration solves.
+
+A :class:`PlanCache` is a bounded LRU map from solve keys to solve
+results, with hit/miss/eviction counters.  Keys are whatever hashable
+tuple the :class:`~repro.planner.solver.Planner` builds — typically
+``(tag, SystemParameters, Configuration, ...)`` — and both the
+parameter set and the configuration spec are frozen dataclasses, so a
+``params.replace(...)`` naturally produces a *different* key and never
+aliases a stale entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Default number of memoized solves kept per planner.
+DEFAULT_MAXSIZE = 65_536
+
+_MISSING = object()
+
+
+class PlanCache:
+    """Bounded LRU cache with observable hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries displaced by the LRU bound."""
+        return self._evictions
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        A hit returns the *identical* stored object and refreshes its
+        LRU position.  Exceptions from ``compute`` propagate and cache
+        nothing.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self._misses += 1
+        value = compute()
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot: hits, misses, evictions, current size."""
+        return {"hits": self._hits, "misses": self._misses,
+                "evictions": self._evictions, "size": len(self._entries)}

@@ -1,0 +1,73 @@
+"""The planner's result type: one solved operating point.
+
+A :class:`Plan` is the answer to "run *this* configuration with *these*
+parameters": the per-stream and total DRAM demand, the cycle structure
+(``T_disk`` / ``T_mems`` / the MEMS cycle floor ``C``), the cache
+geometry (cached-content fraction and hit rate), and — when the
+operating point is infeasible — the diagnosis instead of an exception.
+Callers that want the legacy raising behaviour chain through
+:meth:`Plan.require`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ReproError
+from repro.planner.configuration import Configuration
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A solved (or diagnosed-infeasible) operating point."""
+
+    #: The parameter set the plan was solved at (``n_streams`` matters).
+    params: SystemParameters
+    #: The configuration that was solved.
+    configuration: Configuration
+    #: False when the operating point is not schedulable; the DRAM and
+    #: cycle fields are then zero/None and ``failure`` says why.
+    feasible: bool
+    #: Average per-stream DRAM demand, bytes (0 for an empty population).
+    per_stream_dram: float = 0.0
+    #: Aggregate DRAM demand, bytes.
+    total_dram: float = 0.0
+    #: Disk IO cycle, seconds (None when the configuration has none).
+    t_disk: float | None = None
+    #: MEMS IO cycle, seconds (None when unquantised or not applicable).
+    t_mems: float | None = None
+    #: MEMS cycle feasibility floor ``C``, seconds (buffer/hybrid).
+    cycle_floor: float | None = None
+    #: Cached-content fraction ``p`` (cache/hybrid configurations).
+    capacity_fraction: float | None = None
+    #: Cache hit rate ``h`` (cache/hybrid configurations).
+    hit_rate: float | None = None
+    #: The underlying model design (BufferDesign / CacheDesign / ...),
+    #: for callers needing the full breakdown.  Not part of equality.
+    design: object | None = field(default=None, compare=False, repr=False)
+    #: The feasibility failure, when ``feasible`` is False.
+    failure: ReproError | None = field(default=None, compare=False,
+                                       repr=False)
+
+    @property
+    def reason(self) -> str | None:
+        """Human-readable infeasibility diagnosis (None when feasible)."""
+        return None if self.failure is None else str(self.failure)
+
+    def require(self) -> "Plan":
+        """Return self, or raise the recorded feasibility failure.
+
+        This restores the legacy contract of the forward models
+        (``design_mems_buffer`` & co.), which raise
+        :class:`~repro.errors.AdmissionError` /
+        :class:`~repro.errors.CapacityError` at infeasible points.
+        """
+        if not self.feasible:
+            assert self.failure is not None
+            raise self.failure
+        return self
+
+    def fits(self, dram_budget: float) -> bool:
+        """True when the plan is feasible within ``dram_budget`` bytes."""
+        return self.feasible and self.total_dram <= dram_budget

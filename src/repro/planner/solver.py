@@ -1,0 +1,277 @@
+"""The unified configuration planner.
+
+One :class:`Planner` answers, for any ``(SystemParameters,
+Configuration)`` pair, the three questions every layer of the
+reproduction asks:
+
+* :meth:`Planner.plan` — the forward solve: DRAM demand and cycle
+  structure at ``params.n_streams`` (Theorems 1-4 and the hybrid
+  split), returned as a :class:`~repro.planner.plan.Plan` with
+  feasibility diagnostics instead of exceptions;
+* :meth:`Planner.max_streams` — the continuous inverse: the largest
+  admissible population under a DRAM budget (Figures 9/10 sweeps,
+  hybrid split scans);
+* :meth:`Planner.capacity` — the integer inverse with admission
+  semantics (the loss-system capacity the Erlang-B comparisons and the
+  online runtime use).
+
+Every solve is memoized in a :class:`~repro.planner.cache.PlanCache`
+keyed on the (hashable, frozen) parameter set and configuration, so
+figure sweeps, Erlang-B capacity queries, and runtime epoch re-planning
+stop recomputing identical solves; ``params.replace(...)`` produces a
+new key and therefore a fresh solve.  A process-wide
+:func:`default_planner` serves the stateless wrappers in
+:mod:`repro.core.capacity` and :mod:`repro.core.hybrid`; components
+with their own lifecycle (the online runtime) construct a private
+planner so its counters describe just that run.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffer_model import BufferDesign, design_mems_buffer
+from repro.core.cache_model import (
+    cache_buffer,
+    cache_capacity_fraction,
+    design_mems_cache,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.theorems import (
+    max_streams_direct,
+    min_buffer_direct,
+    min_buffer_disk_dram,
+)
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+    SchedulingError,
+)
+from repro.planner.cache import PlanCache
+from repro.planner.configuration import Configuration, ConfigurationKind
+from repro.planner.plan import Plan
+from repro.planner.search import (
+    DEFAULT_INT_LIMIT,
+    max_feasible_int,
+    max_feasible_real,
+)
+
+#: Exceptions that mean "this operating point is infeasible", as opposed
+#: to a malformed request (ConfigurationError, which always propagates).
+_FEASIBILITY_ERRORS = (AdmissionError, CapacityError, SchedulingError)
+
+
+class Planner:
+    """Memoizing solver for every server configuration."""
+
+    def __init__(self, *, cache: PlanCache | None = None) -> None:
+        self._cache = cache if cache is not None else PlanCache()
+
+    @property
+    def cache(self) -> PlanCache:
+        """The memoization store (counters, clear)."""
+        return self._cache
+
+    def stats(self) -> dict[str, int]:
+        """Cache counters: hits, misses, evictions, size."""
+        return self._cache.stats()
+
+    # -- Forward solve -------------------------------------------------------
+
+    def plan(self, params: SystemParameters, configuration: Configuration,
+             *, quantise: bool = False) -> Plan:
+        """Solve ``configuration`` at ``params.n_streams`` streams.
+
+        Infeasible operating points come back as ``Plan(feasible=False)``
+        with the diagnosing exception attached (see
+        :meth:`~repro.planner.plan.Plan.require`); malformed requests
+        raise :class:`~repro.errors.ConfigurationError` eagerly.
+        ``quantise`` requests the integer-M MEMS cycle of Eq. 8 for
+        buffer configurations (the Theorem 2 default elsewhere in the
+        library is the unquantised closed form).
+        """
+        key = ("plan", params, configuration, quantise)
+        return self._cache.get_or_compute(
+            key, lambda: self._solve_plan(params, configuration, quantise))
+
+    def _solve_plan(self, params: SystemParameters,
+                    configuration: Configuration, quantise: bool) -> Plan:
+        kind = configuration.kind
+        try:
+            if kind is ConfigurationKind.DIRECT:
+                return self._plan_direct(params, configuration)
+            if kind is ConfigurationKind.BUFFER:
+                return self._plan_buffer(params, configuration, quantise)
+            if kind is ConfigurationKind.CACHE:
+                return self._plan_cache(params, configuration)
+            return self._plan_hybrid(params, configuration)
+        except _FEASIBILITY_ERRORS as exc:
+            return Plan(params=params, configuration=configuration,
+                        feasible=False, failure=exc)
+
+    @staticmethod
+    def _effective_params(params: SystemParameters,
+                          configuration: Configuration) -> SystemParameters:
+        if configuration.k is None or configuration.k == params.k:
+            return params
+        return params.replace(k=configuration.k)
+
+    def _plan_direct(self, params: SystemParameters,
+                     configuration: Configuration) -> Plan:
+        per_stream = min_buffer_disk_dram(params)
+        n = params.n_streams
+        return Plan(params=params, configuration=configuration,
+                    feasible=True, per_stream_dram=per_stream,
+                    total_dram=n * per_stream,
+                    t_disk=per_stream / params.bit_rate if n else None)
+
+    def _plan_buffer(self, params: SystemParameters,
+                     configuration: Configuration, quantise: bool) -> Plan:
+        solve_params = self._effective_params(params, configuration)
+        design = design_mems_buffer(solve_params, quantise=quantise)
+        return Plan(params=solve_params, configuration=configuration,
+                    feasible=True, per_stream_dram=design.s_mems_dram,
+                    total_dram=design.total_dram, t_disk=design.t_disk,
+                    t_mems=design.t_mems, cycle_floor=design.cycle_floor,
+                    design=design)
+
+    def _plan_cache(self, params: SystemParameters,
+                    configuration: Configuration) -> Plan:
+        solve_params = self._effective_params(params, configuration)
+        assert configuration.policy is not None
+        assert configuration.popularity is not None
+        design = design_mems_cache(solve_params, configuration.policy,
+                                   configuration.popularity)
+        n = solve_params.n_streams
+        total = design.total_dram
+        return Plan(params=solve_params, configuration=configuration,
+                    feasible=True,
+                    per_stream_dram=total / n if n else 0.0,
+                    total_dram=total,
+                    capacity_fraction=design.cached_fraction,
+                    hit_rate=design.hit_rate, design=design)
+
+    def _plan_hybrid(self, params: SystemParameters,
+                     configuration: Configuration) -> Plan:
+        if params.size_mems is None or params.size_disk is None:
+            raise ConfigurationError(
+                "hybrid analysis needs finite size_mems and size_disk")
+        assert configuration.policy is not None
+        assert configuration.popularity is not None
+        assert configuration.k_cache is not None
+        policy = configuration.policy
+        k_cache = configuration.k_cache
+        k_buffer = configuration.k_buffer
+        assert k_buffer is not None
+        if k_cache == 0:
+            fraction = 0.0
+            hit_rate = 0.0
+        else:
+            fraction = cache_capacity_fraction(policy, k_cache,
+                                               params.size_mems,
+                                               params.size_disk)
+            hit_rate = configuration.popularity.hit_rate(fraction)
+        n = params.n_streams
+        n_cache = hit_rate * n
+        n_disk = (1.0 - hit_rate) * n
+        buffer_design: BufferDesign | None = None
+        if n_cache > 0:
+            dram_cache = n_cache * cache_buffer(
+                policy, n_cache, params.bit_rate, k_cache, params.r_mems,
+                params.l_mems)
+        else:
+            dram_cache = 0.0
+        if n_disk > 0:
+            if k_buffer > 0:
+                buffer_design = design_mems_buffer(
+                    params.replace(n_streams=n_disk, k=k_buffer),
+                    quantise=False)
+                dram_disk = buffer_design.total_dram
+            else:
+                dram_disk = n_disk * min_buffer_direct(
+                    n_disk, params.bit_rate, params.r_disk, params.l_disk)
+        else:
+            dram_disk = 0.0
+        total = dram_cache + dram_disk
+        return Plan(params=params, configuration=configuration,
+                    feasible=True,
+                    per_stream_dram=total / n if n else 0.0,
+                    total_dram=total,
+                    t_disk=None if buffer_design is None
+                    else buffer_design.t_disk,
+                    cycle_floor=None if buffer_design is None
+                    else buffer_design.cycle_floor,
+                    capacity_fraction=fraction, hit_rate=hit_rate,
+                    design=buffer_design)
+
+    # -- Inverse solves ------------------------------------------------------
+
+    def max_streams(self, params: SystemParameters,
+                    configuration: Configuration,
+                    dram_budget: float) -> float:
+        """Largest (continuous) population feasible within the budget.
+
+        ``params.n_streams`` is ignored.  DIRECT uses the Theorem 1
+        closed form; the other configurations run the shared
+        doubling+bisection of :mod:`repro.planner.search` over
+        :meth:`plan` feasibility.
+        """
+        if dram_budget < 0:
+            raise ConfigurationError(
+                f"dram_budget must be >= 0, got {dram_budget!r}")
+        key = ("max_streams", params.replace(n_streams=0), configuration,
+               dram_budget)
+        return self._cache.get_or_compute(
+            key,
+            lambda: self._solve_max_streams(params, configuration,
+                                            dram_budget))
+
+    def _solve_max_streams(self, params: SystemParameters,
+                           configuration: Configuration,
+                           dram_budget: float) -> float:
+        if configuration.kind is ConfigurationKind.DIRECT:
+            return max_streams_direct(params.bit_rate, params.r_disk,
+                                      params.l_disk, dram_budget)
+
+        def feasible(n: float) -> bool:
+            return self.plan(params.replace(n_streams=n),
+                             configuration).fits(dram_budget)
+
+        return max_feasible_real(feasible)
+
+    def capacity(self, params: SystemParameters,
+                 configuration: Configuration, dram_budget: float, *,
+                 limit: int = DEFAULT_INT_LIMIT) -> int:
+        """Largest integer population feasible within the budget.
+
+        The admission-control capacity search (the loss-system capacity
+        Erlang-B predictions compare against); ``limit`` bounds the
+        doubling.  ``params.n_streams`` is ignored.
+        """
+        key = ("capacity", params.replace(n_streams=0), configuration,
+               dram_budget, limit)
+
+        def solve() -> int:
+            def feasible(n: int) -> bool:
+                return self.plan(params.replace(n_streams=n),
+                                 configuration).fits(dram_budget)
+
+            return max_feasible_int(feasible, limit=limit)
+
+        return self._cache.get_or_compute(key, solve)
+
+
+_DEFAULT_PLANNER: Planner | None = None
+
+
+def default_planner() -> Planner:
+    """The process-wide shared planner (lazy singleton).
+
+    The stateless wrappers in :mod:`repro.core.capacity`,
+    :mod:`repro.core.hybrid`, and the experiment runners all share this
+    instance, so repeated sweeps (e.g. re-running a figure, or the
+    headline-note re-queries inside one) hit its cache.
+    """
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = Planner()
+    return _DEFAULT_PLANNER

@@ -23,6 +23,7 @@ from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
 from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.planner.solver import Planner
 from repro.scheduling.admission import AdmissionController
 
 
@@ -82,13 +83,17 @@ class RecoveryPlan:
 
 def plan_recovery(params: SystemParameters, dram_budget: float,
                   n_active: int, popularity: PopularityDistribution, *,
-                  k_active: int, r_mems_factor: float = 1.0) -> RecoveryPlan:
+                  k_active: int, r_mems_factor: float = 1.0,
+                  planner: Planner | None = None) -> RecoveryPlan:
     """Find the best surviving configuration for ``n_active`` sessions.
 
     ``params`` carries the healthy geometry; ``k_active`` and
     ``r_mems_factor`` describe what the faults left standing.  The
     direct-disk rung is always feasible to *evaluate* (its capacity may
-    still be below the population), so a plan is always returned.
+    still be below the population), so a plan is always returned.  Every
+    rung solves through ``planner`` (the shared default when None), so
+    repeated faults against the same surviving geometry replay their
+    capacity searches from the planner's cache.
     """
     if n_active < 0:
         raise ConfigurationError(
@@ -113,7 +118,8 @@ def plan_recovery(params: SystemParameters, dram_budget: float,
     for mode, policy, mode_params in candidates:
         controller = AdmissionController(
             mode_params, dram_budget, configuration=mode, policy=policy,
-            popularity=popularity if mode == "cache" else None)
+            popularity=popularity if mode == "cache" else None,
+            planner=planner)
         capacity = controller.capacity()
         survivors = min(capacity, n_active)
         try:

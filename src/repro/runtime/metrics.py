@@ -176,4 +176,10 @@ def render_dashboard(log: MetricsLog, *, max_rows: int = 24) -> str:
         f"final:  blocking {last.get('blocking_probability', 0.0):.4f} "
         f"(Erlang-B {last.get('erlang_b_prediction', 0.0):.4f}), "
         f"degraded time {last.get('degraded_time', 0.0):.0f}s")
+    if "planner_cache_hits" in last:
+        lines.append(
+            f"planner: {last['planner_cache_hits']:.0f} cache hits / "
+            f"{last.get('planner_cache_misses', 0.0):.0f} misses "
+            f"({100.0 * last.get('planner_cache_hit_ratio', 0.0):.0f}% "
+            "hit rate)")
     return "\n".join(lines)

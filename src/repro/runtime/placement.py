@@ -10,9 +10,11 @@ module closes the loop:
    top titles that fit the bank, and the differences are *migrations*
    (titles staged onto / evicted from the MEMS bank between cycles);
 3. the cache design (Theorems 3/4) is re-solved against the observed
-   :class:`~repro.core.popularity.EmpiricalPopularity`, choosing
-   whichever policy (striped / replicated) needs less DRAM for the
-   live population.
+   :class:`~repro.core.popularity.EmpiricalPopularity` — through the
+   unified planning layer, so an epoch whose traffic and population
+   match a previous solve replays it from the planner's cache —
+   choosing whichever policy (striped / replicated) needs less DRAM
+   for the live population.
 
 The chosen design then becomes the admission controller's demand model
 for the next epoch (see :meth:`AdmissionController.reconfigure`).
@@ -28,11 +30,12 @@ from repro.core.cache_model import (
     CacheDesign,
     CachePolicy,
     cache_capacity_fraction,
-    design_mems_cache,
 )
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import EmpiricalPopularity
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import ConfigurationError
+from repro.planner.configuration import Configuration
+from repro.planner.solver import Planner, default_planner
 
 
 @dataclass(frozen=True)
@@ -58,7 +61,8 @@ class AdaptivePlacement:
 
     def __init__(self, n_titles: int, *, decay: float = 0.5,
                  prior_weights: np.ndarray | None = None,
-                 prior_strength: float = 10.0) -> None:
+                 prior_strength: float = 10.0,
+                 planner: Planner | None = None) -> None:
         if n_titles < 1:
             raise ConfigurationError(
                 f"n_titles must be >= 1, got {n_titles!r}")
@@ -83,6 +87,12 @@ class AdaptivePlacement:
             self._scores += prior_strength * prior
         self._epoch_counts = np.zeros(n_titles)
         self._cached: tuple[int, ...] = ()
+        self._planner = planner if planner is not None else default_planner()
+
+    @property
+    def planner(self) -> Planner:
+        """The planner this placement solves its epoch designs through."""
+        return self._planner
 
     @property
     def cached_titles(self) -> tuple[int, ...]:
@@ -121,12 +131,13 @@ class AdaptivePlacement:
 
         best_policy: CachePolicy | None = None
         best_design: CacheDesign | None = None
+        at_population = params.replace(n_streams=n_active)
         for policy in (CachePolicy.REPLICATED, CachePolicy.STRIPED):
-            try:
-                design = design_mems_cache(
-                    params.replace(n_streams=n_active), policy, popularity)
-            except AdmissionError:
+            plan = self._planner.plan(
+                at_population, Configuration.cache(policy, popularity))
+            if not plan.feasible:
                 continue
+            design = plan.design
             if best_design is None or design.total_dram < best_design.total_dram:
                 best_policy = policy
                 best_design = design

@@ -32,6 +32,7 @@ from repro.core.parameters import SystemParameters
 from repro.devices.bank import BankPolicy, MemsBank
 from repro.devices.mems import MemsDevice
 from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.planner.solver import Planner
 from repro.runtime.failures import FailureEvent, FailureKind, plan_recovery
 from repro.runtime.metrics import MetricsLog, render_dashboard
 from repro.runtime.placement import AdaptivePlacement
@@ -149,6 +150,9 @@ class RuntimeResult:
     horizon: float
     events_executed: int
     notes: dict[str, float] = field(default_factory=dict)
+    #: Planner cache counters for the run (hits / misses / evictions /
+    #: size), from the runtime's private :class:`~repro.planner.Planner`.
+    planner_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def totals(self) -> dict[str, int]:
@@ -184,6 +188,7 @@ class RuntimeResult:
                 "blocking_probability": self.blocking_probability,
                 "totals": self.totals,
                 "notes": dict(sorted(self.notes.items())),
+                "planner_cache": dict(sorted(self.planner_cache.items())),
             },
             "events": [e.to_dict() for e in self.events],
             "migrations": [m.to_dict() for m in self.migrations],
@@ -212,6 +217,14 @@ class RuntimeResult:
             f"{sum(len(m.migrations_out) for m in self.migrations)} out "
             f"over {len(self.migrations)} re-plans",
         ]
+        if self.planner_cache:
+            hits = self.planner_cache.get("hits", 0)
+            misses = self.planner_cache.get("misses", 0)
+            solves = hits + misses
+            ratio = (hits / solves) if solves else 0.0
+            lines.append(
+                f"planner cache: {hits} hits / {misses} misses "
+                f"({100.0 * ratio:.0f}% hit rate)")
         return "\n".join(lines)
 
     def dashboard(self) -> str:
@@ -238,6 +251,9 @@ class ServerRuntime:
         self._degraded_time = 0.0
         self._arrivals_total = 0
         self._rejects_total = 0
+        # A private planner so the cache counters describe this run only
+        # (the epoch/metrics/recovery loops all solve through it).
+        self._planner = Planner()
         assert config.device is not None
         self._bank: MemsBank | None = MemsBank(
             config.device, config.params.k, BankPolicy.ROUND_ROBIN)
@@ -246,19 +262,20 @@ class ServerRuntime:
         if self._mode == "cache":
             self._placement: AdaptivePlacement | None = AdaptivePlacement(
                 workload.n_titles, decay=config.placement_decay,
-                prior_weights=workload.current_weights())
+                prior_weights=workload.current_weights(),
+                planner=self._planner)
             decision = self._placement.replan(self._degraded_params(), 0.0)
             self._policy = decision.policy
             self._record_migration(0.0, decision)
             self._controller = AdmissionController(
                 self._degraded_params(), config.dram_budget,
                 configuration="cache", policy=decision.policy,
-                popularity=decision.popularity)
+                popularity=decision.popularity, planner=self._planner)
         else:
             self._placement = None
             self._controller = AdmissionController(
                 self._degraded_params(), config.dram_budget,
-                configuration=self._mode)
+                configuration=self._mode, planner=self._planner)
 
     # -- Geometry ------------------------------------------------------------
 
@@ -395,7 +412,8 @@ class ServerRuntime:
                                  self.config.dram_budget,
                                  len(self._sessions), popularity,
                                  k_active=self._k_active,
-                                 r_mems_factor=self._rate_factor)
+                                 r_mems_factor=self._rate_factor,
+                                 planner=self._planner)
             if plan.n_dropped:
                 self._shed_sessions(sim, plan.n_dropped, "device failure")
             previous_mode = self._mode
@@ -489,6 +507,12 @@ class ServerRuntime:
             "degraded": 1.0 if degraded else 0.0,
             "degraded_time": degraded_time,
         }
+        stats = self._planner.stats()
+        solves = stats["hits"] + stats["misses"]
+        gauges["planner_cache_hits"] = float(stats["hits"])
+        gauges["planner_cache_misses"] = float(stats["misses"])
+        gauges["planner_cache_hit_ratio"] = (
+            stats["hits"] / solves if solves else 0.0)
         self._metrics.close_interval(sim.now, gauges)
 
     # -- Run loop ------------------------------------------------------------
@@ -530,7 +554,8 @@ class ServerRuntime:
             horizon=config.horizon,
             events_executed=sim.events_executed,
             notes={"offered_load": config.workload.offered_load,
-                   "seed": float(config.seed)})
+                   "seed": float(config.seed)},
+            planner_cache=self._planner.stats())
 
 
 def run_runtime(config: RuntimeConfig) -> RuntimeResult:

@@ -6,22 +6,28 @@ total DRAM buffer stays within the installed memory.  This module wraps
 the analytical feasibility checks behind the interface an operator
 would actually call, and is used by the server simulation and the
 examples.
+
+All solves go through the unified planning layer: the controller builds
+a :class:`repro.planner.Configuration` for its current demand model and
+asks a shared (or injected) :class:`repro.planner.Planner`, so repeated
+capacity queries — e.g. the runtime's per-interval Erlang-B gauge —
+are memoized rather than re-bisected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.buffer_model import design_mems_buffer
-from repro.core.cache_model import CachePolicy, design_mems_cache
+from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
-from repro.core.theorems import min_buffer_disk_dram
 from repro.errors import (
     AdmissionError,
     CapacityError,
     ConfigurationError,
 )
+from repro.planner.configuration import Configuration
+from repro.planner.solver import Planner, default_planner
 
 
 @dataclass(frozen=True)
@@ -43,13 +49,17 @@ class AdmissionController:
 
     ``configuration`` is ``"none"`` (plain disk-to-DRAM), ``"buffer"``
     (MEMS buffer, Theorem 2), or ``"cache"`` (MEMS cache, Theorems 3/4,
-    which also needs ``policy`` and ``popularity``).
+    which also needs ``policy`` and ``popularity``).  ``planner``
+    injects a specific :class:`repro.planner.Planner` (e.g. the online
+    runtime's, so its cache counters cover admission solves); by
+    default the process-wide shared planner is used.
     """
 
     def __init__(self, params: SystemParameters, dram_budget: float, *,
                  configuration: str = "none",
                  policy: CachePolicy | None = None,
-                 popularity: PopularityDistribution | None = None) -> None:
+                 popularity: PopularityDistribution | None = None,
+                 planner: Planner | None = None) -> None:
         if dram_budget < 0:
             raise ConfigurationError(
                 f"dram_budget must be >= 0, got {dram_budget!r}")
@@ -59,6 +69,7 @@ class AdmissionController:
         self._configuration = configuration
         self._policy = policy
         self._popularity = popularity
+        self._planner = planner if planner is not None else default_planner()
         self._admitted = 0
 
     @staticmethod
@@ -88,15 +99,21 @@ class AdmissionController:
         """Active server configuration: 'none', 'buffer' or 'cache'."""
         return self._configuration
 
-    def _dram_required(self, n: int) -> float:
-        params = self._params.replace(n_streams=n)
-        if self._configuration == "none":
-            return n * min_buffer_disk_dram(params)
-        if self._configuration == "buffer":
-            return design_mems_buffer(params, quantise=False).total_dram
-        assert self._policy is not None and self._popularity is not None
-        return design_mems_cache(params, self._policy,
-                                 self._popularity).total_dram
+    @property
+    def planner(self) -> Planner:
+        """The planner answering this controller's solves."""
+        return self._planner
+
+    def _configuration_spec(self) -> Configuration:
+        """The planner spelling of the current demand model."""
+        return Configuration.from_legacy(self._configuration,
+                                         policy=self._policy,
+                                         popularity=self._popularity)
+
+    def _dram_required(self, n: float) -> float:
+        plan = self._planner.plan(self._params.replace(n_streams=n),
+                                  self._configuration_spec())
+        return plan.require().total_dram
 
     def dram_required(self, n_streams: int | None = None) -> float:
         """DRAM the demand model charges for ``n_streams`` streams.
@@ -146,33 +163,15 @@ class AdmissionController:
     def capacity(self, *, limit: int = 1_000_000) -> int:
         """Largest admissible population under the current model.
 
-        Found by doubling + bisection on the feasibility predicate
-        (DRAM demand is strictly increasing in the population).  This is
-        the loss-system capacity the Erlang-B prediction compares
-        against.  ``limit`` bounds the search.
+        Found by the planning layer's shared doubling + bisection on the
+        feasibility predicate (DRAM demand is strictly increasing in the
+        population) and memoized there, since the model rarely changes
+        between queries.  This is the loss-system capacity the Erlang-B
+        prediction compares against.  ``limit`` bounds the search.
         """
-
-        def feasible(n: int) -> bool:
-            try:
-                return self._dram_required(n) <= self._dram_budget
-            except (AdmissionError, CapacityError):
-                return False
-
-        if not feasible(1):
-            return 0
-        lo = 1
-        hi = 2
-        while hi <= limit and feasible(hi):
-            lo = hi
-            hi *= 2
-        hi = min(hi, limit + 1)
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if feasible(mid):
-                lo = mid
-            else:
-                hi = mid
-        return lo
+        return self._planner.capacity(self._params,
+                                      self._configuration_spec(),
+                                      self._dram_budget, limit=limit)
 
     def try_admit(self) -> AdmissionDecision:
         """Test one more stream; admit it if the system stays feasible."""
