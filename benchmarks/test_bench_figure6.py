@@ -5,7 +5,6 @@ utilised disk the no-MEMS DRAM spans ~1 GB (HDTV) to ~1 TB (mp3); the
 MEMS buffer cuts it by an order of magnitude at every bit-rate.
 """
 
-import pytest
 
 from repro.experiments.figure6 import reduction_factors, run
 

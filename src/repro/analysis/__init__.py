@@ -1,0 +1,51 @@
+"""Repo-specific static analysis: the invariants pytest cannot see.
+
+The reproduction makes promises that hold *by convention*, not by any
+type the interpreter checks: all internal math is in the decimal base
+units of :mod:`repro.units`; a fixed seed replays a run byte-for-byte;
+library errors derive from :class:`repro.errors.ReproError`; and no
+load-bearing check may be an ``assert`` statement, because ``python -O``
+strips those (a real PR-2 incident).  This package enforces them
+mechanically, at analysis time:
+
+* :mod:`repro.analysis.base` — the :class:`~repro.analysis.base.Finding`
+  record, the :class:`~repro.analysis.base.Checker` interface, and the
+  rule registry;
+* :mod:`repro.analysis.checkers` — the six repo-specific rules;
+* :mod:`repro.analysis.engine` — file walking, parsing, per-line
+  ``# repro-lint: disable=<rule>`` suppressions;
+* :mod:`repro.analysis.reporters` — human and JSON output with stable
+  exit codes.
+
+Run it as ``mems-repro lint [--json] [--rule ...] [paths]``; CI runs it
+over ``src/`` as a blocking step.  See ``docs/LINTING.md`` for the
+rule-by-rule rationale.
+"""
+
+from repro.analysis.base import Checker, Finding, all_rules, get_checker
+from repro.analysis.engine import analyze_file, analyze_paths
+from repro.analysis.reporters import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_json,
+    render_text,
+)
+
+# Importing the checkers package populates the registry as a side
+# effect; nothing else must happen before the first all_rules() call.
+import repro.analysis.checkers  # noqa: F401  (registration import)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Checker",
+    "Finding",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "get_checker",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,114 @@
+"""The checker interface and rule registry.
+
+A checker is a small class with a stable ``rule`` id, a one-line
+``description``, an ``applies_to`` path filter (rules like
+``determinism`` only bind inside the stochastic layers), and a
+``check`` method that walks a parsed module and yields
+:class:`Finding` records.  Checkers register themselves with
+:func:`register` at import time; :mod:`repro.analysis.checkers`
+imports every rule module so the registry is complete after one
+``import repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Repository-relative (or as-given) path of the offending file.
+    path: str
+    #: 1-based source line of the violation (suppression granularity).
+    line: int
+    #: 0-based column, as reported by the ``ast`` node.
+    col: int
+    #: Stable rule identifier, e.g. ``"no-bare-assert"``.
+    rule: str
+    #: Human-readable explanation, specific to the violating code.
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready record (the schema CI asserts)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule`` and ``description`` and implement
+    :meth:`check`.  ``applies_to`` narrows the rule to the layers where
+    the invariant holds; the engine consults it per file, so fixture
+    trees under ``tests/`` exercise scoped rules simply by mirroring
+    the directory names (``runtime/``, ``core/``, ...).
+    """
+
+    #: Stable rule id (kebab-case); the suppression and --rule key.
+    rule: str = ""
+    #: One-line description shown by ``mems-repro lint --list-rules``.
+    description: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """True when the rule binds for ``path`` (default: everywhere)."""
+        return True
+
+    def check(self, tree: ast.Module, source: str,
+              path: Path) -> Iterator[Finding]:
+        """Yield every violation found in the parsed module."""
+        raise NotImplementedError
+
+    def finding(self, path: Path, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchored at ``node``'s location."""
+        return Finding(path=str(path), line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), rule=self.rule,
+                       message=message)
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(checker_class: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    rule = checker_class.rule
+    if not rule:
+        raise ConfigurationError(
+            f"checker {checker_class.__name__} declares no rule id")
+    if rule in _REGISTRY:
+        raise ConfigurationError(f"duplicate checker rule id {rule!r}")
+    _REGISTRY[rule] = checker_class
+    return checker_class
+
+
+def all_rules() -> dict[str, type[Checker]]:
+    """The registry, rule id -> checker class (sorted by rule id)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_checker(rule: str) -> Checker:
+    """Instantiate the checker for ``rule``.
+
+    Unknown ids raise :class:`~repro.errors.ConfigurationError` listing
+    the valid ones — the CLI maps this to the usage exit code.
+    """
+    try:
+        checker_class = _REGISTRY[rule]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none registered>"
+        raise ConfigurationError(
+            f"unknown lint rule {rule!r}; known rules: {known}") from None
+    return checker_class()
+
+
+def select_checkers(rules: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate the requested checkers (default: every registered one)."""
+    if rules is None:
+        return [cls() for cls in all_rules().values()]
+    return [get_checker(rule) for rule in rules]

@@ -1,0 +1,26 @@
+"""The repo-specific lint rules.
+
+Importing this package registers every checker (the modules register
+themselves via :func:`repro.analysis.base.register` at import time).
+One module per rule keeps each invariant's logic, scope, and rationale
+in one reviewable place; add new rules by dropping a module here and
+importing it below.
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (registration imports)
+    asserts,
+    determinism,
+    exceptions,
+    float_equality,
+    shim_imports,
+    units_literals,
+)
+
+__all__ = [
+    "asserts",
+    "determinism",
+    "exceptions",
+    "float_equality",
+    "shim_imports",
+    "units_literals",
+]

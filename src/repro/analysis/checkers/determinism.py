@@ -1,0 +1,122 @@
+"""``determinism``: the seed guarantee of the stochastic layers.
+
+The runtime promises that a fixed seed reproduces a run byte-for-byte
+(``docs/RUNTIME.md``), and every simulation/workload entry point takes
+a ``seed``.  That only holds while *all* randomness flows through an
+injected ``numpy.random.Generator`` and nothing reads the wall clock.
+This rule bans, inside ``simulation/``, ``runtime/`` and
+``workloads/``:
+
+* wall-clock reads (``time.time()``, ``time.monotonic()``,
+  ``datetime.now()``, ...) — simulated time comes from the event
+  engine;
+* the :mod:`random` module's global functions (seeded or not — the
+  global state is shared across callers and not part of any run's
+  seed);
+* :mod:`numpy.random` *module-level* state (``np.random.seed``,
+  ``np.random.rand``, ...).  Constructing generators
+  (``np.random.default_rng(seed)``) and naming types
+  (``np.random.Generator``) is fine — that is the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.base import Checker, Finding, register
+
+#: Directories whose modules carry the seed guarantee.
+SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads"})
+
+#: Fully-qualified callables that read the wall clock.
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: numpy.random attributes that do NOT touch global RNG state.
+NUMPY_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+
+def _dotted(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (None for non-name chains)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return parts[::-1]
+
+
+class _ImportMap(ast.NodeVisitor):
+    """Local name -> canonical dotted prefix, from the file's imports."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            canonical = alias.name if alias.asname else local
+            self.aliases[local] = canonical
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+
+@register
+class DeterminismChecker(Checker):
+    """Flag wall-clock reads and global-RNG use in the seeded layers."""
+
+    rule = "determinism"
+    description = ("no wall clocks or global RNG state in simulation/, "
+                   "runtime/, workloads/; inject a seeded Generator")
+
+    def applies_to(self, path: Path) -> bool:
+        return bool(SCOPED_DIRS.intersection(path.parts))
+
+    def check(self, tree: ast.Module, source: str,
+              path: Path) -> Iterator[Finding]:
+        imports = _ImportMap()
+        imports.visit(tree)
+        aliases = imports.aliases
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted(node.func)
+            if parts is None:
+                continue
+            head = aliases.get(parts[0])
+            if head is None:
+                continue
+            full = ".".join([head, *parts[1:]])
+            if full in WALL_CLOCK:
+                yield self.finding(
+                    path, node,
+                    f"{full}() reads the wall clock; simulated time comes "
+                    f"from the event engine (Simulator.now)")
+            elif full == "random" or full.startswith("random."):
+                yield self.finding(
+                    path, node,
+                    f"{full}() uses the random module's global state; "
+                    f"inject a seeded numpy Generator instead")
+            elif full.startswith("numpy.random."):
+                attr = full.removeprefix("numpy.random.").split(".")[0]
+                if attr not in NUMPY_RANDOM_ALLOWED:
+                    yield self.finding(
+                        path, node,
+                        f"numpy.random.{attr} mutates/reads numpy's global "
+                        f"RNG; use numpy.random.default_rng(seed)")

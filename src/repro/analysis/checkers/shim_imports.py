@@ -1,0 +1,74 @@
+"""``no-shim-imports``: internal code uses the planner, not its shims.
+
+PR 2 collapsed the duplicated capacity/hybrid solvers into the unified
+planning layer; :mod:`repro.core.capacity` and :mod:`repro.core.hybrid`
+remain only as deprecated re-export shims for external callers.  An
+*internal* import through a shim re-entangles the layers the refactor
+separated (and silently bypasses any future shim deprecation warning),
+so library modules must import the planner API from
+:mod:`repro.planner` (:mod:`~repro.planner.throughput`,
+:mod:`~repro.planner.hybrid`) instead.  The shim modules themselves are
+exempt — re-exporting is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.base import Checker, Finding, register
+
+#: The deprecated shim modules, and what replaces each.
+SHIMS = {
+    "repro.core.capacity": "repro.planner.throughput",
+    "repro.core.hybrid": "repro.planner.hybrid",
+}
+
+
+def _shim_of(module: str) -> str | None:
+    for shim in SHIMS:
+        if module == shim or module.startswith(shim + "."):
+            return shim
+    return None
+
+
+@register
+class NoShimImportsChecker(Checker):
+    """Flag imports of the deprecated ``core.capacity``/``core.hybrid``."""
+
+    rule = "no-shim-imports"
+    description = ("import the planner API from repro.planner, not the "
+                   "deprecated core.capacity / core.hybrid shims")
+
+    def applies_to(self, path: Path) -> bool:
+        tail = tuple(path.parts[-2:])
+        return tail not in (("core", "capacity.py"), ("core", "hybrid.py"))
+
+    def check(self, tree: ast.Module, source: str,
+              path: Path) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    shim = _shim_of(alias.name)
+                    if shim is not None:
+                        yield self.finding(
+                            path, node,
+                            f"import of deprecated shim {shim}; use "
+                            f"{SHIMS[shim]}")
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                shim = _shim_of(node.module)
+                if shim is not None:
+                    yield self.finding(
+                        path, node,
+                        f"import from deprecated shim {shim}; use "
+                        f"{SHIMS[shim]}")
+                elif node.module == "repro.core":
+                    for alias in node.names:
+                        shim = _shim_of(f"repro.core.{alias.name}")
+                        if shim is not None:
+                            yield self.finding(
+                                path, node,
+                                f"import of deprecated shim module "
+                                f"{alias.name!r} from repro.core; use "
+                                f"{SHIMS[shim]}")

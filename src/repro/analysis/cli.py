@@ -1,0 +1,43 @@
+"""The ``mems-repro lint`` driver (argparse wiring lives in
+:mod:`repro.experiments.cli`; the behaviour — and its exit-code
+contract — lives here so it is importable and testable without a
+subprocess)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import TextIO
+
+from repro.analysis.base import all_rules
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporters import (
+    EXIT_USAGE,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.errors import ConfigurationError
+
+
+def run_lint(paths: list[str], *, rules: list[str] | None = None,
+             json_output: bool = False, list_rules: bool = False,
+             stream: TextIO | None = None) -> int:
+    """Lint ``paths`` and print a report; returns the process exit code.
+
+    ``rules`` restricts the run to the named checkers; unknown names
+    are a *usage* error (exit ``EXIT_USAGE``), not a finding.
+    """
+    out = sys.stdout if stream is None else stream
+    if list_rules:
+        for rule, checker_class in all_rules().items():
+            print(f"{rule:>20}  {checker_class.description}", file=out)
+        return 0
+    try:
+        findings = analyze_paths([Path(p) for p in paths], rules)
+    except ConfigurationError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    render = render_json if json_output else render_text
+    print(render(findings), file=out)
+    return exit_code(findings)

@@ -1,0 +1,135 @@
+"""Parsing, file walking, and per-line suppressions.
+
+The engine owns everything between "a path" and "a sorted list of
+findings": reading and parsing each module once (every checker shares
+the tree), honouring inline suppressions, and turning unparseable files
+into ``parse-error`` findings rather than crashes — a lint gate that
+dies on bad input protects nothing.
+
+Suppressions are per *line*, in the style of the standard linters::
+
+    t_start = time.time()  # repro-lint: disable=determinism
+    x = 1_000_000          # repro-lint: disable=unit-literals,no-bare-assert
+    y = wall_clock()       # repro-lint: disable
+
+A bare ``disable`` silences every rule on that one line; naming rules
+silences exactly those.  There is deliberately no block or file-wide
+form — a suppression should be as loud as the violation it hides.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from repro.analysis.base import Checker, Finding, select_checkers
+
+#: Pseudo-rule attached to files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+_SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*disable(?:\s*=\s*(?P<rules>[\w,\s-]+))?")
+
+#: Marker meaning "every rule" in a suppression map entry.
+_ALL_RULES = frozenset({"*"})
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids silenced on that line.
+
+    Comments are located with :mod:`tokenize` so a ``#`` inside a
+    string literal never counts.  The value ``frozenset({"*"})`` means
+    every rule.  Unreadable token streams (the parser will flag the
+    file anyway) yield an empty map.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(token.start[0], token.string) for token in tokens
+                    if token.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressed
+    for line, text in comments:
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            named = _ALL_RULES
+        else:
+            named = frozenset(part.strip() for part in rules.split(",")
+                              if part.strip())
+        suppressed[line] = suppressed.get(line, frozenset()) | named
+    return suppressed
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: dict[int, frozenset[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return rules == _ALL_RULES or finding.rule in rules or "*" in rules
+
+
+def analyze_file(path: Path,
+                 checkers: list[Checker] | None = None) -> list[Finding]:
+    """Run the (selected) checkers over one file.
+
+    Returns findings sorted by location; a file the parser rejects
+    yields a single ``parse-error`` finding.
+    """
+    if checkers is None:
+        checkers = select_checkers()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(path=str(path), line=1, col=0,
+                        rule=PARSE_ERROR_RULE,
+                        message=f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path=str(path), line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, rule=PARSE_ERROR_RULE,
+                        message=f"syntax error: {exc.msg}")]
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for checker in checkers if checker.applies_to(path)
+        for finding in checker.check(tree, source, path)
+        if not _is_suppressed(finding, suppressions)
+    ]
+    return sorted(findings)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_paths(paths: list[Path],
+                  rules: list[str] | None = None) -> list[Finding]:
+    """Run the (selected) checkers over files and directory trees.
+
+    Missing paths surface as ``parse-error`` findings so a typo'd CI
+    invocation fails loudly instead of passing on an empty file set.
+    """
+    checkers = select_checkers(rules)
+    findings: list[Finding] = []
+    missing = [path for path in paths if not path.exists()]
+    for path in missing:
+        findings.append(Finding(path=str(path), line=1, col=0,
+                                rule=PARSE_ERROR_RULE,
+                                message="no such file or directory"))
+    for file_path in iter_python_files([p for p in paths if p.exists()]):
+        findings.extend(analyze_file(file_path, checkers))
+    return sorted(findings)

@@ -1,0 +1,53 @@
+"""Finding output: human text, machine JSON, stable exit codes.
+
+The exit-code contract is part of the tool's API (CI and the tests
+rely on it):
+
+* ``EXIT_CLEAN`` (0) — every checked file passed;
+* ``EXIT_FINDINGS`` (1) — at least one finding (including
+  ``parse-error`` pseudo-findings);
+* ``EXIT_USAGE`` (2) — the invocation itself was malformed (an unknown
+  ``--rule``), distinct from "the code is dirty" so automation can tell
+  a broken gate from a failing one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import Finding
+
+#: No findings; the tree is clean.
+EXIT_CLEAN = 0
+#: One or more findings (or unparseable / missing inputs).
+EXIT_FINDINGS = 1
+#: Malformed invocation (e.g. an unknown rule id).
+EXIT_USAGE = 2
+
+#: Version of the JSON payload layout (bump on breaking change).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding]) -> str:
+    """GCC-style ``path:line:col: rule message`` lines plus a summary."""
+    lines = [f"{f.path}:{f.line}:{f.col}: [{f.rule}] {f.message}"
+             for f in findings]
+    count = len(findings)
+    lines.append("clean" if count == 0 else
+                 f"{count} finding{'s' if count != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], *, indent: int | None = 2) -> str:
+    """The machine-readable report CI asserts the schema of."""
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def exit_code(findings: list[Finding]) -> int:
+    """Map a finding list to the exit-code contract."""
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -54,7 +54,7 @@ from repro.core.cost import (
     cache_cost_with_mems,
     compare_buffer_costs,
 )
-from repro.core.capacity import (
+from repro.planner.throughput import (
     max_streams_with_buffer,
     max_streams_with_cache,
     max_streams_without_mems,
@@ -65,7 +65,7 @@ from repro.core.sensitivity import (
     cost_reduction_grid,
     latency_ratio_sweep,
 )
-from repro.core.hybrid import HybridDesign, optimize_hybrid_split
+from repro.planner.hybrid import HybridDesign, optimize_hybrid_split
 from repro.core.write_streams import (
     MixedStreamDesign,
     design_mixed_streams,

@@ -1,33 +1,29 @@
-"""Inverse solvers: the server throughput of a configuration.
-
-The paper's Figures 9 and 10 report *server throughput* — the maximum
-number of streams a configuration can admit — for a fixed buffering
-budget.  The forward models (Theorems 1-4) map ``N`` to a DRAM
-requirement; these solvers invert them.
+"""Deprecated shim over :mod:`repro.planner.throughput`.
 
 .. deprecated::
-    Since the unified planning layer landed, this module is a thin
-    compatibility wrapper: every function delegates to the shared,
-    memoized :class:`repro.planner.Planner`
-    (:func:`repro.planner.default_planner`).  New code should build a
-    :class:`repro.planner.Configuration` and call the planner directly;
-    these wrappers remain for the stable public API.
+    Since the unified planning layer landed, this module is a pure
+    re-export kept for the stable public API.  The solvers live in
+    :mod:`repro.planner.throughput`; internal code imports them from
+    there (the ``no-shim-imports`` lint rule enforces it).  The private
+    ``_max_feasible`` alias and tolerance constants remain for
+    historical callers.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable
 
-from repro.core.cache_model import CachePolicy
-from repro.core.parameters import SystemParameters
-from repro.core.popularity import PopularityDistribution
-from repro.errors import ConfigurationError
 from repro.planner.search import (
-    MAX_BISECTIONS as _MAX_BISECTIONS,
-    MAX_DOUBLINGS as _MAX_DOUBLINGS,
-    REL_TOL as _REL_TOL,
+    MAX_BISECTIONS as _MAX_BISECTIONS,  # noqa: F401  (compat re-export)
+    MAX_DOUBLINGS as _MAX_DOUBLINGS,  # noqa: F401  (compat re-export)
+    REL_TOL as _REL_TOL,  # noqa: F401  (compat re-export)
     max_feasible_real,
+)
+from repro.planner.throughput import (
+    max_streams_with_buffer,
+    max_streams_with_cache,
+    max_streams_without_mems,
+    streams_supported,
 )
 
 __all__ = [
@@ -46,75 +42,3 @@ def _max_feasible(predicate: Callable[[float], bool]) -> float:
     lives in the planning layer.
     """
     return max_feasible_real(predicate)
-
-
-def _planner():
-    # Imported lazily: repro.planner.solver imports the core forward
-    # models, so a module-level import here would be circular.
-    from repro.planner.solver import default_planner
-
-    return default_planner()
-
-
-def _configuration(kind: str, policy: CachePolicy | None = None,
-                   popularity: PopularityDistribution | None = None):
-    from repro.planner.configuration import Configuration
-
-    return Configuration.from_legacy(kind, policy=policy,
-                                     popularity=popularity)
-
-
-def max_streams_without_mems(params: SystemParameters,
-                             dram_budget: float) -> float:
-    """Throughput of the plain disk-to-DRAM server (Theorem 1 inverse).
-
-    Closed form; ``params.n_streams`` is ignored.
-    """
-    return _planner().max_streams(params, _configuration("none"), dram_budget)
-
-
-def max_streams_with_buffer(params: SystemParameters,
-                            dram_budget: float) -> float:
-    """Throughput of the MEMS-buffered server (Theorem 2 inverse).
-
-    The feasibility predicate combines the disk and MEMS bandwidth
-    limits, the MEMS storage bound (Eq. 7 vs Eq. 6 compatibility), and
-    the DRAM budget.  ``params.n_streams`` is ignored.
-    """
-    return _planner().max_streams(params, _configuration("buffer"),
-                                  dram_budget)
-
-
-def max_streams_with_cache(params: SystemParameters, policy: CachePolicy,
-                           popularity: PopularityDistribution,
-                           dram_budget: float) -> float:
-    """Throughput of the MEMS-cached server (Theorems 3/4 inverse).
-
-    Streams split ``h : (1-h)`` between cache and disk (the hit rate
-    depends only on capacities, not on ``N``); feasibility requires
-    both device classes to admit their share and the combined DRAM to
-    fit the budget.  ``params.n_streams`` is ignored.
-    """
-    return _planner().max_streams(params,
-                                  _configuration("cache", policy, popularity),
-                                  dram_budget)
-
-
-def streams_supported(params: SystemParameters, dram_budget: float, *,
-                      configuration: str = "none",
-                      policy: CachePolicy | None = None,
-                      popularity: PopularityDistribution | None = None) -> int:
-    """Integer server throughput for any of the three configurations.
-
-    ``configuration`` is ``"none"`` (plain disk), ``"buffer"``, or
-    ``"cache"`` (which additionally needs ``policy`` and
-    ``popularity``).  Returns ``floor`` of the continuous solution.
-    """
-    if configuration not in ("none", "buffer", "cache"):
-        raise ConfigurationError(
-            f"configuration must be 'none', 'buffer' or 'cache', "
-            f"got {configuration!r}")
-    n = _planner().max_streams(
-        params, _configuration(configuration, policy, popularity),
-        dram_budget)
-    return int(math.floor(n + 1e-9))

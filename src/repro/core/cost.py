@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.buffer_model import design_mems_buffer
-from repro.core.cache_model import CacheDesign, CachePolicy, design_mems_cache
+from repro.core.cache_model import CachePolicy, design_mems_cache
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
 from repro.core.theorems import min_buffer_disk_dram

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cache_model import CachePolicy
-from repro.core.capacity import (
+from repro.planner.throughput import (
     max_streams_with_buffer,
     max_streams_with_cache,
     max_streams_without_mems,
@@ -46,7 +46,8 @@ class RegionCell:
         for label in CONFIGURATIONS:
             if self.throughput.get(label, -1.0) >= best * (1 - 1e-12):
                 return label
-        raise AssertionError("unreachable")  # pragma: no cover
+        raise RuntimeError(
+            "winner scan matched no configuration")  # pragma: no cover
 
     @property
     def gain_over_plain(self) -> float:

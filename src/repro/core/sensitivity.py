@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.capacity import max_streams_without_mems
+from repro.planner.throughput import max_streams_without_mems
 from repro.core.parameters import SystemParameters
 from repro.core.theorems import min_buffer_disk_dram
 from repro.errors import ConfigurationError

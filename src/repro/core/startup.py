@@ -26,6 +26,7 @@ a uniformly random arrival is half the cycle-wait term.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.buffer_model import BufferDesign
@@ -87,12 +88,12 @@ def buffered_startup(design: BufferDesign, *,
     if bypass:
         # One slot wait in the disk cycle, then a direct read of one
         # MEMS cycle's worth of data at the disk's service quality.
-        slot_wait = design.t_disk if design.t_disk != float("inf") else 0.0
+        slot_wait = 0.0 if math.isinf(design.t_disk) else design.t_disk
         io_service = params.l_disk + params.bit_rate * t_mems / params.r_disk
         return StartupLatency(worst=slot_wait + io_service,
                               expected=slot_wait / 2.0 + io_service,
                               configuration="buffer (bypass)")
-    if design.t_disk == float("inf"):
+    if math.isinf(design.t_disk):
         raise ConfigurationError(
             "naive pipeline-fill startup needs a finite disk cycle")
     # Three disk-cycle-scale stages: wait for a slot in the disk cycle
@@ -124,9 +125,9 @@ def startup_comparison(params: SystemParameters, design: BufferDesign,
     """Side-by-side startup bounds for the available configurations."""
     results = [direct_startup(params),
                buffered_startup(design, bypass=True),
-               buffered_startup(design, bypass=False)
-               if design.t_disk != float("inf") else
-               buffered_startup(design, bypass=True)]
+               buffered_startup(design, bypass=True)
+               if math.isinf(design.t_disk) else
+               buffered_startup(design, bypass=False)]
     if cache is not None and cache.n_cache_streams > 0:
         results.append(cache_startup(cache))
     return results

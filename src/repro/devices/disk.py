@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from repro.devices.base import StorageDevice
 from repro.devices.disk_geometry import DiskGeometry
 from repro.errors import ConfigurationError
-from repro.units import GB, MB, MS, rpm_to_rotation_time
+from repro.units import GB, MB, MS, TB, rpm_to_rotation_time
 
 #: Elevator queue depth at which the paper's latency ratio of ~5
 #: between the FutureDisk and the G3 MEMS device is reproduced.
@@ -256,7 +256,7 @@ class DiskDrive(StorageDevice):
 def future_disk_like(*, rpm: float = 20_000, max_bandwidth: float = 300 * MB,
                      average_seek: float = 2.8 * MS,
                      full_stroke_seek: float = 7.0 * MS,
-                     capacity_bytes: float = 1_000 * GB,
+                     capacity_bytes: float = 1 * TB,
                      dollars_per_gb: float = 0.2,
                      n_cylinders: int = 50_000,
                      name: str = "FutureDisk") -> DiskDrive:

@@ -63,3 +63,20 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``RuntimeError`` unless ``condition`` holds.
+
+    The ``-O``-safe spelling of an internal invariant check.  Unlike
+    ``assert``, this is an ordinary function call, so ``python -O``
+    cannot strip it (the PR 2 incident: an infeasibility guard
+    disappeared under ``-O`` and a bogus design was returned).  Use it
+    for "unreachable unless this module has a bug" conditions; use the
+    :class:`ReproError` subclasses for caller-visible contracts.
+    ``RuntimeError`` deliberately does *not* derive from
+    :class:`ReproError` — an internal bug must not be swallowed by a
+    caller's ``except ReproError`` recovery path.
+    """
+    if not condition:
+        raise RuntimeError(message)

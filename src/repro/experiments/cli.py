@@ -11,6 +11,8 @@ Usage::
     mems-repro runtime list         # enumerate online-runtime scenarios
     mems-repro runtime device-failure --seed 7 --json metrics.json
                                     # run a scenario, print the dashboard
+    mems-repro lint src             # repo-specific static analysis
+    mems-repro lint --json --rule no-bare-assert src tests
 """
 
 from __future__ import annotations
@@ -64,7 +66,29 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_cmd.add_argument("--json", metavar="PATH", default=None,
                              help="write the full result (events, "
                                   "migrations, metrics) as JSON")
+    lint_cmd = sub.add_parser(
+        "lint", help="run the repo-specific static-analysis pass")
+    lint_cmd.add_argument("paths", nargs="*", default=["src"],
+                          help="files or directories to lint "
+                               "(default: src)")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JSON report")
+    lint_cmd.add_argument("--rule", action="append", default=None,
+                          metavar="RULE",
+                          help="run only this rule (repeatable; "
+                               "see --list-rules)")
+    lint_cmd.add_argument("--list-rules", action="store_true",
+                          help="list the registered rules and exit")
     return parser
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand (exit codes: 0 clean / 1 findings /
+    2 usage error)."""
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args.paths, rules=args.rule, json_output=args.json,
+                    list_rules=args.list_rules)
 
 
 def _run_runtime(args: argparse.Namespace) -> int:
@@ -124,7 +148,7 @@ def _run_design(args: argparse.Namespace) -> int:
         print(f"{label:>26} | {bytes_to_human(dram):>12} | "
               f"${mems_cost:>8.2f} | ${total:>9.2f}")
     if args.budget is not None:
-        from repro.core.capacity import streams_supported
+        from repro.planner.throughput import streams_supported
 
         print()
         print(f"Throughput at a ${args.budget:g} total budget:")
@@ -154,6 +178,11 @@ def _run_design(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # Lint has its own exit-code contract (usage errors exit 2,
+        # findings exit 1); it must not fold into the ReproError -> 1
+        # mapping below.
+        return _run_lint(args)
     try:
         if args.command == "list":
             for experiment_id in EXPERIMENTS:

@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.core.buffer_model import design_mems_buffer
 from repro.core.cache_model import CachePolicy, design_mems_cache
-from repro.core.capacity import streams_supported
-from repro.core.hybrid import hybrid_split_curve
+from repro.planner.hybrid import hybrid_split_curve
+from repro.planner.throughput import streams_supported
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import BimodalPopularity
 from repro.core.startup import (
@@ -41,7 +41,7 @@ from repro.devices.mems_placement import placement_improvement
 from repro.experiments.base import ExperimentResult, Series, Table
 from repro.scheduling.sptf import sptf_speedup
 from repro.simulation.pipelines import simulate_direct_pipeline
-from repro.units import GB, KB, MB
+from repro.units import GB, KB, MB, MS
 from repro.workloads.arrivals import erlang_b
 
 
@@ -237,7 +237,7 @@ def run_ext_regions(*, n_rate_points: int = 8, n_budget_points: int = 6,
     )
 
     rates = np.logspace(np.log10(10 * KB), np.log10(10 * MB), n_rate_points)
-    budgets = np.logspace(np.log10(30.0), np.log10(1_000.0),
+    budgets = np.logspace(np.log10(30.0), np.log10(1000.0),
                           n_budget_points)
     popularity = BimodalPopularity.parse(popularity_spec)
     cells = configuration_map(rates, budgets, popularity=popularity)
@@ -285,7 +285,7 @@ def run_ext_generations(*, bit_rate: float = 100 * KB,
         comparison = compare_buffer_costs(params)
         rows.append([device.name, k,
                      f"{device.transfer_rate / MB:.0f}",
-                     f"{device.max_access_time() * 1e3:.2f}",
+                     f"{device.max_access_time() / MS:.2f}",
                      f"${comparison.cost_without:,.0f}",
                      f"${comparison.cost_with:,.0f}",
                      f"{comparison.percent_reduction:.0f}%"])

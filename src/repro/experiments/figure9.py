@@ -22,7 +22,7 @@ from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007, MEMS_G3
 from repro.experiments.base import ExperimentResult, Table
 from repro.planner import Configuration, default_planner
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 
 #: (budget $, cache devices) pairs of the paper's experiment.
 BUDGET_POINTS: tuple[tuple[float, int], ...] = ((50.0, 1), (100.0, 2),

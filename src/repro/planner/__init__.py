@@ -16,11 +16,16 @@ population?*  This package is the single answer path:
 * :class:`~repro.planner.cache.PlanCache` — bounded LRU memoization
   with hit/miss/eviction counters;
 * :class:`~repro.planner.solver.Planner` — the memoizing solver tying
-  it together, plus the process-wide :func:`default_planner`.
+  it together, plus the process-wide :func:`default_planner`;
+* :mod:`~repro.planner.throughput` — the named stateless solvers
+  (``max_streams_*``, ``streams_supported``);
+* :mod:`~repro.planner.hybrid` — the Section 7 buffer+cache split of
+  the bank.
 
 The legacy entry points (:mod:`repro.core.capacity`,
 :mod:`repro.core.hybrid`, ``AdmissionController.capacity``) remain as
-thin wrappers over this package.
+pure re-export shims over this package; internal code imports from
+here (the ``no-shim-imports`` lint rule enforces it).
 """
 
 from repro.planner.search import (
@@ -36,6 +41,22 @@ from repro.planner.configuration import Configuration, ConfigurationKind
 from repro.planner.plan import Plan
 from repro.planner.solver import Planner, default_planner
 
+# Imported after the solver stack: both modules lean on the core
+# forward models, which themselves import the planner package.
+from repro.planner.hybrid import (
+    HybridDesign,
+    hybrid_split_curve,
+    hybrid_streams_supported,
+    hybrid_throughput,
+    optimize_hybrid_split,
+)
+from repro.planner.throughput import (
+    max_streams_with_buffer,
+    max_streams_with_cache,
+    max_streams_without_mems,
+    streams_supported,
+)
+
 __all__ = [
     "DEFAULT_INT_LIMIT",
     "DEFAULT_MAXSIZE",
@@ -44,10 +65,19 @@ __all__ = [
     "REL_TOL",
     "Configuration",
     "ConfigurationKind",
+    "HybridDesign",
     "Plan",
     "PlanCache",
     "Planner",
     "default_planner",
+    "hybrid_split_curve",
+    "hybrid_streams_supported",
+    "hybrid_throughput",
     "max_feasible_int",
     "max_feasible_real",
+    "max_streams_with_buffer",
+    "max_streams_with_cache",
+    "max_streams_without_mems",
+    "optimize_hybrid_split",
+    "streams_supported",
 ]

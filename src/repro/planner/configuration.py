@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.cache_model import CachePolicy
 from repro.core.popularity import PopularityDistribution
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require
 
 
 class ConfigurationKind(enum.Enum):
@@ -132,7 +132,8 @@ class Configuration:
         """Buffer-side devices of a hybrid split (``None`` otherwise)."""
         if self.kind is not ConfigurationKind.HYBRID:
             return None
-        assert self.k is not None and self.k_cache is not None
+        require(self.k is not None and self.k_cache is not None,
+                "hybrid configuration constructed without k/k_cache")
         return self.k - self.k_cache
 
     @property
@@ -147,7 +148,8 @@ class Configuration:
             return "direct"
         if self.kind is ConfigurationKind.BUFFER:
             return f"buffer({k_text or 'k=params'})"
-        assert self.policy is not None
+        require(self.policy is not None,
+                "cache/hybrid configuration constructed without a policy")
         if self.kind is ConfigurationKind.CACHE:
             return f"cache({self.policy.value}, {k_text or 'k=params'})"
         return (f"hybrid({self.policy.value}, k_cache={self.k_cache}, "

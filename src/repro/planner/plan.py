@@ -64,7 +64,9 @@ class Plan:
         :class:`~repro.errors.CapacityError` at infeasible points.
         """
         if not self.feasible:
-            assert self.failure is not None
+            if self.failure is None:
+                raise RuntimeError(
+                    "infeasible Plan constructed without a failure diagnosis")
             raise self.failure
         return self
 

@@ -24,7 +24,7 @@ MAX_DOUBLINGS = 80
 #: Iteration bound of the continuous bisection phase.
 MAX_BISECTIONS = 120
 #: Default population bound of the integer solver.
-DEFAULT_INT_LIMIT = 1_000_000
+DEFAULT_INT_LIMIT = 10**6  # repro-lint: disable=unit-literals (a count, not bytes)
 
 
 def max_feasible_real(predicate: Callable[[float], bool]) -> float:

@@ -45,6 +45,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     SchedulingError,
+    require,
 )
 from repro.planner.cache import PlanCache
 from repro.planner.configuration import Configuration, ConfigurationKind
@@ -137,8 +138,9 @@ class Planner:
     def _plan_cache(self, params: SystemParameters,
                     configuration: Configuration) -> Plan:
         solve_params = self._effective_params(params, configuration)
-        assert configuration.policy is not None
-        assert configuration.popularity is not None
+        require(configuration.policy is not None
+                and configuration.popularity is not None,
+                "cache Configuration validated without policy/popularity")
         design = design_mems_cache(solve_params, configuration.policy,
                                    configuration.popularity)
         n = solve_params.n_streams
@@ -155,13 +157,16 @@ class Planner:
         if params.size_mems is None or params.size_disk is None:
             raise ConfigurationError(
                 "hybrid analysis needs finite size_mems and size_disk")
-        assert configuration.policy is not None
-        assert configuration.popularity is not None
-        assert configuration.k_cache is not None
+        require(configuration.policy is not None
+                and configuration.popularity is not None
+                and configuration.k_cache is not None,
+                "hybrid Configuration validated without policy/"
+                "popularity/k_cache")
         policy = configuration.policy
         k_cache = configuration.k_cache
         k_buffer = configuration.k_buffer
-        assert k_buffer is not None
+        require(k_buffer is not None,
+                "hybrid Configuration yielded no k_buffer split")
         if k_cache == 0:
             fraction = 0.0
             hit_rate = 0.0

@@ -135,5 +135,7 @@ def plan_recovery(params: SystemParameters, dram_budget: float,
             return plan
         if best is None or plan.capacity > best.capacity:
             best = plan
-    assert best is not None  # the direct-disk rung always evaluates
+    if best is None:  # the direct-disk rung always evaluates
+        raise RuntimeError("recovery ladder produced no plan: even the "
+                           "direct-disk rung failed to evaluate")
     return best

@@ -31,11 +31,17 @@ from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.devices.bank import BankPolicy, MemsBank
 from repro.devices.mems import MemsDevice
-from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+    require,
+)
 from repro.planner.solver import Planner
 from repro.runtime.failures import FailureEvent, FailureKind, plan_recovery
 from repro.runtime.metrics import MetricsLog, render_dashboard
 from repro.runtime.placement import AdaptivePlacement
+from repro.units import MB
 from repro.runtime.sessions import (
     Session,
     SessionEvent,
@@ -210,8 +216,8 @@ class RuntimeResult:
             f"{self.active_sessions} still playing",
             f"blocking {self.blocking_probability:.4f}, "
             f"degraded {self.degraded_time:.0f}s of {self.horizon:.0f}s, "
-            f"DRAM {self.final_dram_required / 1e6:.1f} MB of "
-            f"{self.dram_budget / 1e6:.1f} MB",
+            f"DRAM {self.final_dram_required / MB:.1f} MB of "
+            f"{self.dram_budget / MB:.1f} MB",
             f"migrations: "
             f"{sum(len(m.migrations_in) for m in self.migrations)} in / "
             f"{sum(len(m.migrations_out) for m in self.migrations)} out "
@@ -254,7 +260,8 @@ class ServerRuntime:
         # A private planner so the cache counters describe this run only
         # (the epoch/metrics/recovery loops all solve through it).
         self._planner = Planner()
-        assert config.device is not None
+        require(config.device is not None,
+                "RuntimeConfig validated without a MEMS device")
         self._bank: MemsBank | None = MemsBank(
             config.device, config.params.k, BankPolicy.ROUND_ROBIN)
 
@@ -287,7 +294,8 @@ class ServerRuntime:
 
     def _served_by(self, title: int) -> str:
         if self._mode == "cache":
-            assert self._placement is not None
+            require(self._placement is not None,
+                    "cache mode runs without an AdaptivePlacement")
             return ("cache" if title in set(self._placement.cached_titles)
                     else "disk")
         return "buffer" if self._mode == "buffer" else "disk"
@@ -368,7 +376,8 @@ class ServerRuntime:
 
     def _replan(self, sim: Simulator, *, reason: str) -> None:
         """Re-rank, migrate, and swap the admission demand model."""
-        assert self._placement is not None
+        require(self._placement is not None,
+                "replan requested outside cache mode")
         self._metrics.count("replans")
         decision = self._placement.replan(self._degraded_params(),
                                           float(len(self._sessions)))

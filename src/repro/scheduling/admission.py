@@ -27,6 +27,7 @@ from repro.errors import (
     ConfigurationError,
 )
 from repro.planner.configuration import Configuration
+from repro.planner.search import DEFAULT_INT_LIMIT
 from repro.planner.solver import Planner, default_planner
 
 
@@ -160,7 +161,7 @@ class AdmissionController:
         self._policy = new_policy
         self._popularity = new_popularity
 
-    def capacity(self, *, limit: int = 1_000_000) -> int:
+    def capacity(self, *, limit: int = DEFAULT_INT_LIMIT) -> int:
         """Largest admissible population under the current model.
 
         Found by the planning layer's shared doubling + bisection on the

@@ -14,7 +14,7 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimulationError, require
 
 #: Signature of a scheduled callback: receives the simulator.
 EventCallback = Callable[["Simulator"], None]
@@ -123,7 +123,8 @@ class Simulator:
         """
         while self._queue:
             next_time = self._queue.peek_time()
-            assert next_time is not None
+            require(next_time is not None,
+                    "non-empty event queue reported no next time")
             if until is not None and next_time > until:
                 self._now = until
                 return self._now

@@ -33,7 +33,7 @@ from repro.core.buffer_model import BufferDesign
 from repro.core.cache_model import CacheDesign, CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.devices.disk import DiskDrive
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimulationError, require
 from repro.scheduling.time_cycle import (
     OperationKind,
     TimeCycleSchedule,
@@ -85,7 +85,8 @@ def _disk_cycle_service(n_ios: int, params: SystemParameters,
     if latency_model == "deterministic" or n_ios == 0:
         return (np.full(n_ios, params.l_disk),
                 np.full(n_ios, params.r_disk))
-    assert disk is not None and rng is not None
+    require(disk is not None and rng is not None,
+            "sampled latency model needs a disk model and an rng")
     positions = np.sort(rng.random(n_ios))
     # C-LOOK sweep: first seek from the landing point of the previous
     # sweep (statistically a uniform point), then ascending gaps.
@@ -283,10 +284,12 @@ def simulate_buffer_pipeline(design: BufferDesign, *,
     params = design.params
     n = schedule.n_streams
     k = params.k
-    assert schedule.t_mems is not None
+    require(schedule.t_mems is not None,
+            "buffer schedule built without a MEMS cycle")
     dram_io = params.bit_rate * schedule.t_mems
     discrete = design.s_mems_dram_discrete
-    assert discrete is not None
+    require(discrete is not None,
+            "buffer design carries no discrete DRAM size")
     capacity = max(discrete * buffer_scale, 1.0)
     buffers = [StreamBuffer(i, params.bit_rate, capacity=capacity)
                for i in range(n)]
@@ -333,7 +336,8 @@ def simulate_buffer_pipeline(design: BufferDesign, *,
     # early.  Stream i's first write is global disk read i, processed
     # in MEMS cycle i // M.
     m = design.m
-    assert m is not None
+    require(m is not None,
+            "buffer design carries no disk-transfer multiplicity m")
     cycles_per_disk_cycle = math.ceil(n / m)
     read_eligible_cycle = [i // m + cycles_per_disk_cycle for i in range(n)]
     # The steady state begins once every stream's reads are flowing and
@@ -389,7 +393,8 @@ def simulate_buffer_pipeline(design: BufferDesign, *,
             device_clock[d] = max(device_clock[d], cycle_start)
         for op in ops:
             d = op.device_index
-            assert d is not None
+            require(d is not None,
+                    "MEMS operation scheduled without a device index")
             if op.kind is OperationKind.MEMS_WRITE:
                 landed = landing_times[write_cursor]
                 write_cursor += 1

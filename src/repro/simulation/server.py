@@ -20,7 +20,7 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import PopularityDistribution
 from repro.core.theorems import min_buffer_disk_dram
 from repro.devices.disk import DiskDrive
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require
 from repro.scheduling.admission import AdmissionController
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.pipelines import (
@@ -105,7 +105,8 @@ class StreamingServer:
             return params.n_streams * min_buffer_disk_dram(params)
         if self.config.configuration == "buffer":
             return design_mems_buffer(params, quantise=False).total_dram
-        assert self.config.policy and self.config.popularity
+        require(bool(self.config.policy and self.config.popularity),
+                "cache ServerConfig validated without policy/popularity")
         return design_mems_cache(params, self.config.policy,
                                  self.config.popularity).total_dram
 
@@ -123,7 +124,8 @@ class StreamingServer:
             raise ConfigurationError(
                 f"cache_design applies to the 'cache' configuration, "
                 f"not {self.config.configuration!r}")
-        assert self.config.policy and self.config.popularity
+        require(bool(self.config.policy and self.config.popularity),
+                "cache ServerConfig validated without policy/popularity")
         return design_mems_cache(self._params_at_load(), self.config.policy,
                                  self.config.popularity)
 
@@ -145,7 +147,8 @@ class StreamingServer:
                 design, n_hyper_periods=max(1, n_cycles // 2),
                 latency_model=latency_model, buffer_scale=buffer_scale,
                 disk=self.config.disk, seed=seed)
-        assert self.config.policy and self.config.popularity
+        require(bool(self.config.policy and self.config.popularity),
+                "cache ServerConfig validated without policy/popularity")
         design = design_mems_cache(params, self.config.policy,
                                    self.config.popularity)
         return simulate_cache_pipeline(

@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.buffer_model import BufferDesign
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError, SchedulingError, require
 from repro.scheduling.time_cycle import (
     OperationKind,
     build_buffer_schedule,
@@ -165,7 +165,8 @@ def trace_buffer_schedule(design: BufferDesign, *,
             device_clock[d] = max(device_clock[d], cycle_start)
         for op in pattern[cycle % len(pattern)]:
             d = op.device_index
-            assert d is not None
+            require(d is not None,
+                    "MEMS operation scheduled without a device index")
             lane = f"mems{d}"
             start = device_clock[d]
             seek_end = start + params.l_mems

@@ -17,6 +17,8 @@ the decimal (SI) convention used by storage vendors and by the paper
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 #: One kilobyte (decimal), in bytes.
 KB = 1_000
 #: One megabyte (decimal), in bytes.
@@ -40,9 +42,21 @@ def rpm_to_rotation_time(rpm: float) -> float:
 
     >>> rpm_to_rotation_time(20_000)
     0.003
+
+    Non-positive speeds are caller bugs and raise the library's
+    configuration error, never a bare ``ValueError``:
+
+    >>> rpm_to_rotation_time(0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: RPM must be positive, got 0
+    >>> rpm_to_rotation_time(-7200)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: RPM must be positive, got -7200
     """
     if rpm <= 0:
-        raise ValueError(f"RPM must be positive, got {rpm!r}")
+        raise ConfigurationError(f"RPM must be positive, got {rpm!r}")
     return SECONDS_PER_MINUTE / rpm
 
 
@@ -53,6 +67,14 @@ def bytes_to_human(n_bytes: float) -> str:
     '1.50 MB'
     >>> bytes_to_human(512)
     '512 B'
+
+    Zero stays in the byte band and negative sizes (deltas, e.g. a
+    shrinking DRAM budget) keep their sign through the formatting:
+
+    >>> bytes_to_human(0)
+    '0 B'
+    >>> bytes_to_human(-1_500_000)
+    '-1.50 MB'
     """
     if n_bytes < 0:
         return "-" + bytes_to_human(-n_bytes)
@@ -63,7 +85,15 @@ def bytes_to_human(n_bytes: float) -> str:
 
 
 def rate_to_human(bytes_per_second: float) -> str:
-    """Format a data rate, e.g. ``rate_to_human(320 * MB)`` -> ``'320.00 MB/s'``."""
+    """Format a data rate using the largest convenient decimal unit.
+
+    >>> rate_to_human(320 * MB)
+    '320.00 MB/s'
+    >>> rate_to_human(0)
+    '0 B/s'
+    >>> rate_to_human(-40 * MB)
+    '-40.00 MB/s'
+    """
     return bytes_to_human(bytes_per_second) + "/s"
 
 
@@ -72,6 +102,10 @@ def seconds_to_human(seconds: float) -> str:
 
     >>> seconds_to_human(0.00059)
     '0.590 ms'
+    >>> seconds_to_human(0)
+    '0.000 us'
+    >>> seconds_to_human(-0.00059)
+    '-0.590 ms'
     """
     if seconds < 0:
         return "-" + seconds_to_human(-seconds)

@@ -1,0 +1,2 @@
+"""Fixture: not valid Python; the engine must emit ``parse-error``."""
+def broken(:

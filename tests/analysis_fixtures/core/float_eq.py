@@ -1,0 +1,13 @@
+"""Fixture: float comparisons ``float-equality`` must flag.
+
+Lives under a ``core/`` directory because the rule is path-scoped.
+The three module-level comparisons are violations; the integer
+comparison in ``empty`` is not.
+"""
+EXACT = 0.1 + 0.2 == 0.3
+SENTINEL = float("inf") != float("inf")
+NEGATED = -1.5 == -1.5
+
+
+def empty(n):
+    return n == 0

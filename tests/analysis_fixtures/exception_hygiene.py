@@ -1,0 +1,17 @@
+"""Fixture: banned raises ``exception-hygiene`` must flag.
+
+The ``ValueError`` and ``Exception`` raises are violations;
+``RuntimeError`` and re-raising a pre-built object are allowed.
+"""
+
+
+def reject(value, failure):
+    if value < 0:
+        raise ValueError(f"negative: {value}")
+    if value == 0:
+        raise Exception
+    if value > 100:
+        raise RuntimeError("internal invariant")
+    if failure is not None:
+        raise failure
+    return value

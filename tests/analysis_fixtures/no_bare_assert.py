@@ -1,0 +1,7 @@
+"""Fixture: bare asserts that ``no-bare-assert`` must flag."""
+
+
+def check_invariant(value):
+    assert value is not None
+    assert value > 0, "value must be positive"
+    return value

@@ -1,0 +1,18 @@
+"""Fixture: seed-guarantee breaches ``determinism`` must flag.
+
+Lives under a ``runtime/`` directory because the rule is path-scoped.
+"""
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    started = time.time()
+    today = datetime.now()
+    jitter = random.random()
+    draw = np.random.uniform()
+    rng = np.random.default_rng(7)
+    return started, today, jitter, draw, rng.random()

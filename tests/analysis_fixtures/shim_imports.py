@@ -1,0 +1,6 @@
+"""Fixture: deprecated-shim imports ``no-shim-imports`` must flag."""
+import repro.core.capacity
+from repro.core import hybrid
+from repro.core.capacity import streams_supported
+
+USES = (repro.core.capacity, hybrid, streams_supported)

@@ -1,0 +1,8 @@
+"""Fixture: the same violation three times, suppressed two ways.
+
+Line 6 carries a named suppression, line 7 a bare ``disable``; line 8
+is identical to line 6 but unsuppressed and must still be flagged.
+"""
+SIZE_A = 4 * 1e6  # repro-lint: disable=unit-literals
+SIZE_B = 4 * 1e6  # repro-lint: disable
+SIZE_C = 4 * 1e6

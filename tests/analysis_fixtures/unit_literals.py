@@ -1,0 +1,15 @@
+"""Fixture: magic unit literals ``unit-literals`` must flag.
+
+The five constants below the docstring are violations; the two at the
+bottom are spellings the rule deliberately leaves alone (a plain count
+and a tolerance).
+"""
+DECIMAL_MB = 4 * 1e6
+DECIMAL_UNDERSCORE = 1_000_000
+BINARY_KB = 1024
+BINARY_SHIFT = 1 << 20
+KILO_CONVERSION = 3.5 * 1e3
+
+# Not flagged: plain-spelled counts and sub-unity tolerances.
+N_ITERATIONS = 1000
+TOLERANCE = 1e-6

@@ -17,7 +17,7 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import BimodalPopularity
 from repro.core.theorems import min_buffer_direct
 from repro.errors import ConfigurationError
-from repro.units import GB, KB, MB
+from repro.units import GB, KB
 
 
 @pytest.fixture

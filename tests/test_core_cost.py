@@ -15,7 +15,7 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import BimodalPopularity
 from repro.core.theorems import min_buffer_disk_dram
 from repro.errors import ConfigurationError
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 
 
 class TestEquation1:

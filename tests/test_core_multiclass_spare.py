@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.buffer_model import design_mems_buffer
 from repro.core.multiclass import (
-    MulticlassDesign,
     StreamClass,
     admit_class,
     design_multiclass_buffer,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.parameters import SystemParameters
 from repro.errors import ConfigurationError
-from repro.units import GB, KB, MB, MS
+from repro.units import GB, MB, MS
 
 
 class TestValidation:

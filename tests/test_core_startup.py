@@ -18,7 +18,7 @@ from repro.simulation.pipelines import (
     simulate_buffer_pipeline,
     simulate_direct_pipeline,
 )
-from repro.units import KB, MB
+from repro.units import MB
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Theorem 1 / Corollary 1 and their inverses."""
 
-import math
 
 import pytest
 

@@ -15,7 +15,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
 )
-from repro.units import GB, KB, MB
+from repro.units import GB, KB
 
 
 @pytest.fixture

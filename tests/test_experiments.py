@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments import figure2, figure6, figure7, figure8, figure9
 from repro.experiments import figure10, tables
-from repro.experiments.base import ExperimentResult, Series, Table
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.errors import ConfigurationError
 from repro.units import KB, MB

@@ -2,7 +2,6 @@
 the corollaries against each other, and the paper's design principles
 end to end."""
 
-import math
 
 import pytest
 
@@ -20,7 +19,7 @@ from repro.core.capacity import (
 )
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import BimodalPopularity
-from repro.core.theorems import min_buffer_direct, min_buffer_disk_dram
+from repro.core.theorems import min_buffer_direct
 from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
 from repro.scheduling.time_cycle import build_buffer_schedule
 from repro.simulation.pipelines import (

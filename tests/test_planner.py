@@ -28,7 +28,6 @@ from repro.errors import AdmissionError, ConfigurationError
 from repro.planner import (
     Configuration,
     ConfigurationKind,
-    Plan,
     PlanCache,
     Planner,
     default_planner,

@@ -8,7 +8,6 @@ from repro.runtime import (
     MetricsLog,
     SessionEventKind,
     build_scenario,
-    run_runtime,
     run_scenario,
 )
 from repro.workloads.arrivals import predicted_blocking

@@ -1,6 +1,5 @@
 """Time-cycle schedule construction and the Figures 4-5 structure."""
 
-import math
 
 import pytest
 

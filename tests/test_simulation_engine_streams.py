@@ -1,6 +1,5 @@
 """DES core and the piecewise-linear stream buffer model."""
 
-import math
 
 import pytest
 

@@ -13,7 +13,7 @@ from repro.simulation.pipelines import (
     simulate_cache_pipeline,
     simulate_direct_pipeline,
 )
-from repro.units import GB, KB, MB
+from repro.units import MB
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro.core.popularity import BimodalPopularity
 from repro.errors import ConfigurationError
 from repro.core.parameters import SystemParameters
 from repro.simulation.server import ServerConfig, StreamingServer
-from repro.units import GB, KB, MB
+from repro.units import GB, MB
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError
 from repro.units import (
     GB,
     KB,
@@ -39,7 +39,7 @@ class TestRpmConversion:
 
     @pytest.mark.parametrize("bad", [0, -1, -7200])
     def test_nonpositive_rpm_rejected(self, bad):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             rpm_to_rotation_time(bad)
 
 

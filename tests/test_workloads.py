@@ -14,7 +14,6 @@ from repro.workloads.bitrates import (
     DIVX,
     DVD,
     HDTV,
-    MEDIA_TYPES,
     MP3,
     MediaType,
     average_bit_rate,
