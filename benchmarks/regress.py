@@ -1,0 +1,62 @@
+"""Record or check the committed benchmark baselines.
+
+A thin wrapper over ``mems-repro bench`` that pins the baseline
+location to ``benchmarks/baselines/`` so CI and developers agree on
+where the reference ``BENCH_<name>.json`` records live::
+
+    python benchmarks/regress.py record            # refresh baselines
+    python benchmarks/regress.py compare OUT_DIR   # gate OUT_DIR vs them
+
+``record`` runs the workloads (best-of-``--repeats``) and overwrites
+the committed baselines — do this on the reference machine when a PR
+deliberately shifts performance, and commit the JSON.  ``compare``
+replays recorded results from ``OUT_DIR`` against the baselines and
+exits 1 on regression; it never re-runs the workloads, so the gate
+itself is deterministic (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.cli import main as mems_repro  # noqa: E402
+
+#: The committed reference records.
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="regress.py",
+        description="record/compare the committed benchmark baselines")
+    sub = parser.add_subparsers(dest="mode", required=True)
+    record = sub.add_parser("record", help="refresh benchmarks/baselines/")
+    record.add_argument("--preset", default="small",
+                        choices=("tiny", "small", "full"))
+    record.add_argument("--repeats", type=int, default=3,
+                        help="passes per workload, keeping the best "
+                             "(default 3)")
+    compare = sub.add_parser(
+        "compare", help="gate recorded results against the baselines")
+    compare.add_argument("results", metavar="OUT_DIR",
+                         help="directory of BENCH_*.json to check")
+    compare.add_argument("--tolerance", type=float, default=200.0,
+                         help="allowed regression percent; generous by "
+                              "default so shared-runner noise never "
+                              "fails CI (default 200)")
+    args = parser.parse_args(argv)
+    if args.mode == "record":
+        return mems_repro(["bench", "--preset", args.preset,
+                           "--repeats", str(args.repeats),
+                           "--out", str(BASELINE_DIR)])
+    return mems_repro(["bench", "--replay", args.results,
+                       "--compare", str(BASELINE_DIR),
+                       "--tolerance", str(args.tolerance)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,19 +4,26 @@ The runtime promises that a fixed seed reproduces a run byte-for-byte
 (``docs/RUNTIME.md``), and every simulation/workload entry point takes
 a ``seed``.  That only holds while *all* randomness flows through an
 injected ``numpy.random.Generator`` and nothing reads the wall clock.
-This rule bans, inside ``simulation/``, ``runtime/`` and
-``workloads/``:
+This rule bans, inside ``simulation/``, ``runtime/``, ``workloads/``
+and ``perf/``:
 
 * wall-clock reads (``time.time()``, ``time.monotonic()``,
   ``datetime.now()``, ...) — simulated time comes from the event
-  engine;
+  engine.  The one sanctioned read is the bench timer helper in
+  ``perf/bench.py``, which carries a reviewed inline suppression;
 * the :mod:`random` module's global functions (seeded or not — the
   global state is shared across callers and not part of any run's
   seed);
 * :mod:`numpy.random` *module-level* state (``np.random.seed``,
   ``np.random.rand``, ...).  Constructing generators
   (``np.random.default_rng(seed)``) and naming types
-  (``np.random.Generator``) is fine — that is the sanctioned idiom.
+  (``np.random.Generator``) is fine — that is the sanctioned idiom;
+* process-pool construction (``ProcessPoolExecutor``,
+  ``multiprocessing.Pool``, thread pools) — fan-out must go through
+  :func:`repro.perf.parallel.sweep_map`, whose items carry explicit
+  seeds and whose ordered gathering keeps results byte-identical to a
+  serial run.  ``parallel.py``'s own pool carries the reviewed
+  suppression.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from pathlib import Path
 from repro.analysis.base import Checker, Finding, register
 
 #: Directories whose modules carry the seed guarantee.
-SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads"})
+SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf"})
 
 #: Fully-qualified callables that read the wall clock.
 WALL_CLOCK = frozenset({
@@ -42,6 +49,19 @@ WALL_CLOCK = frozenset({
 NUMPY_RANDOM_ALLOWED = frozenset({
     "default_rng", "Generator", "SeedSequence", "BitGenerator",
     "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: Pool constructors whose scheduling is nondeterministic; fan-out in
+#: the seeded layers must go through repro.perf.parallel.sweep_map.
+POOL_CONSTRUCTORS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "multiprocessing.pool.ThreadPool",
+    "multiprocessing.dummy.Pool",
 })
 
 
@@ -108,6 +128,12 @@ class DeterminismChecker(Checker):
                     path, node,
                     f"{full}() reads the wall clock; simulated time comes "
                     f"from the event engine (Simulator.now)")
+            elif full in POOL_CONSTRUCTORS:
+                yield self.finding(
+                    path, node,
+                    f"{full}() builds an ad-hoc worker pool; fan out "
+                    f"through repro.perf.parallel.sweep_map (explicit "
+                    f"per-item seeds, ordered gathering)")
             elif full == "random" or full.startswith("random."):
                 yield self.finding(
                     path, node,

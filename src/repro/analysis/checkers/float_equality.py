@@ -4,8 +4,12 @@ The analytical layers (``core/``, ``planner/``) compute DRAM sizes and
 cycle lengths through chains of float arithmetic; exact equality on
 such values is order-of-evaluation dependent (the planner's memoization
 makes "the same" quantity arrive via different expression trees).  The
-codebase convention is ``math.isclose`` / an explicit tolerance — see
-the ``1e-12``-banded comparisons in the hybrid optimizer — and
+experiment runners (``experiments/``) consume those values and carry
+the same hazard into their table/figure assembly, so they are in scope
+too (comparisons that are *deliberately* exact — catalog cross-checks
+against integer-valued floats — carry reviewed inline suppressions).
+The codebase convention is ``math.isclose`` / an explicit tolerance —
+see the ``1e-12``-banded comparisons in the hybrid optimizer — and
 ``math.isinf`` for the ``float("inf")`` sentinels.
 
 Static analysis cannot type arbitrary expressions, so the rule is
@@ -24,8 +28,9 @@ from pathlib import Path
 
 from repro.analysis.base import Checker, Finding, register
 
-#: Directories where the rule binds (the analytical layers).
-SCOPED_DIRS = frozenset({"core", "planner"})
+#: Directories where the rule binds (the analytical layers and the
+#: experiment runners that assemble their outputs).
+SCOPED_DIRS = frozenset({"core", "planner", "experiments"})
 
 
 def _is_float_call(node: ast.expr) -> bool:
@@ -60,8 +65,9 @@ class FloatEqualityChecker(Checker):
     """Flag ``==`` / ``!=`` with a syntactically float operand."""
 
     rule = "float-equality"
-    description = ("no ==/!= against float expressions in core/ and "
-                   "planner/; use math.isclose / math.isinf / a tolerance")
+    description = ("no ==/!= against float expressions in core/, planner/ "
+                   "and experiments/; use math.isclose / math.isinf / a "
+                   "tolerance")
 
     def applies_to(self, path: Path) -> bool:
         return bool(SCOPED_DIRS.intersection(path.parts))

@@ -55,7 +55,9 @@ class Table:
 
 def _fmt(value: object) -> str:
     if isinstance(value, float):
-        if value == 0:
+        # Truthiness, not ==: only an exact zero (either sign) prints
+        # as "0"; near-zero magnitudes keep their digits below.
+        if not value:
             return "0"
         magnitude = abs(value)
         if magnitude >= 1e5 or magnitude < 1e-3:

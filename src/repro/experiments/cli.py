@@ -6,11 +6,20 @@ Usage::
     mems-repro run figure6a         # render one artifact to stdout
     mems-repro run all              # render everything (incl. extensions)
     mems-repro run figure8 --csv out.csv   # also export the data series
+    mems-repro experiments figure6a figure9a --jobs 4
+                                    # selected artifacts, sweeps fanned
+                                    # out over 4 worker processes
+    mems-repro experiments --all --jobs 4 --csv out.csv
     mems-repro design --streams 1000 --bitrate 100 --budget 150
                                     # size a server across configurations
     mems-repro runtime list         # enumerate online-runtime scenarios
     mems-repro runtime device-failure --seed 7 --json metrics.json
                                     # run a scenario, print the dashboard
+    mems-repro runtime all --jobs 4 # the whole scenario suite in parallel
+    mems-repro bench --preset small --out bench_out
+                                    # record BENCH_<name>.json timings
+    mems-repro bench --replay bench_out --compare benchmarks/baselines
+                                    # regression gate (exit 1 if slower)
     mems-repro lint src             # repo-specific static analysis
     mems-repro lint --json --rule no-bare-assert src tests
 """
@@ -41,6 +50,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chart width in characters")
     run_cmd.add_argument("--height", type=int, default=20,
                          help="chart height in characters")
+    exp_cmd = sub.add_parser(
+        "experiments",
+        help="run selected experiments, optionally in parallel (--jobs)")
+    exp_cmd.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (see 'list')")
+    exp_cmd.add_argument("--all", action="store_true",
+                         help="run every experiment (incl. extensions)")
+    exp_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the sweeps "
+                              "(default 1 = serial; results identical)")
+    exp_cmd.add_argument("--csv", metavar="PATH",
+                         help="also write the data series as CSV")
+    exp_cmd.add_argument("--width", type=int, default=76,
+                         help="chart width in characters")
+    exp_cmd.add_argument("--height", type=int, default=20,
+                         help="chart height in characters")
+    bench_cmd = sub.add_parser(
+        "bench", help="run the timed benchmark workloads / regression gate")
+    bench_cmd.add_argument("--preset", default="small",
+                           choices=("tiny", "small", "full"),
+                           help="workload scale (default small)")
+    bench_cmd.add_argument("--workload", action="append", default=None,
+                           metavar="NAME",
+                           help="run only this workload (repeatable)")
+    bench_cmd.add_argument("--repeats", type=int, default=1, metavar="N",
+                           help="passes per workload; gated metrics keep "
+                                "the best (default 1)")
+    bench_cmd.add_argument("--out", metavar="DIR", default=None,
+                           help="write BENCH_<name>.json records here")
+    bench_cmd.add_argument("--replay", metavar="DIR", default=None,
+                           help="skip running: load recorded BENCH_*.json "
+                                "from DIR as the current results")
+    bench_cmd.add_argument("--compare", metavar="BASELINE", default=None,
+                           help="compare against a baseline dir (or one "
+                                "BENCH_*.json); exit 1 on regression")
+    bench_cmd.add_argument("--tolerance", type=float, default=10.0,
+                           metavar="PCT",
+                           help="allowed regression percentage "
+                                "(default 10)")
     design_cmd = sub.add_parser(
         "design", help="size a server: compare plain / buffer / cache")
     design_cmd.add_argument("--streams", type=int, required=True,
@@ -66,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_cmd.add_argument("--json", metavar="PATH", default=None,
                              help="write the full result (events, "
                                   "migrations, metrics) as JSON")
+    runtime_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for 'all' "
+                                  "(default 1 = serial)")
     lint_cmd = sub.add_parser(
         "lint", help="run the repo-specific static-analysis pass")
     lint_cmd.add_argument("paths", nargs="*", default=["src"],
@@ -93,12 +144,34 @@ def _run_lint(args: argparse.Namespace) -> int:
 
 def _run_runtime(args: argparse.Namespace) -> int:
     """The ``runtime`` subcommand: run a scenario, print the dashboard."""
-    from repro.runtime.scenarios import SCENARIOS, run_scenario
+    from repro.runtime.scenarios import (
+        SCENARIOS,
+        run_scenario,
+        run_scenario_batch,
+    )
 
     if args.scenario == "list":
         for name, factory in SCENARIOS.items():
             doc = (factory.__doc__ or "").strip().splitlines()[0]
             print(f"{name:>20}  {doc}")
+        return 0
+    if args.scenario == "all":
+        results = run_scenario_batch(seed=args.seed, horizon=args.horizon,
+                                     jobs=args.jobs)
+        for name, result in results.items():
+            print(f"=== {name} ===")
+            print(result.dashboard())
+            print()
+            print(result.summary())
+            print()
+        if args.json:
+            import json as _json
+
+            payload = {name: _json.loads(result.to_json())
+                       for name, result in results.items()}
+            with open(args.json, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}", file=sys.stderr)
         return 0
     result = run_scenario(args.scenario, seed=args.seed,
                           horizon=args.horizon)
@@ -109,6 +182,93 @@ def _run_runtime(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json(indent=2))
         print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """The ``experiments`` subcommand: selected ids, optionally parallel."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.registry import (
+        run_all,
+        run_experiment,
+        run_selected,
+    )
+
+    if args.all:
+        if args.ids:
+            raise ConfigurationError(
+                "pass experiment ids or --all, not both")
+        results = run_all(jobs=args.jobs)
+    elif not args.ids:
+        raise ConfigurationError(
+            "no experiments selected; pass ids (see 'list') or --all")
+    elif len(args.ids) == 1:
+        # A single experiment parallelises *inside* its sweep loops.
+        experiment_id = args.ids[0]
+        results = {experiment_id: run_experiment(experiment_id,
+                                                 jobs=args.jobs)}
+    else:
+        results = run_selected(list(args.ids), jobs=args.jobs)
+    for experiment_id, result in results.items():
+        print(result.render(width=args.width, height=args.height))
+        print()
+        if args.csv:
+            suffix = "" if len(results) == 1 else f".{experiment_id}"
+            path = result.write_csv(f"{args.csv}{suffix}")
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: record timings and/or gate a regression."""
+    from repro.perf.bench import (
+        METRIC_DIRECTIONS,
+        compare_records,
+        load_records,
+        run_workloads,
+        write_records,
+    )
+
+    if args.replay is not None:
+        records_by_name = load_records(args.replay)
+        if args.workload:
+            records_by_name = {name: record
+                               for name, record in records_by_name.items()
+                               if name in set(args.workload)}
+        records = list(records_by_name.values())
+        print(f"replaying {len(records)} recorded workload(s) from "
+              f"{args.replay}")
+    else:
+        records = run_workloads(args.workload, preset=args.preset,
+                                repeats=args.repeats)
+        records_by_name = {record.name: record for record in records}
+    for record in records:
+        gated = {name: value for name, value in record.metrics.items()
+                 if name in METRIC_DIRECTIONS}
+        info = {name: value for name, value in record.metrics.items()
+                if name not in METRIC_DIRECTIONS}
+        parts = [f"{name}={value:.6g}" for name, value in gated.items()]
+        parts += [f"{name}={value:.6g}*" for name, value in info.items()]
+        print(f"{record.name:>18} [{record.preset}]  {'  '.join(parts)}")
+    if records and args.replay is None and args.out:
+        for path in write_records(records, args.out):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.compare is None:
+        return 0
+    baseline = load_records(args.compare)
+    comparisons, regressions = compare_records(
+        records_by_name, baseline, args.tolerance)
+    print()
+    print(f"comparing against {args.compare} "
+          f"(tolerance {args.tolerance:g}%):")
+    for comparison in comparisons:
+        flag = "REGRESSION" if comparison in regressions else "ok"
+        print(f"  [{flag:>10}] {comparison.describe()}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:g}%", file=sys.stderr)
+        return 1
+    print("no regressions")
     return 0
 
 
@@ -192,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_design(args)
         if args.command == "runtime":
             return _run_runtime(args)
+        if args.command == "experiments":
+            return _run_experiments(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.experiment == "all":
             ids = list(EXPERIMENTS)
         else:

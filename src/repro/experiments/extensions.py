@@ -39,6 +39,7 @@ from repro.core.write_streams import max_writers_supported
 from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
 from repro.devices.mems_placement import placement_improvement
 from repro.experiments.base import ExperimentResult, Series, Table
+from repro.perf.parallel import sweep_map
 from repro.scheduling.sptf import sptf_speedup
 from repro.simulation.pipelines import simulate_direct_pipeline
 from repro.units import GB, KB, MB, MS
@@ -114,34 +115,43 @@ def run_ext_sptf(*, batch_sizes: tuple[int, ...] = (8, 16, 32, 64, 128),
     return result
 
 
+def _blocking_rows(
+        item: tuple[float, float, float]) -> list[list[object]]:
+    """Worker: one DRAM budget's three blocking rows (picklable)."""
+    budget_gb, bit_rate, utilization = item
+    popularity = BimodalPopularity(5, 95)
+    budget = budget_gb * GB
+    params = SystemParameters.table3_default(n_streams=1,
+                                             bit_rate=bit_rate, k=2)
+    capacities = {
+        "disk only": streams_supported(params, budget),
+        "MEMS buffer": streams_supported(params, budget,
+                                         configuration="buffer"),
+        "MEMS cache": streams_supported(params, budget,
+                                        configuration="cache",
+                                        policy=CachePolicy.REPLICATED,
+                                        popularity=popularity),
+    }
+    offered = utilization * capacities["disk only"]
+    return [[f"{budget_gb:g} GB", name, capacity,
+             f"{erlang_b(offered, capacity):.4f}"]
+            for name, capacity in capacities.items()]
+
+
 def run_ext_blocking(*, bit_rate: float = 200 * KB,
                      budgets_gb: tuple[float, ...] = (1.0, 2.0, 4.0),
-                     utilization: float = 1.02) -> ExperimentResult:
+                     utilization: float = 1.02,
+                     jobs: int = 1) -> ExperimentResult:
     """Erlang-B blocking per configuration as the DRAM budget grows.
 
     The offered load is pinned to ``utilization`` times the *disk-only*
     capacity at each budget, so the table shows how much blocking the
     MEMS configurations remove at the same spend.
     """
-    popularity = BimodalPopularity(5, 95)
-    rows: list[list[object]] = []
-    for budget_gb in budgets_gb:
-        budget = budget_gb * GB
-        params = SystemParameters.table3_default(n_streams=1,
-                                                 bit_rate=bit_rate, k=2)
-        capacities = {
-            "disk only": streams_supported(params, budget),
-            "MEMS buffer": streams_supported(params, budget,
-                                             configuration="buffer"),
-            "MEMS cache": streams_supported(params, budget,
-                                            configuration="cache",
-                                            policy=CachePolicy.REPLICATED,
-                                            popularity=popularity),
-        }
-        offered = utilization * capacities["disk only"]
-        for name, capacity in capacities.items():
-            rows.append([f"{budget_gb:g} GB", name, capacity,
-                         f"{erlang_b(offered, capacity):.4f}"])
+    items = [(budget_gb, bit_rate, utilization)
+             for budget_gb in budgets_gb]
+    rows = [row for block in sweep_map(_blocking_rows, items, jobs=jobs)
+            for row in block]
     result = ExperimentResult(
         experiment_id="ext-blocking",
         title=(f"Session blocking at {utilization:.0%} of disk-only "
@@ -151,20 +161,27 @@ def run_ext_blocking(*, bit_rate: float = 200 * KB,
     return result
 
 
-def run_ext_hybrid(*, bit_rate: float = 100 * KB, k: int = 4,
-                   dram_budget: float = 2 * GB) -> ExperimentResult:
-    """Throughput of every buffer/cache split (future work #1)."""
+def _hybrid_curve(item: tuple[str, float, int, float]) -> Series:
+    """Worker: one popularity's split curve (picklable)."""
+    spec, bit_rate, k, dram_budget = item
     params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
                                              k=k)
-    series = []
-    for spec in ("1:99", "5:95", "20:80"):
-        popularity = BimodalPopularity.parse(spec)
-        curve = hybrid_split_curve(params, policy=CachePolicy.STRIPED,
-                                   popularity=popularity,
-                                   dram_budget=dram_budget)
-        series.append(Series(label=spec,
-                             x=[float(d.k_cache) for d in curve],
-                             y=[d.max_streams for d in curve]))
+    popularity = BimodalPopularity.parse(spec)
+    curve = hybrid_split_curve(params, policy=CachePolicy.STRIPED,
+                               popularity=popularity,
+                               dram_budget=dram_budget)
+    return Series(label=spec,
+                  x=[float(d.k_cache) for d in curve],
+                  y=[d.max_streams for d in curve])
+
+
+def run_ext_hybrid(*, bit_rate: float = 100 * KB, k: int = 4,
+                   dram_budget: float = 2 * GB,
+                   jobs: int = 1) -> ExperimentResult:
+    """Throughput of every buffer/cache split (future work #1)."""
+    items = [(spec, bit_rate, k, dram_budget)
+             for spec in ("1:99", "5:95", "20:80")]
+    series = sweep_map(_hybrid_curve, items, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ext-hybrid",
         title=(f"Hybrid buffer/cache split of a k={k} bank "
@@ -180,11 +197,27 @@ def run_ext_hybrid(*, bit_rate: float = 100 * KB, k: int = 4,
     return result
 
 
+def _robustness_point(
+        item: tuple[float, int, float, int, int]) -> float:
+    """Worker: starvation at one buffer scale (seed rides in the item)."""
+    import math as _math
+
+    scale, n_streams, bit_rate, n_cycles, seed = item
+    params = SystemParameters.table3_default(n_streams=n_streams,
+                                             bit_rate=bit_rate, k=2)
+    delay = max(0, _math.ceil(scale) - 1)
+    report = simulate_direct_pipeline(
+        params, n_cycles=n_cycles, latency_model="sampled",
+        disk=FUTURE_DISK_2007, seed=seed, buffer_scale=scale,
+        playback_delay_cycles=delay)
+    return report.total_underflow_time
+
+
 def run_ext_robustness(*, n_streams: int = 80, bit_rate: float = 1 * MB,
                        scales: tuple[float, ...] = (1.0, 1.25, 1.5, 2.0,
                                                     3.0),
-                       n_cycles: int = 40, seed: int = 11
-                       ) -> ExperimentResult:
+                       n_cycles: int = 40, seed: int = 11,
+                       jobs: int = 1) -> ExperimentResult:
     """Starvation under stochastic disk latencies vs buffer headroom.
 
     Deterministic analysis sizes buffers exactly; real per-IO latencies
@@ -194,20 +227,10 @@ def run_ext_robustness(*, n_streams: int = 80, bit_rate: float = 1 * MB,
     each padded point delays playback until the cushion accumulates.
     This quantifies the cushion a deployment should add.
     """
-    import math as _math
-
-    params = SystemParameters.table3_default(n_streams=n_streams,
-                                             bit_rate=bit_rate, k=2)
-    xs: list[float] = []
-    ys: list[float] = []
-    for scale in scales:
-        delay = max(0, _math.ceil(scale) - 1)
-        report = simulate_direct_pipeline(
-            params, n_cycles=n_cycles, latency_model="sampled",
-            disk=FUTURE_DISK_2007, seed=seed, buffer_scale=scale,
-            playback_delay_cycles=delay)
-        xs.append(scale)
-        ys.append(report.total_underflow_time)
+    items = [(scale, n_streams, bit_rate, n_cycles, seed)
+             for scale in scales]
+    xs = [float(scale) for scale in scales]
+    ys = sweep_map(_robustness_point, items, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ext-robustness",
         title="Starvation vs buffer headroom under sampled disk latencies",

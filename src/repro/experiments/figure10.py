@@ -16,6 +16,7 @@ from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007
 from repro.experiments.base import ExperimentResult, Series
 from repro.experiments.figure9 import _dram_budget
+from repro.perf.parallel import sweep_map
 from repro.planner import Configuration, default_planner
 from repro.units import KB
 
@@ -25,32 +26,41 @@ TOTAL_COST = 100.0
 BIT_RATE = 100 * KB
 
 
+def _distribution_curve(
+        item: tuple[str, float, float, int, CachePolicy, float]) -> Series:
+    """Worker: one distribution's improvement curve (picklable)."""
+    spec, total_cost, bit_rate, max_devices, policy, baseline = item
+    planner = default_planner()
+    popularity = BimodalPopularity.parse(spec)
+    xs: list[float] = []
+    ys: list[float] = []
+    for k in range(1, max_devices + 1):
+        dram = _dram_budget(total_cost, k)
+        if dram <= 0:
+            break
+        params = SystemParameters.table3_default(
+            n_streams=1, bit_rate=bit_rate, k=k)
+        cached = planner.max_streams(
+            params, Configuration.cache(policy, popularity), dram)
+        xs.append(float(k))
+        ys.append(100.0 * (cached - baseline) / baseline)
+    return Series(label=spec, x=xs, y=ys)
+
+
 def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
         max_devices: int = 8,
         distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
-        policy: CachePolicy = CachePolicy.STRIPED) -> ExperimentResult:
+        policy: CachePolicy = CachePolicy.STRIPED,
+        jobs: int = 1) -> ExperimentResult:
     """Percentage throughput improvement vs k, one curve per distribution."""
     planner = default_planner()
     baseline_params = SystemParameters.table3_default(
         n_streams=1, bit_rate=bit_rate, k=1)
     baseline = planner.max_streams(baseline_params, Configuration.direct(),
                                    total_cost / DRAM_2007.cost_per_byte)
-    series = []
-    for spec in distributions:
-        popularity = BimodalPopularity.parse(spec)
-        xs: list[float] = []
-        ys: list[float] = []
-        for k in range(1, max_devices + 1):
-            dram = _dram_budget(total_cost, k)
-            if dram <= 0:
-                break
-            params = SystemParameters.table3_default(
-                n_streams=1, bit_rate=bit_rate, k=k)
-            cached = planner.max_streams(
-                params, Configuration.cache(policy, popularity), dram)
-            xs.append(float(k))
-            ys.append(100.0 * (cached - baseline) / baseline)
-        series.append(Series(label=spec, x=xs, y=ys))
+    items = [(spec, total_cost, bit_rate, max_devices, policy, baseline)
+             for spec in distributions]
+    series = sweep_map(_distribution_curve, items, jobs=jobs)
     result = ExperimentResult(
         experiment_id="figure10",
         title=(f"Varying the size of the MEMS cache "

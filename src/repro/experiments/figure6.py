@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.parameters import SystemParameters
 from repro.devices.catalog import MEDIA_BITRATES
 from repro.experiments.base import ExperimentResult, Series
+from repro.perf.parallel import sweep_map
 from repro.planner import Configuration, default_planner
 from repro.units import GB
 
@@ -52,28 +53,34 @@ def _stream_counts_for(bit_rate: float, *, max_streams: float = 1e5,
     return sorted(counts)
 
 
-def run(*, with_mems: bool, k: int = 2,
-        bit_rates: dict[str, float] | None = None,
-        max_streams: float = 1e5) -> ExperimentResult:
-    """Panel (a) with ``with_mems=False``, panel (b) with ``True``."""
-    rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
+def _sweep_rate(item: tuple[str, float, bool, int, float]) -> Series:
+    """Worker: one bit-rate's curve (picklable; rebuilds its planner)."""
+    name, bit_rate, with_mems, k, max_streams = item
     planner = default_planner()
     configuration = (Configuration.buffer(k) if with_mems
                      else Configuration.direct())
-    series = []
-    for name, bit_rate in rates.items():
-        xs: list[float] = []
-        ys: list[float] = []
-        for n in _stream_counts_for(bit_rate, max_streams=max_streams):
-            params = SystemParameters.table3_default(
-                n_streams=n, bit_rate=bit_rate, k=k,
-                size_mems_unlimited=True)
-            plan = planner.plan(params, configuration)
-            if not plan.feasible:
-                break  # load saturates the device; the curve ends here
-            xs.append(float(n))
-            ys.append(plan.total_dram / GB)
-        series.append(Series(label=f"{name}", x=xs, y=ys))
+    xs: list[float] = []
+    ys: list[float] = []
+    for n in _stream_counts_for(bit_rate, max_streams=max_streams):
+        params = SystemParameters.table3_default(
+            n_streams=n, bit_rate=bit_rate, k=k,
+            size_mems_unlimited=True)
+        plan = planner.plan(params, configuration)
+        if not plan.feasible:
+            break  # load saturates the device; the curve ends here
+        xs.append(float(n))
+        ys.append(plan.total_dram / GB)
+    return Series(label=f"{name}", x=xs, y=ys)
+
+
+def run(*, with_mems: bool, k: int = 2,
+        bit_rates: dict[str, float] | None = None,
+        max_streams: float = 1e5, jobs: int = 1) -> ExperimentResult:
+    """Panel (a) with ``with_mems=False``, panel (b) with ``True``."""
+    rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
+    items = [(name, bit_rate, with_mems, k, max_streams)
+             for name, bit_rate in rates.items()]
+    series = sweep_map(_sweep_rate, items, jobs=jobs)
     panel = "b (with MEMS buffer)" if with_mems else "a (without MEMS buffer)"
     result = ExperimentResult(
         experiment_id=f"figure6{'b' if with_mems else 'a'}",

@@ -16,10 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.parameters import SystemParameters
-from repro.core.sensitivity import cost_reduction_grid, latency_ratio_sweep
+from repro.core.sensitivity import (
+    cost_reduction_at_ratio,
+    latency_ratio_sweep,
+)
 from repro.devices.catalog import MEDIA_BITRATES
 from repro.experiments.ascii_plot import render_contours
 from repro.experiments.base import ExperimentResult, Series
+from repro.perf.parallel import sweep_map
 from repro.units import GB, KB, MB
 
 #: The case-study DRAM restriction (Section 5.1.3).
@@ -33,20 +37,26 @@ def _base(bit_rate: float, k: int) -> SystemParameters:
                                            k=k)
 
 
+def _sweep_rate_a(item: tuple[str, float, int, tuple[float, ...]]) -> Series:
+    """Worker: one panel-(a) curve (picklable; solves in-process)."""
+    name, bit_rate, k, ratio_values = item
+    points = latency_ratio_sweep(_base(bit_rate, k), list(ratio_values),
+                                 DRAM_CAPACITY)
+    return Series(label=name,
+                  x=[p.latency_ratio for p in points],
+                  y=[p.percent_reduction for p in points])
+
+
 def run_panel_a(*, k: int = 2, ratios: list[float] | None = None,
-                bit_rates: dict[str, float] | None = None) -> ExperimentResult:
+                bit_rates: dict[str, float] | None = None,
+                jobs: int = 1) -> ExperimentResult:
     """Percentage cost reduction vs latency ratio, one curve per bit-rate."""
     rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
     ratio_values = ratios if ratios is not None else [
         1 + 0.5 * i for i in range(19)]  # 1.0 .. 10.0
-    series = []
-    for name, bit_rate in rates.items():
-        points = latency_ratio_sweep(_base(bit_rate, k), ratio_values,
-                                     DRAM_CAPACITY)
-        series.append(Series(
-            label=name,
-            x=[p.latency_ratio for p in points],
-            y=[p.percent_reduction for p in points]))
+    items = [(name, bit_rate, k, tuple(ratio_values))
+             for name, bit_rate in rates.items()]
+    series = sweep_map(_sweep_rate_a, items, jobs=jobs)
     result = ExperimentResult(
         experiment_id="figure7a",
         title="Percentage cost reduction vs latency ratio "
@@ -62,16 +72,26 @@ def run_panel_a(*, k: int = 2, ratios: list[float] | None = None,
     return result
 
 
+def _grid_row(item: tuple[float, int, tuple[float, ...]]) -> list[float]:
+    """Worker: one bit-rate row of the panel-(b) reduction grid."""
+    bit_rate, k, ratios = item
+    base = _base(bit_rate, k)
+    return [cost_reduction_at_ratio(base, float(r),
+                                    DRAM_CAPACITY).percent_reduction
+            for r in ratios]
+
+
 def run_panel_b(*, k: int = 2, n_rate_points: int = 16,
-                n_ratio_points: int = 10) -> ExperimentResult:
+                n_ratio_points: int = 10, jobs: int = 1) -> ExperimentResult:
     """Contour regions of percentage cost reduction (panel b)."""
     bit_rates = np.logspace(np.log10(10 * KB), np.log10(10 * MB),
                             n_rate_points)
     ratios = np.linspace(1.0, 10.0, n_ratio_points)
-    grid = cost_reduction_grid(_base(float(bit_rates[0]), k), bit_rates,
-                               ratios, DRAM_CAPACITY)
+    items = [(float(bit_rate), k, tuple(map(float, ratios)))
+             for bit_rate in bit_rates]
+    grid = sweep_map(_grid_row, items, jobs=jobs)
     contour_text = render_contours(
-        grid.tolist(), list(map(float, ratios)),
+        grid, list(map(float, ratios)),
         [float(b) / KB for b in bit_rates], CONTOUR_LEVELS,
         x_label="latency ratio", y_label="bit-rate (KB/s)")
     result = ExperimentResult(

@@ -21,6 +21,7 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007, MEMS_G3
 from repro.experiments.base import ExperimentResult, Table
+from repro.perf.parallel import sweep_map
 from repro.planner import Configuration, default_planner
 from repro.units import KB, MB
 
@@ -62,23 +63,34 @@ def throughput(bit_rate: float, total_cost: float, k_cache: int,
         params, Configuration.cache(policy, popularity), budget))
 
 
+def _distribution_rows(
+        item: tuple[str, float, tuple[tuple[float, int], ...]],
+) -> list[list[object]]:
+    """Worker: one distribution's three table rows (picklable)."""
+    spec, bit_rate, budget_points = item
+    popularity = BimodalPopularity.parse(spec)
+    rows: list[list[object]] = []
+    for config in ("none", "replicated", "striped"):
+        row: list[object] = [spec, "w/o MEMS cache" if config == "none"
+                             else f"{config} cache"]
+        for cost, k_cache in budget_points:
+            row.append(throughput(bit_rate, cost, k_cache, config,
+                                  popularity))
+        rows.append(row)
+    return rows
+
+
 def run(*, bit_rate: float = 10 * KB,
         distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
         budget_points: tuple[tuple[float, int], ...] = BUDGET_POINTS,
-        ) -> ExperimentResult:
+        jobs: int = 1) -> ExperimentResult:
     """One panel: a table of throughputs per distribution/config/budget."""
     columns = ["popularity", "configuration"] + [
         f"N @ ${cost:.0f} (k={k})" for cost, k in budget_points]
-    rows: list[list[object]] = []
-    for spec in distributions:
-        popularity = BimodalPopularity.parse(spec)
-        for config in ("none", "replicated", "striped"):
-            row: list[object] = [spec, "w/o MEMS cache" if config == "none"
-                                 else f"{config} cache"]
-            for cost, k_cache in budget_points:
-                row.append(throughput(bit_rate, cost, k_cache, config,
-                                      popularity))
-            rows.append(row)
+    items = [(spec, bit_rate, tuple(budget_points))
+             for spec in distributions]
+    rows = [row for block in sweep_map(_distribution_rows, items, jobs=jobs)
+            for row in block]
     panel = "a" if bit_rate <= 100 * KB else "b"
     result = ExperimentResult(
         experiment_id=f"figure9{panel}",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import functools
+import inspect
 from collections.abc import Callable
 
 from repro.errors import ConfigurationError
@@ -16,14 +18,15 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.base import ExperimentResult
+from repro.perf.parallel import sweep_map
 
 #: The paper's own artifacts, in paper order.
 PAPER_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "table1": tables.run_table1,
     "figure2": figure2.run,
     "table3": tables.run_table3,
-    "figure6a": lambda: figure6.run(with_mems=False),
-    "figure6b": lambda: figure6.run(with_mems=True),
+    "figure6a": functools.partial(figure6.run, with_mems=False),
+    "figure6b": functools.partial(figure6.run, with_mems=True),
     "figure7a": figure7.run_panel_a,
     "figure7b": figure7.run_panel_b,
     "figure8": figure8.run,
@@ -62,13 +65,53 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
             f"{', '.join(EXPERIMENTS)}") from None
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id."""
+def _accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
+    """Whether a runner's sweep loops take a ``jobs`` parameter."""
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    if "jobs" in parameters:
+        return True
+    # Panel wrappers forward **kwargs to a jobs-aware run().
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
+
+
+def run_experiment(experiment_id: str, *, jobs: int = 1) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``jobs`` fans the runner's sweep loops out over worker processes
+    (see :func:`repro.perf.parallel.sweep_map`); runners without a
+    sweep axis ignore it.  Results are identical at any ``jobs``.
+    """
+    runner = get_experiment(experiment_id)
+    if jobs != 1 and _accepts_jobs(runner):
+        return runner(jobs=jobs)
+    return runner()
+
+
+def _run_one(experiment_id: str) -> ExperimentResult:
+    """Worker for the batch sweep: one experiment, serial inside."""
     return get_experiment(experiment_id)()
 
 
-def run_all(*, include_extensions: bool = True) -> dict[str, ExperimentResult]:
+def run_selected(ids: list[str], *,
+                 jobs: int = 1) -> dict[str, ExperimentResult]:
+    """Run several experiments, optionally in parallel.
+
+    ``jobs`` parallelises *across* experiments (each worker runs one
+    experiment serially — no nested pools); the returned dict and every
+    result are identical to a serial run.
+    """
+    for experiment_id in ids:
+        get_experiment(experiment_id)  # validate before forking
+    results = sweep_map(_run_one, list(ids), jobs=jobs)
+    return dict(zip(ids, results))
+
+
+def run_all(*, include_extensions: bool = True,
+            jobs: int = 1) -> dict[str, ExperimentResult]:
     """Run every experiment, in paper order (extensions last)."""
     selected = EXPERIMENTS if include_extensions else PAPER_EXPERIMENTS
-    return {experiment_id: runner()
-            for experiment_id, runner in selected.items()}
+    return run_selected(list(selected), jobs=jobs)

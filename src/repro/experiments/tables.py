@@ -17,6 +17,7 @@ from repro.devices.catalog import (
     device_table_2007,
 )
 from repro.experiments.base import ExperimentResult, Table
+from repro.perf.parallel import sweep_map
 from repro.units import GB, MB, MS
 
 
@@ -29,22 +30,29 @@ def _range_text(pair: tuple[float, float] | None, unit: str = "") -> str:
     return f"{lo:g}-{hi:g}{unit}"
 
 
-def run_table1() -> ExperimentResult:
+def _year_rows(year: str) -> list[list[object]]:
+    """Worker: one catalog year's rows, regenerated from the models."""
+    table = device_table_2002() if year == "2002" else device_table_2007()
+    rows: list[list[object]] = []
+    for row in table:
+        rows.append([
+            year, row.medium,
+            "n/a" if row.capacity_gb is None else f"{row.capacity_gb:g}",
+            _range_text(row.access_time_ms),
+            _range_text(row.bandwidth_mb_s),
+            "n/a" if row.cost_per_gb is None else f"{row.cost_per_gb:g}",
+            _range_text(row.cost_per_device),
+        ])
+    return rows
+
+
+def run_table1(*, jobs: int = 1) -> ExperimentResult:
     """Table 1: 2002 and 2007 characteristics of DRAM, MEMS and disk."""
     columns = ["year", "medium", "capacity [GB]", "access time [ms]",
                "bandwidth [MB/s]", "cost/GB [$]", "cost/device [$]"]
-    rows: list[list[object]] = []
-    for year, table in (("2002", device_table_2002()),
-                        ("2007", device_table_2007())):
-        for row in table:
-            rows.append([
-                year, row.medium,
-                "n/a" if row.capacity_gb is None else f"{row.capacity_gb:g}",
-                _range_text(row.access_time_ms),
-                _range_text(row.bandwidth_mb_s),
-                "n/a" if row.cost_per_gb is None else f"{row.cost_per_gb:g}",
-                _range_text(row.cost_per_device),
-            ])
+    rows = [row for block in sweep_map(_year_rows, ["2002", "2007"],
+                                       jobs=jobs)
+            for row in block]
     result = ExperimentResult(
         experiment_id="table1",
         title="Storage media characteristics (2002 actual / 2007 predicted)",

@@ -1,0 +1,387 @@
+"""Timed benchmark workloads and the performance-regression gate.
+
+Each workload exercises one hot path end to end and reports its
+metrics as a :class:`BenchRecord`, serialised to a schema-versioned
+``BENCH_<name>.json``:
+
+* ``event_loop`` — raw discrete-event engine throughput (self-rearming
+  ticks, no model work): the cost floor under every simulation;
+* ``figure6_sweep`` — the Figure 6 planner sweep (both panels), the
+  canonical bulk-evaluation workload of the paper's methodology;
+* ``runtime_scenario`` — the ``device-failure`` online-server scenario:
+  sessions, re-planning, failure recovery, metrics intervals;
+* ``planner_cold`` / ``planner_warm`` — the memoizing planner on a
+  fresh cache vs replaying the identical query set.
+
+JSON schema (``BenchRecord.to_dict``)::
+
+    {"schema": 1, "name": "event_loop", "preset": "small",
+     "metrics": {"wall_time_s": 0.11, "events_per_sec": 1.8e6}}
+
+Gated metrics (compared by :func:`compare_records`) are wall time
+(lower is better) and the ``*_per_sec`` rates (higher is better);
+anything else — cache hit rates, event counts — is informational.
+Timing is the one sanctioned wall-clock read in the seeded layers and
+lives in :func:`_elapsed`; everything else a workload does is fully
+seeded and deterministic, so two runs differ only in timing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Serialisation format version of ``BENCH_<name>.json``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Gated metric -> better direction; unlisted metrics are informational.
+METRIC_DIRECTIONS: dict[str, str] = {
+    "wall_time_s": "lower",
+    "events_per_sec": "higher",
+    "solves_per_sec": "higher",
+}
+
+#: Per-preset workload scale knobs.
+_PRESETS: dict[str, dict[str, float]] = {
+    # Fast enough for the test suite (< ~2 s total).
+    "tiny": {"events": 5_000, "max_streams": 300.0, "horizon": 600.0,
+             "grid": 4},
+    # The CI / default preset: seconds, not minutes.
+    "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
+              "grid": 8},
+    # A fuller sweep for local before/after measurements.
+    "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
+             "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12},
+}
+
+
+def _elapsed() -> float:
+    """The sanctioned wall-clock read of the perf layer.
+
+    Benchmarks are the one place the repository may observe real time;
+    every other module under the ``determinism`` rule's scope gets its
+    clock from the event engine.
+    """
+    return time.perf_counter()  # repro-lint: disable=determinism (reviewed: the bench timer)
+
+
+def _scale(preset: str) -> dict[str, float]:
+    try:
+        return _PRESETS[preset]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown bench preset {preset!r}; available: "
+            f"{', '.join(_PRESETS)}") from None
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One workload's measured metrics (a ``BENCH_<name>.json``)."""
+
+    name: str
+    preset: str
+    metrics: dict[str, float]
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+    def to_dict(self) -> dict:
+        return {"schema": BENCH_SCHEMA_VERSION, "name": self.name,
+                "preset": self.preset,
+                "metrics": dict(sorted(self.metrics.items()))}
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchRecord":
+        if payload.get("schema") != BENCH_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported bench schema {payload.get('schema')!r}; "
+                f"expected {BENCH_SCHEMA_VERSION}")
+        return cls(name=str(payload["name"]), preset=str(payload["preset"]),
+                   metrics={str(k): float(v)
+                            for k, v in payload["metrics"].items()})
+
+
+# -- Workloads ---------------------------------------------------------------
+
+
+def bench_event_loop(preset: str) -> dict[str, float]:
+    """Raw event-calendar throughput: schedule/pop/execute, no model."""
+    from repro.simulation.engine import Simulator
+
+    n_events = int(_scale(preset)["events"])
+    fanout = 4
+    sim = Simulator(max_events=n_events + fanout + 1)
+    remaining = [n_events]
+
+    def tick(s: Simulator) -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            s.after(0.001, tick)
+
+    for i in range(fanout):
+        sim.after(0.001 * (i + 1), tick)
+    start = _elapsed()
+    sim.run()
+    wall = _elapsed() - start
+    return {"wall_time_s": wall,
+            "events_per_sec": sim.events_executed / wall,
+            "events_executed": float(sim.events_executed)}
+
+
+def bench_figure6_sweep(preset: str) -> dict[str, float]:
+    """The Figure 6 bulk planner sweep (both panels, serial).
+
+    Starts from a cleared shared-planner cache so repeats (and earlier
+    workloads in the same process) measure the same cold sweep.
+    """
+    from repro.experiments import figure6
+    from repro.planner import default_planner
+
+    max_streams = _scale(preset)["max_streams"]
+    default_planner().cache.clear()
+    before = default_planner().stats()
+    start = _elapsed()
+    figure6.run(with_mems=False, max_streams=max_streams)
+    figure6.run(with_mems=True, max_streams=max_streams)
+    wall = _elapsed() - start
+    after = default_planner().stats()
+    solves = ((after["hits"] - before["hits"])
+              + (after["misses"] - before["misses"]))
+    hits = after["hits"] - before["hits"]
+    return {"wall_time_s": wall,
+            "solves_per_sec": solves / wall,
+            "planner_hit_rate": (hits / solves) if solves else 0.0}
+
+
+def bench_runtime_scenario(preset: str) -> dict[str, float]:
+    """The ``device-failure`` online scenario, seeded and bounded."""
+    from repro.runtime.scenarios import run_scenario
+
+    horizon = _scale(preset)["horizon"]
+    start = _elapsed()
+    result = run_scenario("device-failure", seed=7, horizon=horizon)
+    wall = _elapsed() - start
+    cache = result.planner_cache
+    solves = cache.get("hits", 0) + cache.get("misses", 0)
+    return {"wall_time_s": wall,
+            "events_per_sec": result.events_executed / wall,
+            "events_executed": float(result.events_executed),
+            "planner_hit_rate": (cache.get("hits", 0) / solves
+                                 if solves else 0.0)}
+
+
+def _planner_query_set(grid: int):
+    """A deterministic grid of forward and inverse planner queries."""
+    from repro.core.parameters import SystemParameters
+    from repro.planner import Configuration
+    from repro.units import GB, KB
+
+    queries = []
+    for i in range(grid):
+        bit_rate = (50 + 50 * i) * KB
+        for j in range(grid):
+            n = 20 + 40 * j
+            params = SystemParameters.table3_default(
+                n_streams=n, bit_rate=bit_rate, k=2)
+            queries.append(("plan", params, Configuration.buffer()))
+        base = SystemParameters.table3_default(n_streams=1,
+                                               bit_rate=bit_rate, k=2)
+        queries.append(("max_streams", base, Configuration.buffer(),
+                        2 * GB))
+    return queries
+
+
+def _run_planner_queries(planner, queries) -> None:
+    for query in queries:
+        if query[0] == "plan":
+            planner.plan(query[1], query[2])
+        else:
+            planner.max_streams(query[1], query[2], query[3])
+
+
+def bench_planner_cold(preset: str) -> dict[str, float]:
+    """The query grid against a fresh (empty-cache) planner."""
+    from repro.planner.solver import Planner
+
+    queries = _planner_query_set(int(_scale(preset)["grid"]))
+    planner = Planner()
+    start = _elapsed()
+    _run_planner_queries(planner, queries)
+    wall = _elapsed() - start
+    stats = planner.stats()
+    solves = stats["hits"] + stats["misses"]
+    return {"wall_time_s": wall,
+            "solves_per_sec": solves / wall,
+            "planner_hit_rate": (stats["hits"] / solves) if solves else 0.0}
+
+
+def bench_planner_warm(preset: str) -> dict[str, float]:
+    """The identical query grid replayed against a warmed planner."""
+    from repro.planner.solver import Planner
+
+    queries = _planner_query_set(int(_scale(preset)["grid"]))
+    planner = Planner()
+    _run_planner_queries(planner, queries)  # warm the cache
+    before = planner.stats()
+    start = _elapsed()
+    _run_planner_queries(planner, queries)
+    wall = _elapsed() - start
+    after = planner.stats()
+    solves = ((after["hits"] - before["hits"])
+              + (after["misses"] - before["misses"]))
+    hits = after["hits"] - before["hits"]
+    return {"wall_time_s": wall,
+            "solves_per_sec": solves / wall,
+            "planner_hit_rate": (hits / solves) if solves else 0.0}
+
+
+#: Workload name -> runner; the order is the report order.
+WORKLOADS = {
+    "event_loop": bench_event_loop,
+    "figure6_sweep": bench_figure6_sweep,
+    "runtime_scenario": bench_runtime_scenario,
+    "planner_cold": bench_planner_cold,
+    "planner_warm": bench_planner_warm,
+}
+
+
+def _merge_repeat(merged: dict[str, float],
+                  metrics: dict[str, float]) -> dict[str, float]:
+    """Keep the best value per gated metric across repeats."""
+    out = dict(merged)
+    for name, value in metrics.items():
+        direction = METRIC_DIRECTIONS.get(name)
+        if name not in out:
+            out[name] = value
+        elif direction == "lower":
+            out[name] = min(out[name], value)
+        elif direction == "higher":
+            out[name] = max(out[name], value)
+        else:
+            out[name] = value
+    return out
+
+
+def run_workloads(names: list[str] | None = None, *, preset: str = "small",
+                  repeats: int = 1) -> list[BenchRecord]:
+    """Run the selected workloads, best-of-``repeats`` per gated metric."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats!r}")
+    _scale(preset)  # validate eagerly
+    selected = list(WORKLOADS) if names is None else list(names)
+    records = []
+    for name in selected:
+        try:
+            runner = WORKLOADS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown bench workload {name!r}; available: "
+                f"{', '.join(WORKLOADS)}") from None
+        metrics: dict[str, float] = {}
+        for _ in range(repeats):
+            metrics = _merge_repeat(metrics, runner(preset))
+        records.append(BenchRecord(name=name, preset=preset,
+                                   metrics=metrics))
+    return records
+
+
+# -- Persistence -------------------------------------------------------------
+
+
+def write_records(records: list[BenchRecord],
+                  out_dir: str | Path) -> list[Path]:
+    """Write each record as ``BENCH_<name>.json`` under ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for record in records:
+        path = out / record.filename
+        path.write_text(record.to_json() + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_records(path: str | Path) -> dict[str, BenchRecord]:
+    """Load ``BENCH_*.json`` records from a directory (or one file)."""
+    source = Path(path)
+    if source.is_dir():
+        files = sorted(source.glob("BENCH_*.json"))
+        if not files:
+            raise ConfigurationError(
+                f"no BENCH_*.json files under {source}")
+    elif source.is_file():
+        files = [source]
+    else:
+        raise ConfigurationError(f"no such bench baseline: {source}")
+    records = {}
+    for file in files:
+        record = BenchRecord.from_dict(json.loads(file.read_text()))
+        records[record.name] = record
+    return records
+
+
+# -- Comparison --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One gated metric compared against the baseline."""
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+    #: Signed regression percentage (positive = worse), direction-aware.
+    regression_pct: float
+
+    def describe(self) -> str:
+        arrow = "worse" if self.regression_pct > 0 else "better"
+        return (f"{self.workload}.{self.metric}: {self.baseline:.6g} -> "
+                f"{self.current:.6g} ({abs(self.regression_pct):.1f}% "
+                f"{arrow})")
+
+
+def compare_records(current: dict[str, BenchRecord],
+                    baseline: dict[str, BenchRecord],
+                    tolerance_pct: float = 10.0
+                    ) -> tuple[list[Comparison], list[Comparison]]:
+    """Compare gated metrics; returns ``(all comparisons, regressions)``.
+
+    A regression is a gated metric that is worse than the baseline by
+    more than ``tolerance_pct`` percent (direction-aware).  Workloads
+    present on only one side are ignored — comparisons run on the
+    intersection, so a ``--workload`` subset still gates cleanly.
+    """
+    if tolerance_pct < 0:
+        raise ConfigurationError(
+            f"tolerance must be >= 0, got {tolerance_pct!r}")
+    comparisons: list[Comparison] = []
+    for name in current:
+        base = baseline.get(name)
+        if base is None:
+            continue
+        for metric, direction in METRIC_DIRECTIONS.items():
+            if metric not in current[name].metrics \
+                    or metric not in base.metrics:
+                continue
+            now = current[name].metrics[metric]
+            then = base.metrics[metric]
+            if not (math.isfinite(now) and math.isfinite(then)) or then <= 0:
+                continue
+            change = 100.0 * (now - then) / then
+            regression = change if direction == "lower" else -change
+            comparisons.append(Comparison(
+                workload=name, metric=metric, baseline=then, current=now,
+                regression_pct=regression))
+    regressions = [c for c in comparisons
+                   if c.regression_pct > tolerance_pct]
+    return comparisons, regressions

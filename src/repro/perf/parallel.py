@@ -1,0 +1,77 @@
+"""Deterministic process-pool mapping for sweep workloads.
+
+:func:`sweep_map` is the one fan-out primitive in the repository: an
+ordered ``map(fn, items)`` over a process pool, with chunked dispatch
+and a serial fallback at ``jobs=1``.  The figure sweeps, the extension
+studies, and the runtime scenario batch all route their outer loops
+through it, which is what ``--jobs N`` on the CLI toggles.
+
+Determinism contract (also in ``docs/PERFORMANCE.md``):
+
+* ``fn`` must be a module-level callable (workers import it by
+  qualified name under the ``spawn`` start method) and must be *pure
+  given its item* — every configuration and random seed travels inside
+  the item, never through process-global state;
+* workers share nothing writable: each rebuilds whatever planners or
+  generators it needs from the item's seeds/configs, so a cold worker
+  computes exactly what the warm in-process path computes;
+* results are gathered in submission order regardless of completion
+  order, so ``sweep_map(fn, items, jobs=n)`` equals
+  ``[fn(i) for i in items]`` element for element, for any ``n``.
+
+Pool construction anywhere else in the seeded layers is a lint
+violation (see the ``determinism`` rule), which keeps this contract in
+one reviewed place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+from repro.errors import ConfigurationError
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+#: Upper bound on dispatch chunk size; small enough to keep workers
+#: load-balanced on skewed per-item costs, large enough to amortise
+#: pickling overhead.
+MAX_CHUNK = 8
+
+
+def _chunk_size(n_items: int, jobs: int) -> int:
+    """Chunk so every worker gets several dispatches (load balance)."""
+    return max(1, min(MAX_CHUNK, n_items // (jobs * 4) or 1))
+
+
+def sweep_map(fn: Callable[[_Item], _Result], items: Iterable[_Item], *,
+              jobs: int = 1,
+              chunk_size: int | None = None) -> list[_Result]:
+    """Map ``fn`` over ``items`` on ``jobs`` processes, preserving order.
+
+    ``jobs=1`` (the default) runs serially in-process — no pool, no
+    pickling — and is the reference behaviour the parallel path must
+    reproduce byte for byte.  Worker exceptions propagate to the
+    caller.  ``chunk_size`` overrides the dispatch granularity
+    (defaults to a size that keeps ``4 * jobs`` dispatches in flight,
+    capped at :data:`MAX_CHUNK`).
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size!r}")
+    work: Sequence[_Item] = items if isinstance(items, Sequence) \
+        else list(items)
+    if jobs == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    from concurrent.futures import ProcessPoolExecutor
+
+    jobs = min(jobs, len(work))
+    chunk = chunk_size if chunk_size is not None \
+        else _chunk_size(len(work), jobs)
+    # The one sanctioned pool in the repository: items carry their
+    # seeds, fn is pure, and Executor.map gathers in submission order.
+    with ProcessPoolExecutor(max_workers=jobs) as pool:  # repro-lint: disable=determinism
+        return list(pool.map(fn, work, chunksize=chunk))

@@ -19,6 +19,11 @@ from repro.errors import ConfigurationError
 
 #: Relative tolerance of the continuous bisection solver.
 REL_TOL = 1e-9
+#: Probe population of the continuous solver: the "vanishing load" at
+#: which feasibility is first tested, and the initial lower bracket of
+#: the doubling phase.  Small enough that any schedulable system admits
+#: it, large enough to stay clear of denormal arithmetic.
+PROBE_SEED = 1e-6
 #: Bracket-growth bound of the doubling phase.
 MAX_DOUBLINGS = 80
 #: Iteration bound of the continuous bisection phase.
@@ -33,9 +38,9 @@ def max_feasible_real(predicate: Callable[[float], bool]) -> float:
     ``predicate`` must be monotone (true on an interval ``[0, n*]``).
     Returns 0.0 when even a vanishing load is infeasible.
     """
-    if not predicate(1e-6):
+    if not predicate(PROBE_SEED):
         return 0.0
-    lo = 1e-6
+    lo = PROBE_SEED
     hi = 1.0
     for _ in range(MAX_DOUBLINGS):
         if not predicate(hi):

@@ -230,18 +230,43 @@ class Planner:
             lambda: self._solve_max_streams(params, configuration,
                                             dram_budget))
 
+    def _demand(self, params: SystemParameters,
+                configuration: Configuration):
+        """Memoized population -> DRAM-demand function for one sweep axis.
+
+        The doubling+bisection searches probe the same populations over
+        and over across nearby budgets (the doubling phase always walks
+        1, 2, 4, ...), and each probe through :meth:`plan` pays a
+        ``params.replace`` plus a full cache-key hash.  This keys a
+        small ``n -> total_dram`` dict on the budget-independent part of
+        the query — ``(params sans n_streams, configuration)`` — so
+        repeated sweep points are one dict lookup.  Infeasible points
+        are recorded as ``inf`` (matching :meth:`Plan.fits`, which is
+        false for them at any budget).  The dict lives *inside* the
+        :class:`~repro.planner.cache.PlanCache`, so it is LRU-bounded
+        and visible in the cache counters like every other solve.
+        """
+        memo: dict[float, float] = self._cache.get_or_compute(
+            ("demand", params.replace(n_streams=0), configuration), dict)
+
+        def total_dram(n: float) -> float:
+            value = memo.get(n)
+            if value is None:
+                plan = self.plan(params.replace(n_streams=n), configuration)
+                value = plan.total_dram if plan.feasible else float("inf")
+                memo[n] = value
+            return value
+
+        return total_dram
+
     def _solve_max_streams(self, params: SystemParameters,
                            configuration: Configuration,
                            dram_budget: float) -> float:
         if configuration.kind is ConfigurationKind.DIRECT:
             return max_streams_direct(params.bit_rate, params.r_disk,
                                       params.l_disk, dram_budget)
-
-        def feasible(n: float) -> bool:
-            return self.plan(params.replace(n_streams=n),
-                             configuration).fits(dram_budget)
-
-        return max_feasible_real(feasible)
+        demand = self._demand(params, configuration)
+        return max_feasible_real(lambda n: demand(n) <= dram_budget)
 
     def capacity(self, params: SystemParameters,
                  configuration: Configuration, dram_budget: float, *,
@@ -256,11 +281,9 @@ class Planner:
                dram_budget, limit)
 
         def solve() -> int:
-            def feasible(n: int) -> bool:
-                return self.plan(params.replace(n_streams=n),
-                                 configuration).fits(dram_budget)
-
-            return max_feasible_int(feasible, limit=limit)
+            demand = self._demand(params, configuration)
+            return max_feasible_int(lambda n: demand(n) <= dram_budget,
+                                    limit=limit)
 
         return self._cache.get_or_compute(key, solve)
 

@@ -38,7 +38,7 @@ COUNTER_NAMES: tuple[str, ...] = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntervalSnapshot:
     """Counters and gauges for one reporting interval."""
 

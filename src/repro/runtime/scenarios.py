@@ -166,3 +166,33 @@ def run_scenario(name: str, *, seed: int = 0,
                  horizon: float | None = None) -> RuntimeResult:
     """Build and run a named scenario."""
     return run_runtime(build_scenario(name, seed=seed, horizon=horizon))
+
+
+def _run_scenario_item(
+        item: tuple[str, int, float | None]) -> RuntimeResult:
+    """Worker: one named scenario (picklable; seed rides in the item)."""
+    name, seed, horizon = item
+    return run_scenario(name, seed=seed, horizon=horizon)
+
+
+def run_scenario_batch(names: list[str] | None = None, *, seed: int = 0,
+                       horizon: float | None = None,
+                       jobs: int = 1) -> dict[str, RuntimeResult]:
+    """Run several scenarios (default: all), optionally in parallel.
+
+    Each scenario builds its own private planner and seeded generators
+    from ``(name, seed, horizon)``, so fanning out over processes via
+    :func:`repro.perf.parallel.sweep_map` returns exactly the results a
+    serial loop would.
+    """
+    from repro.perf.parallel import sweep_map
+
+    selected = list(SCENARIOS) if names is None else list(names)
+    for name in selected:
+        if name not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; available: "
+                f"{', '.join(SCENARIOS)}")
+    items = [(name, seed, horizon) for name in selected]
+    results = sweep_map(_run_scenario_item, items, jobs=jobs)
+    return dict(zip(selected, results))

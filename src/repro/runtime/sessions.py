@@ -35,7 +35,7 @@ class SessionEventKind(enum.Enum):
     DROP = "drop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionEvent:
     """One entry of the runtime's session audit log."""
 
@@ -54,7 +54,7 @@ class SessionEvent:
                 "served_by": self.served_by, "reason": self.reason}
 
 
-@dataclass
+@dataclass(slots=True)
 class Session:
     """An admitted session's mutable state."""
 

@@ -18,7 +18,7 @@ class IoKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class IoRequest:
     """One device IO request.
 

@@ -5,6 +5,13 @@ times and executed in time order (FIFO among equal times).  The
 pipeline simulations in this package are cycle-structured, so the
 engine stays deliberately small — an ordered calendar, a clock, and a
 run loop with safety limits.
+
+The calendar stores plain ``(time, sequence, callback, label)`` tuples
+rather than objects: heap sift compares tuples at C speed on
+``(time, sequence)`` (the sequence is unique, so the comparison never
+reaches the callback), and the run loop indexes into the tuple instead
+of chasing attributes.  :meth:`EventQueue.pop` re-wraps the raw tuple
+in the :class:`_Event` named view for callers that inspect events.
 """
 
 from __future__ import annotations
@@ -12,42 +19,46 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
-from repro.errors import ConfigurationError, SimulationError, require
+from repro.errors import ConfigurationError, SimulationError
 
 #: Signature of a scheduled callback: receives the simulator.
 EventCallback = Callable[["Simulator"], None]
 
 
-@dataclass(order=True)
-class _Event:
+class _Event(NamedTuple):
+    """Named view over one calendar entry (still a plain tuple)."""
+
     time: float
     sequence: int
-    callback: EventCallback = field(compare=False)
-    label: str = field(compare=False, default="")
+    callback: EventCallback
+    label: str
 
 
 class EventQueue:
     """Time-ordered event calendar (stable for simultaneous events)."""
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self) -> None:
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, EventCallback, str]] = []
         self._counter = itertools.count()
 
     def push(self, time: float, callback: EventCallback,
              label: str = "") -> None:
         """Schedule ``callback`` at absolute ``time``."""
         heapq.heappush(self._heap,
-                       _Event(time, next(self._counter), callback, label))
+                       (time, next(self._counter), callback, label))
 
     def pop(self) -> _Event:
         """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)
+        return _Event(*heapq.heappop(self._heap))
 
     def peek_time(self) -> float | None:
         """Time of the earliest event, or None when empty."""
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -58,6 +69,8 @@ class EventQueue:
 
 class Simulator:
     """Runs an event calendar until exhaustion or a time horizon."""
+
+    __slots__ = ("_queue", "_now", "_max_events", "_executed")
 
     def __init__(self, *, max_events: int = 10_000_000) -> None:
         if max_events <= 0:
@@ -121,21 +134,28 @@ class Simulator:
         :class:`~repro.errors.SimulationError` if the event budget is
         exhausted (runaway schedule protection).
         """
-        while self._queue:
-            next_time = self._queue.peek_time()
-            require(next_time is not None,
-                    "non-empty event queue reported no next time")
-            if until is not None and next_time > until:
+        # The per-event cost here dominates every simulation-backed
+        # workload, so the loop binds the heap list, heappop, and the
+        # budget once and touches tuples by index; ``_now`` and
+        # ``_executed`` are still written back before each callback so
+        # re-entrant reads of ``now`` / ``events_executed`` stay exact.
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        max_events = self._max_events
+        executed = self._executed
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self._now = until
-                return self._now
-            event = self._queue.pop()
-            self._now = event.time
-            self._executed += 1
-            if self._executed > self._max_events:
+                return until
+            event = heappop(heap)
+            self._now = event[0]
+            executed += 1
+            self._executed = executed
+            if executed > max_events:
                 raise SimulationError(
-                    f"event budget of {self._max_events} exceeded at "
+                    f"event budget of {max_events} exceeded at "
                     f"t={self._now:.6g}s; runaway schedule?")
-            event.callback(self)
+            event[2](self)
         if until is not None and until > self._now:
             self._now = until
         return self._now

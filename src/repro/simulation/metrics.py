@@ -11,7 +11,7 @@ from repro.simulation.streams import StreamBuffer, UnderflowInterval
 UnderflowEvent = UnderflowInterval
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceUsage:
     """Busy-time accounting for one device over the simulated horizon."""
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError, SimulationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnderflowInterval:
     """One contiguous starvation interval of a stream buffer."""
 
@@ -35,6 +35,10 @@ class UnderflowInterval:
 
 class StreamBuffer:
     """Exact piecewise-linear model of one stream's staging buffer."""
+
+    __slots__ = ("stream_id", "bit_rate", "capacity", "_level", "_clock",
+                 "_playing", "playback_start", "_underflows", "_min_level",
+                 "_peak_level")
 
     def __init__(self, stream_id: int, bit_rate: float, *,
                  capacity: float = math.inf) -> None:

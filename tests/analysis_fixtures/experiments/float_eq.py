@@ -1,0 +1,15 @@
+"""Fixture: float comparisons ``float-equality`` must flag.
+
+Lives under an ``experiments/`` directory: the rule extends to the
+runners that assemble figures/tables from planner floats.
+"""
+
+
+def classify(value: float) -> str:
+    if value == 0.0:
+        return "zero"
+    if value == float("inf"):
+        return "unbounded"
+    if int(value) == 0:
+        return "fractional"
+    return "other"

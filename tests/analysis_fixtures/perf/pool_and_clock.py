@@ -1,0 +1,18 @@
+"""Fixture: perf/-scoped breaches ``determinism`` must flag.
+
+Ad-hoc pools and wall-clock reads are banned in ``perf/`` like in the
+other seeded layers; the sanctioned escapes (``sweep_map``'s pool, the
+bench timer) carry reviewed inline suppressions in the real modules.
+"""
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool
+
+
+def naughty(items):
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        results = list(executor.map(str, items))
+    with Pool(2) as pool:
+        results += pool.map(str, items)
+    return time.perf_counter() - start, results

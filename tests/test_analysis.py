@@ -80,6 +80,27 @@ class TestDeterminism:
         assert checker.applies_to(Path("src/repro/runtime/runtime.py"))
         assert not checker.applies_to(Path("src/repro/core/theorems.py"))
 
+    def test_perf_layer_is_in_scope(self):
+        checker = get_checker("determinism")
+        assert checker.applies_to(Path("src/repro/perf/bench.py"))
+        assert checker.applies_to(Path("src/repro/perf/parallel.py"))
+
+    def test_flags_pools_and_clocks_in_perf(self):
+        found = findings_for("perf/pool_and_clock.py", rule="determinism")
+        assert [f.line for f in found] == [13, 14, 16, 18]
+        messages = " / ".join(f.message for f in found)
+        assert "time.perf_counter" in messages
+        assert "ProcessPoolExecutor" in messages
+        assert "multiprocessing.Pool" in messages
+        assert "sweep_map" in messages
+
+    def test_sanctioned_perf_escapes_are_suppressed_inline(self):
+        # The real pool (parallel.py) and timer (bench.py) carry
+        # reviewed suppressions; the modules must scan clean.
+        perf = REPO / "src" / "repro" / "perf"
+        found = analyze_paths([perf], rules=["determinism"])
+        assert found == []
+
 
 class TestUnitLiterals:
     def test_flags_magic_spellings_only(self):
@@ -131,6 +152,17 @@ class TestFloatEquality:
         found = findings_for("core/float_eq.py", rule="float-equality")
         assert all(f.line <= 9 for f in found)
 
+    def test_experiments_layer_is_in_scope(self):
+        checker = get_checker("float-equality")
+        assert checker.applies_to(Path("src/repro/experiments/base.py"))
+        assert not checker.applies_to(Path("src/repro/simulation/engine.py"))
+
+    def test_flags_float_comparisons_in_experiments(self):
+        found = findings_for("experiments/float_eq.py",
+                             rule="float-equality")
+        assert [f.line for f in found] == [9, 11]
+        # int(...) == 0 on line 13 is a count comparison and passes.
+
 
 class TestExceptionHygiene:
     def test_flags_banned_builtin_raises(self):
@@ -179,7 +211,7 @@ class TestEngine:
         assert {Path(f.path).name for f in found} >= {
             "no_bare_assert.py", "wall_clock.py", "unit_literals.py",
             "shim_imports.py", "float_eq.py", "exception_hygiene.py",
-            "suppressions.py", "bad_syntax.py"}
+            "suppressions.py", "bad_syntax.py", "pool_and_clock.py"}
 
     def test_rule_selection_limits_checkers(self):
         found = analyze_paths([FIXTURES / "no_bare_assert.py"],

@@ -1,0 +1,208 @@
+"""Benchmark harness: records, persistence, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    METRIC_DIRECTIONS,
+    WORKLOADS,
+    BenchRecord,
+    compare_records,
+    load_records,
+    run_workloads,
+    write_records,
+)
+
+
+def _slowed(record: BenchRecord, factor: float = 1.5) -> BenchRecord:
+    """A synthetic slowdown: times up, rates down by ``factor``."""
+    metrics = {}
+    for name, value in record.metrics.items():
+        direction = METRIC_DIRECTIONS.get(name)
+        if direction == "lower":
+            metrics[name] = value * factor
+        elif direction == "higher":
+            metrics[name] = value / factor
+        else:
+            metrics[name] = value
+    return BenchRecord(name=record.name, preset=record.preset,
+                       metrics=metrics)
+
+
+class TestBenchRecord:
+    def test_roundtrip(self):
+        record = BenchRecord(name="event_loop", preset="tiny",
+                             metrics={"wall_time_s": 0.5,
+                                      "events_per_sec": 1e6})
+        payload = json.loads(record.to_json())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert BenchRecord.from_dict(payload) == record
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchRecord.from_dict({"schema": 99, "name": "x",
+                                   "preset": "tiny", "metrics": {}})
+
+    def test_filename(self):
+        record = BenchRecord(name="planner_cold", preset="tiny", metrics={})
+        assert record.filename == "BENCH_planner_cold.json"
+
+
+class TestRunWorkloads:
+    def test_event_loop_tiny(self):
+        (record,) = run_workloads(["event_loop"], preset="tiny")
+        assert record.name == "event_loop"
+        assert record.preset == "tiny"
+        assert record.metrics["wall_time_s"] > 0
+        assert record.metrics["events_per_sec"] > 0
+        assert record.metrics["events_executed"] >= 5_000
+
+    def test_planner_workloads_tiny(self):
+        cold, warm = run_workloads(["planner_cold", "planner_warm"],
+                                   preset="tiny")
+        assert cold.metrics["planner_hit_rate"] == 0.0
+        assert warm.metrics["planner_hit_rate"] == 1.0
+        assert warm.metrics["solves_per_sec"] > cold.metrics["solves_per_sec"]
+
+    def test_repeats_keep_best(self):
+        (record,) = run_workloads(["event_loop"], preset="tiny", repeats=2)
+        assert record.metrics["wall_time_s"] > 0
+
+    def test_default_selection_is_every_workload(self):
+        assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
+                                  "runtime_scenario", "planner_cold",
+                                  "planner_warm"}
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            run_workloads(["nope"], preset="tiny")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            run_workloads(["event_loop"], preset="huge")
+
+    def test_repeats_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_workloads(["event_loop"], preset="tiny", repeats=0)
+
+
+class TestPersistence:
+    def test_write_and_load(self, tmp_path):
+        records = [BenchRecord(name="event_loop", preset="tiny",
+                               metrics={"wall_time_s": 0.25}),
+                   BenchRecord(name="planner_cold", preset="tiny",
+                               metrics={"solves_per_sec": 100.0})]
+        paths = write_records(records, tmp_path)
+        assert sorted(p.name for p in paths) == [
+            "BENCH_event_loop.json", "BENCH_planner_cold.json"]
+        loaded = load_records(tmp_path)
+        assert loaded == {record.name: record for record in records}
+
+    def test_load_single_file(self, tmp_path):
+        record = BenchRecord(name="event_loop", preset="tiny",
+                             metrics={"wall_time_s": 0.25})
+        (path,) = write_records([record], tmp_path)
+        assert load_records(path) == {"event_loop": record}
+
+    def test_load_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_records(tmp_path)
+
+    def test_load_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_records(tmp_path / "nope")
+
+
+class TestCompareRecords:
+    BASE = {"event_loop": BenchRecord(
+        name="event_loop", preset="tiny",
+        metrics={"wall_time_s": 1.0, "events_per_sec": 1e6,
+                 "events_executed": 5_000.0})}
+
+    def test_self_comparison_is_clean(self):
+        comparisons, regressions = compare_records(self.BASE, self.BASE)
+        assert len(comparisons) == 2  # the two gated metrics
+        assert regressions == []
+
+    def test_synthetic_slowdown_flagged(self):
+        slow = {name: _slowed(record)
+                for name, record in self.BASE.items()}
+        _, regressions = compare_records(slow, self.BASE,
+                                         tolerance_pct=10.0)
+        flagged = {(r.workload, r.metric) for r in regressions}
+        assert ("event_loop", "wall_time_s") in flagged
+        assert ("event_loop", "events_per_sec") in flagged
+
+    def test_within_tolerance_passes(self):
+        mild = {name: _slowed(record, factor=1.05)
+                for name, record in self.BASE.items()}
+        _, regressions = compare_records(mild, self.BASE,
+                                         tolerance_pct=10.0)
+        assert regressions == []
+
+    def test_improvement_never_flagged(self):
+        fast = {name: _slowed(record, factor=0.5)  # 2x faster
+                for name, record in self.BASE.items()}
+        _, regressions = compare_records(fast, self.BASE,
+                                         tolerance_pct=0.0)
+        assert regressions == []
+
+    def test_disjoint_workloads_ignored(self):
+        other = {"planner_cold": BenchRecord(
+            name="planner_cold", preset="tiny",
+            metrics={"wall_time_s": 9.0})}
+        comparisons, regressions = compare_records(other, self.BASE)
+        assert comparisons == [] and regressions == []
+
+    def test_informational_metrics_not_gated(self):
+        worse_info = dict(self.BASE["event_loop"].metrics)
+        worse_info["events_executed"] *= 100
+        current = {"event_loop": BenchRecord(
+            name="event_loop", preset="tiny", metrics=worse_info)}
+        _, regressions = compare_records(current, self.BASE,
+                                         tolerance_pct=0.0)
+        assert regressions == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            compare_records(self.BASE, self.BASE, tolerance_pct=-1.0)
+
+
+class TestBenchCli:
+    def _record(self, tmp_path, subdir):
+        out = tmp_path / subdir
+        code = main(["bench", "--preset", "tiny", "--workload",
+                     "event_loop", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_record_emits_schema_versioned_json(self, tmp_path):
+        out = self._record(tmp_path, "run")
+        payload = json.loads((out / "BENCH_event_loop.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["name"] == "event_loop"
+        assert payload["metrics"]["wall_time_s"] > 0
+
+    def test_replay_self_comparison_exits_zero(self, tmp_path):
+        out = self._record(tmp_path, "run")
+        # Replaying the recorded files against themselves is exact, so
+        # the gate must pass at any tolerance — the non-flaky CI shape.
+        assert main(["bench", "--replay", str(out), "--compare",
+                     str(out), "--tolerance", "0"]) == 0
+
+    def test_synthetic_slowdown_exits_nonzero(self, tmp_path):
+        out = self._record(tmp_path, "run")
+        slow_dir = tmp_path / "slow"
+        slowed = [_slowed(record)  # 50% slower than the baseline
+                  for record in load_records(out).values()]
+        write_records(slowed, slow_dir)
+        assert main(["bench", "--replay", str(slow_dir), "--compare",
+                     str(out), "--tolerance", "10"]) == 1
+
+    def test_unknown_workload_is_an_error(self, tmp_path):
+        assert main(["bench", "--preset", "tiny", "--workload",
+                     "nope"]) == 1

@@ -32,6 +32,25 @@ class TestEventQueue:
         assert len(queue) == 1
         assert bool(queue)
 
+    def test_fifo_stable_among_many_simultaneous(self):
+        # The heap must never compare callbacks: ties on time break on
+        # the insertion sequence alone, even at scale.
+        queue = EventQueue()
+        for i in range(100):
+            queue.push(5.0, lambda s: None, label=f"event-{i}")
+        labels = [queue.pop().label for _ in range(100)]
+        assert labels == [f"event-{i}" for i in range(100)]
+
+    def test_fifo_stable_interleaved_with_other_times(self):
+        queue = EventQueue()
+        queue.push(9.0, lambda s: None, label="late")
+        queue.push(1.0, lambda s: None, label="tie-a")
+        queue.push(0.5, lambda s: None, label="early")
+        queue.push(1.0, lambda s: None, label="tie-b")
+        queue.push(1.0, lambda s: None, label="tie-c")
+        labels = [queue.pop().label for _ in range(5)]
+        assert labels == ["early", "tie-a", "tie-b", "tie-c", "late"]
+
 
 class TestSimulator:
     def test_runs_in_time_order(self):
@@ -87,6 +106,41 @@ class TestSimulator:
     def test_max_events_validated(self):
         with pytest.raises(ConfigurationError):
             Simulator(max_events=0)
+
+    def test_simultaneous_callbacks_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+
+        def spawn(s):
+            order.append("spawn")
+            for i in range(5):
+                s.at(3.0, (lambda j: lambda s2: order.append(j))(i))
+
+        sim.at(3.0, spawn)
+        sim.run()
+        assert order == ["spawn", 0, 1, 2, 3, 4]
+
+    def test_every_rearms_across_run_until_boundaries(self):
+        # every() re-arms after each firing, so a recurrence survives
+        # repeated bounded run() calls and stays on its grid.
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda s: ticks.append(s.now))
+        assert sim.run(until=2.5) == 2.5
+        assert ticks == [1.0, 2.0]
+        assert sim.now == 2.5
+        assert sim.run(until=4.0) == 4.0
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+        # The next firing (t=5.0) is armed but beyond the horizon.
+        assert sim.run(until=4.5) == 4.5
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_every_with_start_honours_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(2.0, lambda s: ticks.append(s.now), start=1.0)
+        sim.run(until=6.0)
+        assert ticks == [1.0, 3.0, 5.0]
 
 
 class TestStreamBuffer:
