@@ -9,7 +9,10 @@ where the reference ``BENCH_<name>.json`` records live::
 
 ``record`` runs the workloads (best-of-``--repeats``) and overwrites
 the committed baselines — do this on the reference machine when a PR
-deliberately shifts performance, and commit the JSON.  ``compare``
+deliberately shifts performance, and commit the JSON.  ``record
+--only <name>`` (repeatable) refreshes just the named workloads, so a
+new workload's baseline can land without re-timing the existing
+records on a different machine.  ``compare``
 replays recorded results from ``OUT_DIR`` against the baselines and
 exits 1 on regression; it never re-runs the workloads, so the gate
 itself is deterministic (see ``docs/PERFORMANCE.md``).
@@ -40,6 +43,10 @@ def main(argv: list[str] | None = None) -> int:
     record.add_argument("--repeats", type=int, default=3,
                         help="passes per workload, keeping the best "
                              "(default 3)")
+    record.add_argument("--only", action="append", metavar="WORKLOAD",
+                        help="record only this workload's baseline "
+                             "(repeatable); the other committed records "
+                             "are left untouched")
     compare = sub.add_parser(
         "compare", help="gate recorded results against the baselines")
     compare.add_argument("results", metavar="OUT_DIR",
@@ -50,9 +57,12 @@ def main(argv: list[str] | None = None) -> int:
                               "fails CI (default 200)")
     args = parser.parse_args(argv)
     if args.mode == "record":
-        return mems_repro(["bench", "--preset", args.preset,
-                           "--repeats", str(args.repeats),
-                           "--out", str(BASELINE_DIR)])
+        argv = ["bench", "--preset", args.preset,
+                "--repeats", str(args.repeats),
+                "--out", str(BASELINE_DIR)]
+        for name in args.only or ():
+            argv += ["--workload", name]
+        return mems_repro(argv)
     return mems_repro(["bench", "--replay", args.results,
                        "--compare", str(BASELINE_DIR),
                        "--tolerance", str(args.tolerance)])

@@ -4,8 +4,9 @@ The runtime promises that a fixed seed reproduces a run byte-for-byte
 (``docs/RUNTIME.md``), and every simulation/workload entry point takes
 a ``seed``.  That only holds while *all* randomness flows through an
 injected ``numpy.random.Generator`` and nothing reads the wall clock.
-This rule bans, inside ``simulation/``, ``runtime/``, ``workloads/``
-and ``perf/``:
+This rule bans, inside ``simulation/``, ``runtime/``, ``workloads/``,
+``perf/``, and the file-scoped ``planner/incremental.py`` (whose
+warm-start replay must be bit-reproducible):
 
 * wall-clock reads (``time.time()``, ``time.monotonic()``,
   ``datetime.now()``, ...) — simulated time comes from the event
@@ -36,6 +37,12 @@ from repro.analysis.base import Checker, Finding, register
 
 #: Directories whose modules carry the seed guarantee.
 SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf"})
+
+#: Individual modules outside those directories that opt in, as
+#: ``(parent_dir, filename)`` tails.  The warm-start search engine
+#: replays cold solves probe for probe — its bit-identical-result
+#: guarantee is a determinism contract, so it carries the same bans.
+SCOPED_FILES = frozenset({("planner", "incremental.py")})
 
 #: Fully-qualified callables that read the wall clock.
 WALL_CLOCK = frozenset({
@@ -106,7 +113,9 @@ class DeterminismChecker(Checker):
                    "runtime/, workloads/; inject a seeded Generator")
 
     def applies_to(self, path: Path) -> bool:
-        return bool(SCOPED_DIRS.intersection(path.parts))
+        if SCOPED_DIRS.intersection(path.parts):
+            return True
+        return tuple(path.parts[-2:]) in SCOPED_FILES
 
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:

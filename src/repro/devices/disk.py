@@ -37,6 +37,12 @@ from repro.units import GB, MB, MS, TB, rpm_to_rotation_time
 #: between the FutureDisk and the G3 MEMS device is reproduced.
 DEFAULT_ELEVATOR_QUEUE_DEPTH = 8
 
+#: Largest cylinder count for which :class:`SeekCurve` precomputes the
+#: integer-distance seek table (one float per cylinder).
+_SEEK_TABLE_MAX_CYLINDERS = 65_536
+
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class SeekCurve:
@@ -111,6 +117,32 @@ class SeekCurve:
         return cls(t_min=t_min, t_full=full_stroke_seek,
                    n_cylinders=n_cylinders, alpha=alpha)
 
+    def _formula(self, fraction: float) -> float:
+        """The power law at a stroke fraction (the one scalar expression)."""
+        return self.t_min + (self.t_full - self.t_min) * fraction ** self.alpha
+
+    def _integer_table(self) -> tuple[float, ...] | None:
+        """Lazy seek-time table for integer distances ``1..n_cylinders``.
+
+        Built from :meth:`_formula` at exactly the fractions the scalar
+        path computes (``d / n_cylinders``), so a table lookup is
+        bit-identical to the closed form — the fast path trades the
+        per-call ``**`` for one tuple index.  Curves wider than
+        :data:`_SEEK_TABLE_MAX_CYLINDERS` skip the table (None).  The
+        table is stored via ``object.__setattr__`` (the dataclass is
+        frozen); it is derived state and takes no part in eq/hash.
+        """
+        table = self.__dict__.get("_seek_table", _MISSING)
+        if table is _MISSING:
+            if self.n_cylinders > _SEEK_TABLE_MAX_CYLINDERS:
+                table = None
+            else:
+                table = tuple(
+                    self._formula(min(d / self.n_cylinders, 1.0))
+                    for d in range(1, self.n_cylinders + 1))
+            object.__setattr__(self, "_seek_table", table)
+        return table
+
     def seek_time(self, distance_cylinders: float) -> float:
         """Seek time in seconds for a seek of ``distance_cylinders``."""
         if distance_cylinders < 0:
@@ -118,8 +150,13 @@ class SeekCurve:
                 f"seek distance must be >= 0, got {distance_cylinders!r}")
         if distance_cylinders == 0:
             return 0.0
+        if (type(distance_cylinders) is int
+                and distance_cylinders <= self.n_cylinders):
+            table = self._integer_table()
+            if table is not None:
+                return table[distance_cylinders - 1]
         fraction = min(distance_cylinders / self.n_cylinders, 1.0)
-        return self.t_min + (self.t_full - self.t_min) * fraction ** self.alpha
+        return self._formula(fraction)
 
     def average_seek_time(self) -> float:
         """Mean seek time over independent uniform request pairs."""
@@ -211,9 +248,20 @@ class DiskDrive(StorageDevice):
         if queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {queue_depth!r}")
-        expected_distance = self.seek_curve.n_cylinders / (queue_depth + 1)
-        return (self.seek_curve.seek_time(expected_distance)
-                + self.average_rotational_latency())
+        # Every SystemParameters construction resolves L_disk through
+        # here; memoize per queue depth (devices are treated as
+        # immutable after construction throughout the library).
+        memo = self.__dict__.get("_latency_memo")
+        if memo is None:
+            memo = {}
+            self._latency_memo = memo
+        value = memo.get(queue_depth)
+        if value is None:
+            expected_distance = self.seek_curve.n_cylinders / (queue_depth + 1)
+            value = (self.seek_curve.seek_time(expected_distance)
+                     + self.average_rotational_latency())
+            memo[queue_depth] = value
+        return value
 
     def access_time(self, from_cylinder: int, to_cylinder: int, *,
                     rotation_fraction: float = 0.5) -> float:

@@ -31,6 +31,16 @@ from repro.devices.base import StorageDevice
 from repro.devices.mems_geometry import MemsGeometry, TipSector
 from repro.errors import ConfigurationError
 
+#: Largest per-axis bit count for which the sector-accurate seek tables
+#: are precomputed (one float per reachable axis distance).
+_AXIS_TABLE_MAX = 65_536
+
+#: Entry bound of the ``positioning_time`` memo (cleared, not LRU'd,
+#: when full — the working set of distinct fraction pairs is tiny).
+_POSITIONING_MEMO_MAX = 4_096
+
+_MISSING = object()
+
 
 @lru_cache(maxsize=64)
 def _mean_max_seek(t_full_x: float, settle_x: float, t_full_y: float) -> float:
@@ -142,11 +152,64 @@ class MemsDevice(StorageDevice):
         return self.full_stroke_y * math.sqrt(fraction)
 
     def positioning_time(self, dx_fraction: float, dy_fraction: float) -> float:
-        """Concurrent X/Y positioning time for normalised distances."""
-        return max(self.seek_time_x(dx_fraction), self.seek_time_y(dy_fraction))
+        """Concurrent X/Y positioning time for normalised distances.
+
+        Memoized per fraction pair (devices are treated as immutable
+        after construction): the SPTF/elevator batch schedulers in
+        :mod:`repro.scheduling.sptf` revisit the same inter-request
+        distances constantly.  Invalid fractions are never cached, so
+        the range checks of the scalar path still fire every time.
+        """
+        memo = self.__dict__.get("_positioning_memo")
+        if memo is None:
+            memo = {}
+            self._positioning_memo = memo
+        key = (dx_fraction, dy_fraction)
+        value = memo.get(key)
+        if value is None:
+            value = max(self.seek_time_x(dx_fraction),
+                        self.seek_time_y(dy_fraction))
+            if len(memo) >= _POSITIONING_MEMO_MAX:
+                memo.clear()
+            memo[key] = value
+        return value
+
+    def _axis_seek_tables(self) -> tuple[tuple[float, ...],
+                                         tuple[float, ...]] | None:
+        """Lazy per-axis seek tables over integer sector distances.
+
+        ``tables[0][di]`` is ``seek_time_x`` of an ``di``-bit X move and
+        ``tables[1][dj]`` the Y twin, built at exactly the fractions
+        :meth:`MemsGeometry.seek_fractions` produces (``di / (bits - 1)``),
+        so :meth:`access_time` answers from the tables bit-identically
+        to the kinematic closed forms.  Geometries wider than
+        :data:`_AXIS_TABLE_MAX` per axis skip the tables (None).
+        """
+        tables = self.__dict__.get("_axis_tables", _MISSING)
+        if tables is _MISSING:
+            geometry = self.geometry
+            n_x = geometry.bits_per_tip_x
+            n_y = geometry.sectors_per_sweep
+            if n_x > _AXIS_TABLE_MAX or n_y > _AXIS_TABLE_MAX:
+                tables = None
+            else:
+                denom_x = max(n_x - 1, 1)
+                denom_y = max(n_y - 1, 1)
+                tables = (
+                    tuple(self.seek_time_x(i / denom_x) for i in range(n_x)),
+                    tuple(self.seek_time_y(j / denom_y) for j in range(n_y)))
+            self._axis_tables = tables
+        return tables
 
     def access_time(self, origin: TipSector, target: TipSector) -> float:
         """Positioning time between two physical sectors."""
+        tables = self._axis_seek_tables()
+        if tables is not None:
+            table_x, table_y = tables
+            di = abs(target.x_index - origin.x_index)
+            dj = abs(target.y_index - origin.y_index)
+            if di < len(table_x) and dj < len(table_y):
+                return max(table_x[di], table_y[dj])
         dx, dy = self.geometry.seek_fractions(origin, target)
         return self.positioning_time(dx, dy)
 

@@ -11,7 +11,12 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
 * ``runtime_scenario`` — the ``device-failure`` online-server scenario:
   sessions, re-planning, failure recovery, metrics intervals;
 * ``planner_cold`` / ``planner_warm`` — the memoizing planner on a
-  fresh cache vs replaying the identical query set.
+  fresh cache vs replaying the identical query set;
+* ``admission_storm`` — epochs of budget re-planning plus arrival
+  bursts through the admission controller, timed with warm-start
+  planning on and reported against the cold-solve probe count;
+* ``replan_epochs`` — adaptive-placement epoch re-planning under
+  popularity drift, warm vs cold likewise.
 
 JSON schema (``BenchRecord.to_dict``)::
 
@@ -50,13 +55,17 @@ METRIC_DIRECTIONS: dict[str, str] = {
 _PRESETS: dict[str, dict[str, float]] = {
     # Fast enough for the test suite (< ~2 s total).
     "tiny": {"events": 5_000, "max_streams": 300.0, "horizon": 600.0,
-             "grid": 4},
+             "grid": 4, "storm_epochs": 16, "storm_arrivals": 25,
+             "replan_epochs": 10, "replan_titles": 20},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
-              "grid": 8},
+              "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
+              "replan_epochs": 16, "replan_titles": 40},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
-             "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12},
+             "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
+             "storm_epochs": 60, "storm_arrivals": 400,
+             "replan_epochs": 40, "replan_titles": 80},
 }
 
 
@@ -244,6 +253,113 @@ def bench_planner_warm(preset: str) -> dict[str, float]:
             "planner_hit_rate": (hits / solves) if solves else 0.0}
 
 
+def _probe_total(planner) -> float:
+    stats = planner.stats()
+    return float(stats["probes_cold"] + stats["probes_warm"])
+
+
+def bench_admission_storm(preset: str) -> dict[str, float]:
+    """Epochs of budget re-planning plus admission bursts.
+
+    Each epoch nudges the DRAM budget (invalidating the controller's
+    cached capacity threshold), then admits a burst of arrivals — the
+    runtime's per-epoch traffic pattern.  The identical deterministic
+    storm runs twice, against a cold planner (``warm_start=False``) and
+    a warm-start one; the warm pass is the timed subject, and both
+    probe totals are reported so the committed baseline pins the
+    ``probe_ratio`` (cold probes / warm probes) the warm-start engine
+    must sustain.
+    """
+    from repro.core.parameters import SystemParameters
+    from repro.planner.solver import Planner
+    from repro.scheduling.admission import AdmissionController
+    from repro.units import GB, KB
+
+    scale = _scale(preset)
+    epochs = int(scale["storm_epochs"])
+    arrivals = int(scale["storm_arrivals"])
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=500 * KB,
+                                             k=2)
+
+    def storm(warm_start: bool) -> tuple[Planner, float, float]:
+        planner = Planner(warm_start=warm_start)
+        controller = AdmissionController(params, 1 * GB,
+                                         configuration="buffer",
+                                         planner=planner)
+        admitted = 0
+        start = _elapsed()
+        for epoch in range(epochs):
+            # Small multiplicative drift: every epoch's capacity sits a
+            # step away from the previous one, the warm-start sweet spot.
+            controller.reconfigure(dram_budget=(1 * GB) * (1.0 + 1e-6 * epoch))
+            for _ in range(arrivals):
+                if controller.try_admit().admitted:
+                    admitted += 1
+            controller.release(controller.admitted_streams)
+        wall = _elapsed() - start
+        return planner, wall, float(admitted)
+
+    cold_planner, _, _ = storm(False)
+    warm_planner, wall, admitted = storm(True)
+    stats = warm_planner.stats()
+    probes_cold = _probe_total(cold_planner)
+    probes_warm = _probe_total(warm_planner)
+    return {"wall_time_s": wall,
+            "solves_per_sec": (stats["solves_cold"]
+                               + stats["solves_warm"]) / wall,
+            "admissions": admitted,
+            "planner_probes_cold_run": probes_cold,
+            "planner_probes_warm_run": probes_warm,
+            "probe_ratio": (probes_cold / probes_warm
+                            if probes_warm else 0.0)}
+
+
+def bench_replan_epochs(preset: str) -> dict[str, float]:
+    """Adaptive-placement epoch re-planning under popularity drift.
+
+    Every epoch observes a rotated traffic pattern (so the fitted
+    popularity — and with it the planner's cache axis — changes each
+    time) and re-plans with a budget, exercising the explicit
+    capacity-hint threading across epochs.  Cold vs warm passes and
+    metrics mirror ``admission_storm``.
+    """
+    from repro.core.parameters import SystemParameters
+    from repro.planner.solver import Planner
+    from repro.runtime.placement import AdaptivePlacement
+    from repro.units import GB, KB
+
+    scale = _scale(preset)
+    epochs = int(scale["replan_epochs"])
+    n_titles = int(scale["replan_titles"])
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=500 * KB,
+                                             k=2)
+
+    def run(warm_start: bool) -> tuple[Planner, float]:
+        planner = Planner(warm_start=warm_start)
+        placement = AdaptivePlacement(n_titles, planner=planner)
+        start = _elapsed()
+        for epoch in range(epochs):
+            for title in range(n_titles):
+                for _ in range(1 + (title + epoch) % 4):
+                    placement.observe(title)
+            placement.replan(params, float(40 + epoch), dram_budget=2 * GB)
+        wall = _elapsed() - start
+        return planner, wall
+
+    cold_planner, _ = run(False)
+    warm_planner, wall = run(True)
+    stats = warm_planner.stats()
+    probes_cold = _probe_total(cold_planner)
+    probes_warm = _probe_total(warm_planner)
+    return {"wall_time_s": wall,
+            "solves_per_sec": (stats["solves_cold"]
+                               + stats["solves_warm"]) / wall,
+            "planner_probes_cold_run": probes_cold,
+            "planner_probes_warm_run": probes_warm,
+            "probe_ratio": (probes_cold / probes_warm
+                            if probes_warm else 0.0)}
+
+
 #: Workload name -> runner; the order is the report order.
 WORKLOADS = {
     "event_loop": bench_event_loop,
@@ -251,6 +367,8 @@ WORKLOADS = {
     "runtime_scenario": bench_runtime_scenario,
     "planner_cold": bench_planner_cold,
     "planner_warm": bench_planner_warm,
+    "admission_storm": bench_admission_storm,
+    "replan_epochs": bench_replan_epochs,
 }
 
 

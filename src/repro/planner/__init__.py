@@ -13,6 +13,8 @@ population?*  This package is the single answer path:
   feasibility diagnostics instead of exceptions;
 * :mod:`~repro.planner.search` — the one monotone doubling+bisection
   engine (continuous and integer) behind every inverse solve;
+* :mod:`~repro.planner.incremental` — the warm-start (hint-bracketed)
+  twins of the search engine, bit-identical to cold by construction;
 * :class:`~repro.planner.cache.PlanCache` — bounded LRU memoization
   with hit/miss/eviction counters;
 * :class:`~repro.planner.solver.Planner` — the memoizing solver tying
@@ -38,6 +40,10 @@ from repro.planner.search import (
 )
 from repro.planner.cache import DEFAULT_MAXSIZE, PlanCache
 from repro.planner.configuration import Configuration, ConfigurationKind
+from repro.planner.incremental import (
+    hinted_max_feasible_int,
+    hinted_max_feasible_real,
+)
 from repro.planner.plan import Plan
 from repro.planner.solver import Planner, default_planner
 
@@ -70,6 +76,8 @@ __all__ = [
     "PlanCache",
     "Planner",
     "default_planner",
+    "hinted_max_feasible_int",
+    "hinted_max_feasible_real",
     "hybrid_split_curve",
     "hybrid_streams_supported",
     "hybrid_throughput",

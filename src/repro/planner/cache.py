@@ -32,6 +32,7 @@ class PlanCache:
                 f"maxsize must be >= 1, got {maxsize!r}")
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._pinned: set[Hashable] = set()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -57,30 +58,44 @@ class PlanCache:
         """Entries displaced by the LRU bound."""
         return self._evictions
 
-    def get_or_compute(self, key: Hashable,
-                       compute: Callable[[], Any]) -> Any:
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       *, pin: bool = False) -> Any:
         """Return the cached value for ``key``, computing it on a miss.
 
         A hit returns the *identical* stored object and refreshes its
         LRU position.  Exceptions from ``compute`` propagate and cache
-        nothing.
+        nothing.  ``pin=True`` exempts the entry from LRU eviction —
+        for values the planner mutates in place across a search (the
+        ``_demand`` memo dicts), where eviction mid-search would
+        silently detach the live object from the cache.  Pinned entries
+        never count against other keys: eviction skips them, and when
+        every entry is pinned the cache grows past ``maxsize`` rather
+        than discarding a live object.
         """
         value = self._entries.get(key, _MISSING)
         if value is not _MISSING:
             self._hits += 1
             self._entries.move_to_end(key)
+            if pin:
+                self._pinned.add(key)
             return value
         self._misses += 1
         value = compute()
         self._entries[key] = value
+        if pin:
+            self._pinned.add(key)
         if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+            victim = next(
+                (k for k in self._entries if k not in self._pinned), None)
+            if victim is not None:
+                del self._entries[victim]
+                self._evictions += 1
         return value
 
     def clear(self) -> None:
-        """Drop every entry; counters keep accumulating."""
+        """Drop every entry (pins included); counters keep accumulating."""
         self._entries.clear()
+        self._pinned.clear()
 
     def stats(self) -> dict[str, int]:
         """Counters snapshot: hits, misses, evictions, current size."""

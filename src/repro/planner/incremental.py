@@ -1,0 +1,178 @@
+"""Warm-start (hint-bracketed) twins of the monotone search engine.
+
+The cold searches in :mod:`repro.planner.search` always bracket from
+scratch — doubling from ``PROBE_SEED`` (continuous) or from 1 (integer)
+— which costs ~20-200 predicate probes per inverse solve.  The callers,
+however, rarely ask cold questions: admission control re-solves the
+same capacity after every ``reconfigure``, runtime epoch re-planning
+moves the budget or the popularity by one step, and the figure 9/10
+sweeps walk adjacent budgets.  The previous answer is almost the next
+answer, and because every predicate is monotone (the Theorem 1-4 DRAM
+demands are strictly increasing in ``n``), a handful of probes around
+the previous answer re-bracket the threshold.
+
+The variants here accept that previous answer as ``hint`` and are
+**bit-identical to the cold searches by construction**, misleading
+hints included.  The trick: all probes go through a knowledge wrapper
+that records the largest value verified true and the smallest verified
+false.  A short hint phase spends a few probes bracketing near the
+hint, then the *exact cold algorithm* replays through the wrapper —
+monotonicity lets the wrapper answer most replayed probes from
+knowledge for free, and any probe it cannot answer calls the real
+predicate, so the replay takes precisely the branch sequence the cold
+search would.  With ``hint=None`` the wrapper knows nothing, every
+probe is real, and the call *is* the cold search, probe for probe.
+
+The equivalence contract assumes what the cold engine already assumes:
+the predicate is deterministic and monotone (true on ``[0, n*]``).
+This module is determinism-scoped by the repo linter (see
+``repro.analysis.checkers.determinism``): the replay must be
+reproducible, so no clocks and no randomness belong here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.planner.search import (
+    DEFAULT_INT_LIMIT,
+    MAX_BISECTIONS,
+    MAX_DOUBLINGS,
+    PROBE_SEED,
+    REL_TOL,
+)
+
+#: Multiplicative steps of the continuous hint phase, tightest first.
+#: The first rung sits just outside the bisection tolerance
+#: (``REL_TOL = 1e-9`` relative), so a hint taken from a previous
+#: converged solve is re-bracketed to a few-ulp window in two probes;
+#: the later rungs degrade gracefully for staler hints, and a hint that
+#: is off by more than 2x simply stops helping (the replay takes over).
+_REAL_HINT_LADDER = (1.0 + 4e-9, 1.0 + 1e-6, 1.0 + 1e-3, 1.05, 2.0)
+
+
+def hinted_max_feasible_real(predicate: Callable[[float], bool],
+                             hint: float | None = None) -> float:
+    """:func:`~repro.planner.search.max_feasible_real` with a warm start.
+
+    Returns the bit-identical result of the cold search for any
+    ``hint`` — ``None``, stale, wildly wrong, negative, or non-finite
+    hints only change how many probes the search spends, never its
+    answer.
+    """
+    known_true = -math.inf
+    known_false = math.inf
+
+    def probe(x: float) -> bool:
+        nonlocal known_true, known_false
+        if x <= known_true:
+            return True
+        if x >= known_false:
+            return False
+        if predicate(x):
+            known_true = x
+            return True
+        known_false = x
+        return False
+
+    if hint is not None and math.isfinite(hint) and hint > 0.0:
+        if probe(hint):
+            for factor in _REAL_HINT_LADDER:
+                if not probe(hint * factor):
+                    break
+        else:
+            for factor in _REAL_HINT_LADDER:
+                below = hint / factor
+                if below <= 0.0:
+                    break
+                if probe(below):
+                    break
+
+    # Exact replay of max_feasible_real; knowledge answers the probes
+    # the hint phase already settled.
+    if not probe(PROBE_SEED):
+        return 0.0
+    lo = PROBE_SEED
+    hi = 1.0
+    for _ in range(MAX_DOUBLINGS):
+        if not probe(hi):
+            break
+        lo = hi
+        hi *= 2.0
+    else:
+        raise ConfigurationError(
+            "feasible region appears unbounded; check the budget constraint")
+    for _ in range(MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= REL_TOL * max(hi, 1.0):
+            break
+    return lo
+
+
+def hinted_max_feasible_int(predicate: Callable[[int], bool],
+                            hint: int | None = None, *,
+                            limit: int = DEFAULT_INT_LIMIT) -> int:
+    """:func:`~repro.planner.search.max_feasible_int` with a warm start.
+
+    Bit-identical to the cold search for any ``hint``.  An *exact* hint
+    (the unchanged previous capacity) costs two probes — ``hint`` true,
+    ``hint + 1`` false — after which the whole replay is answered from
+    knowledge; a hint off by ``d`` re-brackets in ``O(log d)`` probes.
+    """
+    known_true = 0
+    known_false: int | None = None
+
+    def probe(n: int) -> bool:
+        nonlocal known_true, known_false
+        if n <= known_true:
+            return True
+        if known_false is not None and n >= known_false:
+            return False
+        if predicate(n):
+            known_true = n
+            return True
+        known_false = n
+        return False
+
+    pivot: int | None = None
+    if hint is not None:
+        try:
+            pivot = int(hint)
+        except (OverflowError, ValueError):  # inf / nan hints
+            pivot = None
+    if pivot is not None:
+        pivot = max(1, min(pivot, max(limit, 1)))
+        step = 1
+        if probe(pivot):
+            x = pivot + 1
+            while x <= limit and probe(x):
+                step *= 2
+                x += step
+        else:
+            x = pivot - 1
+            while x >= 1 and not probe(x):
+                step *= 2
+                x -= step
+
+    # Exact replay of max_feasible_int over the knowledge wrapper.
+    if not probe(1):
+        return 0
+    lo = 1
+    hi = 2
+    while hi <= limit and probe(hi):
+        lo = hi
+        hi *= 2
+    hi = min(hi, limit + 1)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -49,12 +49,12 @@ from repro.errors import (
 )
 from repro.planner.cache import PlanCache
 from repro.planner.configuration import Configuration, ConfigurationKind
-from repro.planner.plan import Plan
-from repro.planner.search import (
-    DEFAULT_INT_LIMIT,
-    max_feasible_int,
-    max_feasible_real,
+from repro.planner.incremental import (
+    hinted_max_feasible_int,
+    hinted_max_feasible_real,
 )
+from repro.planner.plan import Plan
+from repro.planner.search import DEFAULT_INT_LIMIT
 
 #: Exceptions that mean "this operating point is infeasible", as opposed
 #: to a malformed request (ConfigurationError, which always propagates).
@@ -62,19 +62,73 @@ _FEASIBILITY_ERRORS = (AdmissionError, CapacityError, SchedulingError)
 
 
 class Planner:
-    """Memoizing solver for every server configuration."""
+    """Memoizing solver for every server configuration.
 
-    def __init__(self, *, cache: PlanCache | None = None) -> None:
+    Beyond the memo, the planner keeps *warm-start hints*: the last
+    inverse answer per sweep axis — keyed ``("real" | "int", params
+    sans n_streams, configuration)`` — seeds the hint-bracketed
+    searches of :mod:`repro.planner.incremental` on the next solve for
+    the same axis, and callers with cross-axis knowledge (admission
+    control, runtime re-planning) can pass an explicit ``hint=``.
+    Hints never enter cache keys and never change answers (the hinted
+    searches are bit-identical to cold by construction); they only cut
+    probe counts, which :meth:`stats` reports.  ``warm_start=False``
+    disables both the axis state and explicit hints — every search runs
+    cold — which is what the warm-vs-cold benchmarks and equivalence
+    tests compare against.
+    """
+
+    def __init__(self, *, cache: PlanCache | None = None,
+                 warm_start: bool = True) -> None:
         self._cache = cache if cache is not None else PlanCache()
+        self._warm_start = bool(warm_start)
+        self._hints: dict[tuple, float | int] = {}
+        self._probes_cold = 0
+        self._probes_warm = 0
+        self._solves_cold = 0
+        self._solves_warm = 0
 
     @property
     def cache(self) -> PlanCache:
         """The memoization store (counters, clear)."""
         return self._cache
 
+    @property
+    def warm_start(self) -> bool:
+        """Whether inverse solves reuse hints (answers never change)."""
+        return self._warm_start
+
     def stats(self) -> dict[str, int]:
-        """Cache counters: hits, misses, evictions, size."""
-        return self._cache.stats()
+        """Cache counters plus inverse-search probe counters.
+
+        ``probes_cold``/``probes_warm`` count real predicate
+        evaluations inside unhinted/hinted searches;
+        ``solves_cold``/``solves_warm`` count the searches themselves
+        (closed-form DIRECT answers and memoized repeats probe nothing
+        and are not counted).
+        """
+        stats = self._cache.stats()
+        stats["probes_cold"] = self._probes_cold
+        stats["probes_warm"] = self._probes_warm
+        stats["solves_cold"] = self._solves_cold
+        stats["solves_warm"] = self._solves_warm
+        return stats
+
+    def _counted(self, predicate, *, warm: bool):
+        """Wrap a feasibility predicate with the probe counters."""
+        if warm:
+            self._solves_warm += 1
+        else:
+            self._solves_cold += 1
+
+        def counted_predicate(n):
+            if warm:
+                self._probes_warm += 1
+            else:
+                self._probes_cold += 1
+            return predicate(n)
+
+        return counted_predicate
 
     # -- Forward solve -------------------------------------------------------
 
@@ -212,23 +266,29 @@ class Planner:
 
     def max_streams(self, params: SystemParameters,
                     configuration: Configuration,
-                    dram_budget: float) -> float:
+                    dram_budget: float, *,
+                    hint: float | None = None) -> float:
         """Largest (continuous) population feasible within the budget.
 
         ``params.n_streams`` is ignored.  DIRECT uses the Theorem 1
-        closed form; the other configurations run the shared
-        doubling+bisection of :mod:`repro.planner.search` over
-        :meth:`plan` feasibility.
+        closed form; the other configurations run the warm-startable
+        doubling+bisection of :mod:`repro.planner.incremental` over
+        :meth:`plan` feasibility.  ``hint`` optionally seeds the search
+        with a previous answer; with no explicit hint the planner's own
+        per-axis state applies.  The result is bit-identical either
+        way.
         """
         if dram_budget < 0:
             raise ConfigurationError(
                 f"dram_budget must be >= 0, got {dram_budget!r}")
-        key = ("max_streams", params.replace(n_streams=0), configuration,
-               dram_budget)
+        base = params.replace(n_streams=0)
+        key = ("max_streams", base, configuration, dram_budget)
         return self._cache.get_or_compute(
             key,
             lambda: self._solve_max_streams(params, configuration,
-                                            dram_budget))
+                                            dram_budget,
+                                            ("real", base, configuration),
+                                            hint))
 
     def _demand(self, params: SystemParameters,
                 configuration: Configuration):
@@ -243,11 +303,18 @@ class Planner:
         repeated sweep points are one dict lookup.  Infeasible points
         are recorded as ``inf`` (matching :meth:`Plan.fits`, which is
         false for them at any budget).  The dict lives *inside* the
-        :class:`~repro.planner.cache.PlanCache`, so it is LRU-bounded
-        and visible in the cache counters like every other solve.
+        :class:`~repro.planner.cache.PlanCache` — visible in the cache
+        counters like every other solve — but **pinned**: the search
+        mutates this captured dict across dozens of ``plan`` insertions,
+        and under a small cache the LRU bound could otherwise evict the
+        entry mid-search, silently detaching the live memo and
+        double-counting every later axis query as a fresh miss.  Pinned
+        demand memos are small (one float per probed population) and
+        one-per-axis, so exempting them from eviction costs little.
         """
         memo: dict[float, float] = self._cache.get_or_compute(
-            ("demand", params.replace(n_streams=0), configuration), dict)
+            ("demand", params.replace(n_streams=0), configuration), dict,
+            pin=True)
 
         def total_dram(n: float) -> float:
             value = memo.get(n)
@@ -259,31 +326,57 @@ class Planner:
 
         return total_dram
 
+    def _resolve_hint(self, axis: tuple, hint):
+        """Explicit hint first, then the axis state; None when cold."""
+        if not self._warm_start:
+            return None
+        if hint is not None:
+            return hint
+        return self._hints.get(axis)
+
     def _solve_max_streams(self, params: SystemParameters,
                            configuration: Configuration,
-                           dram_budget: float) -> float:
+                           dram_budget: float, axis: tuple,
+                           hint: float | None) -> float:
         if configuration.kind is ConfigurationKind.DIRECT:
             return max_streams_direct(params.bit_rate, params.r_disk,
                                       params.l_disk, dram_budget)
+        chosen = self._resolve_hint(axis, hint)
         demand = self._demand(params, configuration)
-        return max_feasible_real(lambda n: demand(n) <= dram_budget)
+        result = hinted_max_feasible_real(
+            self._counted(lambda n: demand(n) <= dram_budget,
+                          warm=chosen is not None),
+            hint=chosen)
+        if self._warm_start:
+            self._hints[axis] = result
+        return result
 
     def capacity(self, params: SystemParameters,
                  configuration: Configuration, dram_budget: float, *,
-                 limit: int = DEFAULT_INT_LIMIT) -> int:
+                 limit: int = DEFAULT_INT_LIMIT,
+                 hint: int | None = None) -> int:
         """Largest integer population feasible within the budget.
 
         The admission-control capacity search (the loss-system capacity
         Erlang-B predictions compare against); ``limit`` bounds the
-        doubling.  ``params.n_streams`` is ignored.
+        doubling.  ``params.n_streams`` is ignored.  ``hint``
+        optionally seeds the search with a previous capacity (see
+        :meth:`max_streams`); the answer is bit-identical regardless.
         """
-        key = ("capacity", params.replace(n_streams=0), configuration,
-               dram_budget, limit)
+        base = params.replace(n_streams=0)
+        key = ("capacity", base, configuration, dram_budget, limit)
+        axis = ("int", base, configuration)
 
         def solve() -> int:
+            chosen = self._resolve_hint(axis, hint)
             demand = self._demand(params, configuration)
-            return max_feasible_int(lambda n: demand(n) <= dram_budget,
-                                    limit=limit)
+            result = hinted_max_feasible_int(
+                self._counted(lambda n: demand(n) <= dram_budget,
+                              warm=chosen is not None),
+                hint=chosen, limit=limit)
+            if self._warm_start:
+                self._hints[axis] = result
+            return result
 
         return self._cache.get_or_compute(key, solve)
 

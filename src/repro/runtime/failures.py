@@ -115,12 +115,18 @@ def plan_recovery(params: SystemParameters, dram_budget: float,
     candidates.append(("none", None, params))
 
     best: RecoveryPlan | None = None
+    # Each rung's capacity seeds the next rung's search: the ladder
+    # shares the device geometry and the budget, so successive rungs'
+    # capacities are close and the hint saves most of the bisection
+    # (the answer is bit-identical either way).
+    hint: int | None = None
     for mode, policy, mode_params in candidates:
         controller = AdmissionController(
             mode_params, dram_budget, configuration=mode, policy=policy,
             popularity=popularity if mode == "cache" else None,
             planner=planner)
-        capacity = controller.capacity()
+        capacity = controller.capacity(hint=hint)
+        hint = capacity
         survivors = min(capacity, n_active)
         try:
             dram = controller.dram_required(survivors)

@@ -181,5 +181,7 @@ def render_dashboard(log: MetricsLog, *, max_rows: int = 24) -> str:
             f"planner: {last['planner_cache_hits']:.0f} cache hits / "
             f"{last.get('planner_cache_misses', 0.0):.0f} misses "
             f"({100.0 * last.get('planner_cache_hit_ratio', 0.0):.0f}% "
-            "hit rate)")
+            "hit rate), "
+            f"{last.get('planner_probe_cold', 0.0):.0f} cold / "
+            f"{last.get('planner_probe_warm', 0.0):.0f} warm probes")
     return "\n".join(lines)

@@ -54,6 +54,10 @@ class PlacementDecision:
     #: Cache design at the live population; None when no policy is
     #: schedulable at that population (the runtime must shed load).
     design: CacheDesign | None
+    #: Admission capacity under the chosen model, pre-solved with the
+    #: previous epoch's capacity as a warm-start hint; None when the
+    #: caller passed no ``dram_budget`` to :meth:`replan`.
+    capacity: int | None = None
 
 
 class AdaptivePlacement:
@@ -88,6 +92,11 @@ class AdaptivePlacement:
         self._epoch_counts = np.zeros(n_titles)
         self._cached: tuple[int, ...] = ()
         self._planner = planner if planner is not None else default_planner()
+        # Last epoch's capacity, threaded into the next epoch's solve as
+        # a warm-start hint.  Popularity drift gives every epoch a fresh
+        # configuration (so the planner's per-axis state never matches);
+        # this explicit hint is what keeps re-planning incremental.
+        self._capacity_hint: int | None = None
 
     @property
     def planner(self) -> Planner:
@@ -110,14 +119,18 @@ class AdaptivePlacement:
         """Aged per-title scores including the in-flight epoch."""
         return self.decay * self._scores + self._epoch_counts
 
-    def replan(self, params: SystemParameters,
-               n_active: float) -> PlacementDecision:
+    def replan(self, params: SystemParameters, n_active: float, *,
+               dram_budget: float | None = None) -> PlacementDecision:
         """Close the epoch: age scores, re-rank, migrate, re-solve.
 
         ``params.k`` / ``params.size_mems`` reflect the *surviving*
         bank, so the same path serves both drift adaptation and
         post-failure shrinkage.  ``n_active`` is the live population the
-        design is evaluated at.
+        design is evaluated at.  When ``dram_budget`` is given the
+        admission capacity under the chosen model is pre-solved here —
+        hinted by the previous epoch's capacity — so the admission
+        controller's post-``reconfigure`` query replays it from the
+        planner cache instead of searching cold.
         """
         if n_active < 0:
             raise ConfigurationError(
@@ -157,12 +170,19 @@ class AdaptivePlacement:
         new_cached = tuple(sorted(ranked[:n_cacheable]))
         old = set(self._cached)
         new = set(new_cached)
+        capacity: int | None = None
+        if dram_budget is not None:
+            capacity = self._planner.capacity(
+                params, Configuration.cache(best_policy, popularity),
+                dram_budget, hint=self._capacity_hint)
+            self._capacity_hint = capacity
         decision = PlacementDecision(
             policy=best_policy,
             cached_titles=new_cached,
             migrations_in=tuple(sorted(new - old)),
             migrations_out=tuple(sorted(old - new)),
             popularity=popularity,
-            design=best_design)
+            design=best_design,
+            capacity=capacity)
         self._cached = new_cached
         return decision

@@ -156,8 +156,9 @@ class RuntimeResult:
     horizon: float
     events_executed: int
     notes: dict[str, float] = field(default_factory=dict)
-    #: Planner cache counters for the run (hits / misses / evictions /
-    #: size), from the runtime's private :class:`~repro.planner.Planner`.
+    #: Planner counters for the run (cache hits / misses / evictions /
+    #: size plus the warm-start probe and solve counters), from the
+    #: runtime's private :class:`~repro.planner.Planner`.
     planner_cache: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -231,6 +232,12 @@ class RuntimeResult:
             lines.append(
                 f"planner cache: {hits} hits / {misses} misses "
                 f"({100.0 * ratio:.0f}% hit rate)")
+            probes_warm = self.planner_cache.get("probes_warm", 0)
+            probes_cold = self.planner_cache.get("probes_cold", 0)
+            lines.append(
+                f"planner probes: {probes_cold} cold / {probes_warm} warm "
+                f"({self.planner_cache.get('solves_cold', 0)} cold / "
+                f"{self.planner_cache.get('solves_warm', 0)} warm solves)")
         return "\n".join(lines)
 
     def dashboard(self) -> str:
@@ -271,7 +278,8 @@ class ServerRuntime:
                 workload.n_titles, decay=config.placement_decay,
                 prior_weights=workload.current_weights(),
                 planner=self._planner)
-            decision = self._placement.replan(self._degraded_params(), 0.0)
+            decision = self._placement.replan(self._degraded_params(), 0.0,
+                                              dram_budget=config.dram_budget)
             self._policy = decision.policy
             self._record_migration(0.0, decision)
             self._controller = AdmissionController(
@@ -379,8 +387,9 @@ class ServerRuntime:
         require(self._placement is not None,
                 "replan requested outside cache mode")
         self._metrics.count("replans")
-        decision = self._placement.replan(self._degraded_params(),
-                                          float(len(self._sessions)))
+        decision = self._placement.replan(
+            self._degraded_params(), float(len(self._sessions)),
+            dram_budget=self.config.dram_budget)
         self._policy = decision.policy
         self._record_migration(sim.now, decision)
         self._controller.reconfigure(params=self._degraded_params(),
@@ -522,6 +531,10 @@ class ServerRuntime:
         gauges["planner_cache_misses"] = float(stats["misses"])
         gauges["planner_cache_hit_ratio"] = (
             stats["hits"] / solves if solves else 0.0)
+        gauges["planner_probe_cold"] = float(stats["probes_cold"])
+        gauges["planner_probe_warm"] = float(stats["probes_warm"])
+        gauges["planner_probe_total"] = float(stats["probes_cold"]
+                                              + stats["probes_warm"])
         self._metrics.close_interval(sim.now, gauges)
 
     # -- Run loop ------------------------------------------------------------

@@ -72,6 +72,12 @@ class AdmissionController:
         self._popularity = popularity
         self._planner = planner if planner is not None else default_planner()
         self._admitted = 0
+        #: Capacity threshold under the current model (default ``limit``),
+        #: or None when the model changed since it was last solved.
+        self._capacity_value: int | None = None
+        #: Last solved capacity, kept across :meth:`reconfigure` as the
+        #: warm-start hint — the model rarely moves far in one step.
+        self._capacity_hint: int | None = None
 
     @staticmethod
     def _check_configuration(configuration: str,
@@ -160,23 +166,55 @@ class AdmissionController:
         self._configuration = new_configuration
         self._policy = new_policy
         self._popularity = new_popularity
+        self._capacity_value = None
 
-    def capacity(self, *, limit: int = DEFAULT_INT_LIMIT) -> int:
+    def capacity(self, *, limit: int = DEFAULT_INT_LIMIT,
+                 hint: int | None = None) -> int:
         """Largest admissible population under the current model.
 
-        Found by the planning layer's shared doubling + bisection on the
-        feasibility predicate (DRAM demand is strictly increasing in the
-        population) and memoized there, since the model rarely changes
-        between queries.  This is the loss-system capacity the Erlang-B
-        prediction compares against.  ``limit`` bounds the search.
+        Found by the planning layer's warm-startable doubling +
+        bisection on the feasibility predicate (DRAM demand is strictly
+        increasing in the population) and memoized there.  The
+        controller additionally caches the threshold locally — only
+        :meth:`reconfigure` invalidates it — and keeps the previous
+        answer as the search hint, so re-solving after a small model
+        step costs a couple of probes instead of a full bisection.
+        This is the loss-system capacity the Erlang-B prediction
+        compares against.  ``limit`` bounds the search; ``hint``
+        optionally seeds it (e.g. a sibling configuration's capacity)
+        and never changes the answer.
         """
-        return self._planner.capacity(self._params,
-                                      self._configuration_spec(),
-                                      self._dram_budget, limit=limit)
+        if limit == DEFAULT_INT_LIMIT and self._capacity_value is not None:
+            return self._capacity_value
+        if hint is None:
+            hint = self._capacity_hint
+        value = self._planner.capacity(self._params,
+                                       self._configuration_spec(),
+                                       self._dram_budget, limit=limit,
+                                       hint=hint)
+        if limit == DEFAULT_INT_LIMIT:
+            self._capacity_value = value
+            self._capacity_hint = value
+        return value
 
     def try_admit(self) -> AdmissionDecision:
-        """Test one more stream; admit it if the system stays feasible."""
+        """Test one more stream; admit it if the system stays feasible.
+
+        Amortized O(1) per arrival: the candidate population is judged
+        against the cached capacity threshold, so between model changes
+        only the first call pays a (warm-started) solve.  A candidate
+        at or below the threshold is feasible by monotonicity and is
+        admitted outright; past it, the direct feasibility check runs
+        so rejections carry the same diagnosis (and the same reason
+        strings) as the uncached path — including populations beyond a
+        clamped search ``limit``.
+        """
         candidate = self._admitted + 1
+        if candidate <= self.capacity():
+            self._admitted = candidate
+            return AdmissionDecision(admitted=True, n_streams=candidate,
+                                     dram_required=self._dram_required(
+                                         candidate))
         try:
             dram = self._dram_required(candidate)
         except (AdmissionError, CapacityError) as exc:

@@ -1,0 +1,18 @@
+"""Fixture: file-scoped ``determinism`` breaches in the warm-start engine.
+
+Named ``planner/incremental.py`` because the rule scopes that one file
+by its path tail (the warm-start replay must be bit-reproducible), not
+by directory.  Also exercises the sanctioned inline suppression.
+"""
+import random
+import time
+
+
+def jittered_hint(hint):
+    nudge = random.random()
+    deadline = time.monotonic()
+    return hint + nudge, deadline
+
+
+def sanctioned_timer():
+    return time.perf_counter()  # repro-lint: disable=determinism (fixture: reviewed escape)

@@ -94,6 +94,24 @@ class TestDeterminism:
         assert "multiprocessing.Pool" in messages
         assert "sweep_map" in messages
 
+    def test_planner_incremental_is_file_scoped(self):
+        checker = get_checker("determinism")
+        assert checker.applies_to(Path("src/repro/planner/incremental.py"))
+        # The rest of the planner package stays out of scope.
+        assert not checker.applies_to(Path("src/repro/planner/solver.py"))
+        assert not checker.applies_to(Path("src/repro/planner/search.py"))
+
+    def test_flags_breaches_in_planner_incremental(self):
+        found = findings_for("planner/incremental.py", rule="determinism")
+        assert [f.line for f in found] == [12, 13]
+        messages = " / ".join(f.message for f in found)
+        assert "random" in messages
+        assert "time.monotonic" in messages
+
+    def test_planner_incremental_suppression_works(self):
+        found = findings_for("planner/incremental.py", rule="determinism")
+        assert not any("perf_counter" in f.message for f in found)
+
     def test_sanctioned_perf_escapes_are_suppressed_inline(self):
         # The real pool (parallel.py) and timer (bench.py) carry
         # reviewed suppressions; the modules must scan clean.
@@ -211,7 +229,8 @@ class TestEngine:
         assert {Path(f.path).name for f in found} >= {
             "no_bare_assert.py", "wall_clock.py", "unit_literals.py",
             "shim_imports.py", "float_eq.py", "exception_hygiene.py",
-            "suppressions.py", "bad_syntax.py", "pool_and_clock.py"}
+            "suppressions.py", "bad_syntax.py", "pool_and_clock.py",
+            "incremental.py"}
 
     def test_rule_selection_limits_checkers(self):
         found = analyze_paths([FIXTURES / "no_bare_assert.py"],

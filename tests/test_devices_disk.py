@@ -56,6 +56,34 @@ class TestSeekCurveCalibration:
                                 n_cylinders=1000, min_seek=3 * MS)
 
 
+class TestSeekFastPath:
+    def test_integer_table_is_bit_identical_to_closed_form(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        for d in [1, 2, 7, 100, 1_000, 25_000, curve.n_cylinders]:
+            expected = curve.t_min + ((curve.t_full - curve.t_min)
+                                      * (d / curve.n_cylinders) ** curve.alpha)
+            assert curve.seek_time(d) == expected  # exact, not approx
+
+    def test_int_and_float_distances_agree_exactly(self):
+        curve = FUTURE_DISK_2007.seek_curve
+        for d in [1, 13, 999, 12_345, curve.n_cylinders]:
+            assert curve.seek_time(d) == curve.seek_time(float(d))
+
+    def test_wide_curve_skips_the_table(self):
+        curve = SeekCurve.calibrate(average_seek=2.8 * MS,
+                                    full_stroke_seek=7.0 * MS,
+                                    n_cylinders=1_000_000)
+        assert curve._integer_table() is None
+        assert curve.seek_time(1_000) > 0
+
+    def test_scheduled_latency_memo_is_stable(self):
+        disk = future_disk_like()
+        first = disk.scheduled_latency(8)
+        assert disk.scheduled_latency(8) == first
+        fresh = future_disk_like()
+        assert fresh.scheduled_latency(8) == first
+
+
 class TestDiskLatencies:
     def test_rotation_time_from_rpm(self):
         assert FUTURE_DISK_2007.rotation_time() == pytest.approx(3 * MS)

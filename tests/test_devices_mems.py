@@ -72,6 +72,33 @@ class TestKinematics:
             pytest.approx(MEMS_G3.max_access_time())
 
 
+class TestAccessFastPath:
+    def test_table_is_bit_identical_to_kinematics(self):
+        geo = MEMS_G3.geometry
+        origin = TipSector(tip_group=0, x_index=5, y_index=2)
+        denom_x = max(geo.bits_per_tip_x - 1, 1)
+        denom_y = max(geo.sectors_per_sweep - 1, 1)
+        for x in (0, 1, 5, 100, geo.bits_per_tip_x - 1):
+            for y in range(geo.sectors_per_sweep):
+                target = TipSector(tip_group=0, x_index=x, y_index=y)
+                expected = max(
+                    MEMS_G3.seek_time_x(abs(x - 5) / denom_x),
+                    MEMS_G3.seek_time_y(abs(y - 2) / denom_y))
+                assert MEMS_G3.access_time(origin, target) == expected
+
+    def test_positioning_memo_is_stable(self):
+        first = MEMS_G3.positioning_time(0.3, 0.7)
+        assert MEMS_G3.positioning_time(0.3, 0.7) == first
+        assert first == max(MEMS_G3.seek_time_x(0.3),
+                            MEMS_G3.seek_time_y(0.7))
+
+    def test_invalid_fractions_still_raise(self):
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.positioning_time(-0.1, 0.0)
+        with pytest.raises(ConfigurationError):
+            MEMS_G3.positioning_time(0.0, 1.5)
+
+
 class TestServiceTime:
     def test_worst_case_default(self):
         expected = MEMS_G3.max_access_time() + 1 * MB / (320 * MB)

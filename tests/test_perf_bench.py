@@ -75,7 +75,23 @@ class TestRunWorkloads:
     def test_default_selection_is_every_workload(self):
         assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
                                   "runtime_scenario", "planner_cold",
-                                  "planner_warm"}
+                                  "planner_warm", "admission_storm",
+                                  "replan_epochs"}
+
+    def test_admission_storm_tiny(self):
+        (record,) = run_workloads(["admission_storm"], preset="tiny")
+        assert record.metrics["probe_ratio"] >= 5.0
+        assert record.metrics["planner_probes_warm_run"] > 0
+        assert (record.metrics["planner_probes_cold_run"]
+                > record.metrics["planner_probes_warm_run"])
+        assert record.metrics["admissions"] > 0
+        assert record.metrics["solves_per_sec"] > 0
+
+    def test_replan_epochs_tiny(self):
+        (record,) = run_workloads(["replan_epochs"], preset="tiny")
+        assert record.metrics["probe_ratio"] > 1.0
+        assert record.metrics["planner_probes_warm_run"] > 0
+        assert record.metrics["solves_per_sec"] > 0
 
     def test_unknown_workload(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,271 @@
+"""Warm-start search engine: bit-identical to cold, and cheaper.
+
+The contract of :mod:`repro.planner.incremental` is absolute: for any
+monotone predicate and ANY hint — exact, stale, misleading, negative,
+or non-finite — the hinted searches return exactly (``==``, not
+approximately) what the cold searches in :mod:`repro.planner.search`
+return.  The hypothesis properties here drive that over arbitrary
+thresholds and adversarial hints; the rest of the module covers the
+probe-count savings, the planner's warm-start state and probe
+counters, and the pinned ``_demand`` memo regression.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.planner import (
+    Configuration,
+    PlanCache,
+    Planner,
+    hinted_max_feasible_int,
+    hinted_max_feasible_real,
+    max_feasible_int,
+    max_feasible_real,
+)
+from repro.units import GB, KB, MB
+
+# -- Strategies ---------------------------------------------------------------
+
+# Feasibility thresholds across the doubling range (the cold search
+# covers [0, 2**80); anything past the threshold is infeasible).
+thresholds = st.one_of(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+    st.just(0.0))
+
+# Hints including the adversarial cases the contract calls out.
+real_hints = st.one_of(
+    st.none(),
+    st.floats(min_value=-1e15, max_value=1e15, allow_nan=False),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+    st.just(0.0),
+    st.just(1e300))
+
+int_hints = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")))
+
+# Monotone predicate shapes: all strictly increasing transforms, so
+# `transform(x) <= threshold` is true exactly on an interval [0, x*].
+TRANSFORMS = {
+    "linear": lambda x: x,
+    "affine": lambda x: 3.0 * x + 1.0,
+    "quadratic": lambda x: x * x,
+}
+
+
+class TestRealEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(threshold=thresholds, hint=real_hints,
+           shape=st.sampled_from(sorted(TRANSFORMS)))
+    def test_hinted_matches_cold_exactly(self, threshold, hint, shape):
+        transform = TRANSFORMS[shape]
+        cold = max_feasible_real(lambda x: transform(x) <= threshold)
+        warm = hinted_max_feasible_real(lambda x: transform(x) <= threshold,
+                                        hint=hint)
+        assert warm == cold
+
+    @settings(max_examples=100, deadline=None)
+    @given(threshold=thresholds, hint=real_hints)
+    def test_none_hint_probes_exactly_like_cold(self, threshold, hint):
+        # hint=None IS the cold search: same answer, same probe trace.
+        del hint
+        cold_trace, warm_trace = [], []
+
+        def record(trace):
+            def predicate(x):
+                trace.append(x)
+                return x <= threshold
+            return predicate
+
+        cold = max_feasible_real(record(cold_trace))
+        warm = hinted_max_feasible_real(record(warm_trace), hint=None)
+        assert warm == cold
+        assert warm_trace == cold_trace
+
+    def test_unbounded_predicate_raises_like_cold(self):
+        with pytest.raises(ConfigurationError, match="unbounded"):
+            hinted_max_feasible_real(lambda x: True, hint=1e9)
+        with pytest.raises(ConfigurationError, match="unbounded"):
+            hinted_max_feasible_real(lambda x: True)
+
+
+class TestIntEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(answer=st.integers(min_value=0, max_value=10**6),
+           hint=int_hints,
+           limit=st.integers(min_value=1, max_value=10**6))
+    def test_hinted_matches_cold_exactly(self, answer, hint, limit):
+        cold = max_feasible_int(lambda n: n <= answer, limit=limit)
+        warm = hinted_max_feasible_int(lambda n: n <= answer, hint=hint,
+                                       limit=limit)
+        assert warm == cold
+
+    @settings(max_examples=100, deadline=None)
+    @given(answer=st.integers(min_value=0, max_value=10**4),
+           limit=st.integers(min_value=1, max_value=10**4))
+    def test_none_hint_probes_exactly_like_cold(self, answer, limit):
+        cold_trace, warm_trace = [], []
+
+        def record(trace):
+            def predicate(n):
+                trace.append(n)
+                return n <= answer
+            return predicate
+
+        cold = max_feasible_int(record(cold_trace), limit=limit)
+        warm = hinted_max_feasible_int(record(warm_trace), hint=None,
+                                       limit=limit)
+        assert warm == cold
+        assert warm_trace == cold_trace
+
+
+class TestProbeSavings:
+    def test_exact_int_hint_costs_two_probes(self):
+        trace = []
+
+        def predicate(n):
+            trace.append(n)
+            return n <= 1_000
+
+        assert hinted_max_feasible_int(predicate, hint=1_000) == 1_000
+        assert trace == [1_000, 1_001]
+
+    def test_near_real_hint_beats_cold_by_5x(self):
+        threshold = 12_345.678
+        cold_trace, warm_trace = [], []
+
+        def record(trace):
+            def predicate(x):
+                trace.append(x)
+                return x <= threshold
+            return predicate
+
+        cold = max_feasible_real(record(cold_trace))
+        warm = hinted_max_feasible_real(record(warm_trace), hint=cold)
+        assert warm == cold
+        assert 5 * len(warm_trace) <= len(cold_trace)
+
+    def test_off_by_one_int_hint_stays_logarithmic(self):
+        trace = []
+
+        def predicate(n):
+            trace.append(n)
+            return n <= 499
+
+        assert hinted_max_feasible_int(predicate, hint=500) == 499
+        assert len(trace) <= 4
+
+
+class TestPlannerWarmStart:
+    def _params(self):
+        return SystemParameters.table3_default(n_streams=1,
+                                               bit_rate=500 * KB, k=2)
+
+    def test_budget_sweep_matches_cold_planner(self):
+        params = self._params()
+        spec = Configuration.buffer()
+        warm = Planner(warm_start=True)
+        cold = Planner(warm_start=False)
+        for i in range(6):
+            budget = 1 * GB + i * 9 * MB
+            assert (warm.max_streams(params, spec, budget)
+                    == cold.max_streams(params, spec, budget))
+            assert (warm.capacity(params, spec, budget)
+                    == cold.capacity(params, spec, budget))
+        warm_stats, cold_stats = warm.stats(), cold.stats()
+        assert warm_stats["solves_warm"] == 10  # all but the first pair
+        assert cold_stats["solves_warm"] == 0
+        warm_probes = warm_stats["probes_cold"] + warm_stats["probes_warm"]
+        cold_probes = cold_stats["probes_cold"] + cold_stats["probes_warm"]
+        assert warm_probes * 3 <= cold_probes
+
+    def test_explicit_hint_never_changes_the_answer(self):
+        params = self._params()
+        spec = Configuration.buffer()
+        reference = Planner(warm_start=False).capacity(params, spec, 1 * GB)
+        for hint in (reference, reference + 123, 1, 10**9, -7):
+            assert Planner().capacity(params, spec, 1 * GB,
+                                      hint=hint) == reference
+
+    def test_warm_start_off_ignores_explicit_hints(self):
+        params = self._params()
+        spec = Configuration.buffer()
+        planner = Planner(warm_start=False)
+        assert not planner.warm_start
+        planner.capacity(params, spec, 1 * GB, hint=50)
+        assert planner.stats()["solves_warm"] == 0
+
+    def test_stats_exposes_probe_counters(self):
+        planner = Planner()
+        stats = planner.stats()
+        assert {"probes_cold", "probes_warm", "solves_cold",
+                "solves_warm"} <= stats.keys()
+        assert stats["probes_cold"] == 0
+        planner.capacity(self._params(), Configuration.buffer(), 1 * GB)
+        after = planner.stats()
+        assert after["probes_cold"] > 0
+        assert after["solves_cold"] == 1
+
+    def test_direct_closed_form_probes_nothing(self):
+        planner = Planner()
+        planner.max_streams(self._params(), Configuration.direct(), 1 * GB)
+        stats = planner.stats()
+        assert stats["probes_cold"] == stats["probes_warm"] == 0
+        assert stats["solves_cold"] == stats["solves_warm"] == 0
+
+
+class TestDemandMemoPinning:
+    def test_demand_memo_survives_lru_pressure(self):
+        # Regression: with maxsize=4 the plan() insertions of a single
+        # search overflow the cache; before pinning they evicted the
+        # live ``("demand", ...)`` dict mid-search, silently detaching
+        # it.  Pinned, the axis entry must survive the whole solve and
+        # stay the identical object across follow-up solves.
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=500 * KB, k=2)
+        spec = Configuration.buffer()
+        planner = Planner(cache=PlanCache(maxsize=4), warm_start=False)
+        planner.max_streams(params, spec, 500 * MB)
+        axis = ("demand", params.replace(n_streams=0), spec)
+        assert axis in planner.cache
+        memo = planner.cache.get_or_compute(axis, dict)
+        assert memo  # populated by the search, not rebuilt empty
+        points = set(memo)
+        planner.max_streams(params, spec, 600 * MB)
+        again = planner.cache.get_or_compute(axis, dict)
+        assert again is memo
+        assert set(again) >= points
+
+    def test_pinned_entries_skip_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.get_or_compute("axis", dict, pin=True)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("c", lambda: 3)
+        assert "axis" in cache
+        assert "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_all_pinned_cache_grows_past_maxsize(self):
+        cache = PlanCache(maxsize=1)
+        cache.get_or_compute("a", dict, pin=True)
+        cache.get_or_compute("b", dict, pin=True)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+
+    def test_clear_drops_pins(self):
+        cache = PlanCache(maxsize=1)
+        cache.get_or_compute("a", dict, pin=True)
+        cache.clear()
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("c", lambda: 3)
+        assert len(cache) == 1

@@ -160,6 +160,22 @@ class TestMetricsExport:
         text = result.dashboard()
         assert "totals:" in text
         assert "Erlang-B" in text
+        assert "warm probes" in text
+
+    def test_planner_probe_gauges_exported(self, result):
+        last = result.metrics.snapshots[-1].gauges
+        assert {"planner_probe_cold", "planner_probe_warm",
+                "planner_probe_total"} <= last.keys()
+        assert last["planner_probe_total"] == (
+            last["planner_probe_cold"] + last["planner_probe_warm"])
+        assert last["planner_probe_total"] > 0
+        # Counters are cumulative: monotone across snapshots.
+        totals = [s.gauges["planner_probe_total"]
+                  for s in result.metrics.snapshots]
+        assert totals == sorted(totals)
+
+    def test_summary_reports_probe_counts(self, result):
+        assert "planner probes:" in result.summary()
 
     def test_custom_horizon_respected(self):
         result = run_scenario("steady-disk", seed=0, horizon=5_000)

@@ -92,6 +92,40 @@ class TestAdaptivePlacement:
         with pytest.raises(ConfigurationError):
             AdaptivePlacement(5, prior_weights=np.ones(3))
 
+    def test_replan_with_budget_reports_capacity(self, params):
+        from repro.planner import Configuration, Planner
+
+        planner = Planner()
+        placement = AdaptivePlacement(20, planner=planner)
+        for _ in range(30):
+            placement.observe(4)
+        decision = placement.replan(params, 10.0, dram_budget=1 * GB)
+        assert decision.capacity is not None
+        assert decision.capacity > 0
+        # The reported capacity is the planner's own answer for the
+        # chosen configuration — a pure cache hit to re-ask.
+        expected = planner.capacity(
+            params,
+            Configuration.cache(decision.policy, decision.popularity),
+            1 * GB)
+        assert decision.capacity == expected
+
+    def test_replan_without_budget_leaves_capacity_unset(self, params):
+        decision = AdaptivePlacement(20).replan(params, 10.0)
+        assert decision.capacity is None
+
+    def test_epoch_replans_warm_the_planner(self, params):
+        from repro.planner import Planner
+
+        planner = Planner()
+        placement = AdaptivePlacement(20, planner=planner)
+        for epoch in range(4):
+            for _ in range(10):
+                placement.observe((4 + epoch) % 20)
+            placement.replan(params, 10.0 + epoch, dram_budget=1 * GB)
+        stats = planner.stats()
+        assert stats["solves_warm"] > 0
+
 
 class TestRecoveryPlanning:
     def test_healthy_population_survives_device_loss(self, params):

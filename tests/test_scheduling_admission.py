@@ -63,6 +63,56 @@ class TestBasicAdmission:
             controller.release(1)
 
 
+class TestArrivalFastPath:
+    def test_readmission_after_release_probes_nothing(self, params):
+        from repro.planner import Planner
+
+        planner = Planner()
+        controller = AdmissionController(params, 1 * GB, planner=planner)
+        controller.fill()
+        controller.release(3)
+        before = planner.stats()
+        for _ in range(3):
+            assert controller.try_admit().admitted
+        after = planner.stats()
+        # Capacity is cached on the controller: the churn above costs
+        # zero planner probes and zero additional solves.
+        assert after["probes_cold"] == before["probes_cold"]
+        assert after["probes_warm"] == before["probes_warm"]
+        assert (after["solves_cold"] + after["solves_warm"]
+                == before["solves_cold"] + before["solves_warm"])
+
+    def test_reconfigure_invalidates_cached_capacity(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        small = controller.capacity()
+        controller.reconfigure(dram_budget=2 * GB)
+        assert controller.capacity() > small
+
+    def test_warm_and_cold_controllers_decide_identically(self, params):
+        from repro.planner import Planner
+
+        warm = AdmissionController(params, 1 * GB,
+                                   planner=Planner(warm_start=True))
+        cold = AdmissionController(params, 1 * GB,
+                                   planner=Planner(warm_start=False))
+        for controller in (warm, cold):
+            controller.reconfigure(dram_budget=1 * GB * (1.0 + 1e-6))
+        for _ in range(warm.capacity() + 3):  # run past capacity
+            a, b = warm.try_admit(), cold.try_admit()
+            assert a.admitted == b.admitted
+            assert a.n_streams == b.n_streams
+            assert a.reason == b.reason
+
+    def test_rejection_reason_unchanged_by_fast_path(self):
+        tiny = SystemParameters.table3_default(n_streams=1,
+                                               bit_rate=100 * KB, k=2)
+        controller = AdmissionController(tiny, 10 * 1e6)
+        controller.fill()
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert "exceeds the budget" in decision.reason
+
+
 class TestConfigurations:
     def test_buffer_admits_more_than_plain_when_dram_bound(self):
         params = SystemParameters.table3_default(n_streams=1,
