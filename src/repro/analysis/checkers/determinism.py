@@ -5,7 +5,8 @@ The runtime promises that a fixed seed reproduces a run byte-for-byte
 a ``seed``.  That only holds while *all* randomness flows through an
 injected ``numpy.random.Generator`` and nothing reads the wall clock.
 This rule bans, inside ``simulation/``, ``runtime/``, ``workloads/``,
-``perf/``, and the file-scoped ``planner/incremental.py`` (whose
+``perf/``, ``vod/`` (the prefix/multicast subsystem feeds the seeded
+runtime), and the file-scoped ``planner/incremental.py`` (whose
 warm-start replay must be bit-reproducible):
 
 * wall-clock reads (``time.time()``, ``time.monotonic()``,
@@ -36,7 +37,8 @@ from pathlib import Path
 from repro.analysis.base import Checker, Finding, register
 
 #: Directories whose modules carry the seed guarantee.
-SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf"})
+SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf",
+                         "vod"})
 
 #: Individual modules outside those directories that opt in, as
 #: ``(parent_dir, filename)`` tails.  The warm-start search engine
@@ -110,7 +112,7 @@ class DeterminismChecker(Checker):
 
     rule = "determinism"
     description = ("no wall clocks or global RNG state in simulation/, "
-                   "runtime/, workloads/; inject a seeded Generator")
+                   "runtime/, workloads/, vod/; inject a seeded Generator")
 
     def applies_to(self, path: Path) -> bool:
         if SCOPED_DIRS.intersection(path.parts):

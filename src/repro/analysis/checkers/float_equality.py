@@ -8,6 +8,8 @@ experiment runners (``experiments/``) consume those values and carry
 the same hazard into their table/figure assembly, so they are in scope
 too (comparisons that are *deliberately* exact — catalog cross-checks
 against integer-valued floats — carry reviewed inline suppressions).
+The VoD subsystem (``vod/``) sizes prefixes and byte fractions through
+the same float chains and joins the scope.
 The codebase convention is ``math.isclose`` / an explicit tolerance —
 see the ``1e-12``-banded comparisons in the hybrid optimizer — and
 ``math.isinf`` for the ``float("inf")`` sentinels.
@@ -30,7 +32,7 @@ from repro.analysis.base import Checker, Finding, register
 
 #: Directories where the rule binds (the analytical layers and the
 #: experiment runners that assemble their outputs).
-SCOPED_DIRS = frozenset({"core", "planner", "experiments"})
+SCOPED_DIRS = frozenset({"core", "planner", "experiments", "vod"})
 
 
 def _is_float_call(node: ast.expr) -> bool:
@@ -65,9 +67,9 @@ class FloatEqualityChecker(Checker):
     """Flag ``==`` / ``!=`` with a syntactically float operand."""
 
     rule = "float-equality"
-    description = ("no ==/!= against float expressions in core/, planner/ "
-                   "and experiments/; use math.isclose / math.isinf / a "
-                   "tolerance")
+    description = ("no ==/!= against float expressions in core/, planner/, "
+                   "experiments/ and vod/; use math.isclose / math.isinf "
+                   "/ a tolerance")
 
     def applies_to(self, path: Path) -> bool:
         return bool(SCOPED_DIRS.intersection(path.parts))

@@ -16,7 +16,11 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
   bursts through the admission controller, timed with warm-start
   planning on and reported against the cold-solve probe count;
 * ``replan_epochs`` — adaptive-placement epoch re-planning under
-  popularity drift, warm vs cold likewise.
+  popularity drift, warm vs cold likewise;
+* ``flash_crowd`` — the VoD prefix-mode scenario against the identical
+  workload under whole-stream caching: the committed baseline pins the
+  multicast fan-out ratio and the admitted-session advantage, plus a
+  warm-vs-cold probe ratio for the prefix epoch re-planner.
 
 JSON schema (``BenchRecord.to_dict``)::
 
@@ -56,16 +60,19 @@ _PRESETS: dict[str, dict[str, float]] = {
     # Fast enough for the test suite (< ~2 s total).
     "tiny": {"events": 5_000, "max_streams": 300.0, "horizon": 600.0,
              "grid": 4, "storm_epochs": 16, "storm_arrivals": 25,
-             "replan_epochs": 10, "replan_titles": 20},
+             "replan_epochs": 10, "replan_titles": 20,
+             "vod_horizon": 2_000.0},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
               "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
-              "replan_epochs": 16, "replan_titles": 40},
+              "replan_epochs": 16, "replan_titles": 40,
+              "vod_horizon": 6_000.0},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
              "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
              "storm_epochs": 60, "storm_arrivals": 400,
-             "replan_epochs": 40, "replan_titles": 80},
+             "replan_epochs": 40, "replan_titles": 80,
+             "vod_horizon": 12_000.0},
 }
 
 
@@ -360,6 +367,72 @@ def bench_replan_epochs(preset: str) -> dict[str, float]:
                             if probes_warm else 0.0)}
 
 
+def bench_flash_crowd(preset: str) -> dict[str, float]:
+    """The VoD ``flash_crowd`` scenario vs whole-stream caching.
+
+    Three measured passes:
+
+    1. the timed subject: the prefix-mode scenario (multicast batching,
+       adaptive replacement, per-stream admission);
+    2. the identical workload re-run under the whole-stream ``"cache"``
+       configuration at the same MEMS/DRAM budgets (rebuilt from the
+       factory — the workload object is mutated in place by surges);
+    3. a cold-vs-warm :class:`~repro.vod.placement.PrefixPlacement`
+       re-plan loop mirroring ``replan_epochs``, pinning the
+       warm-start probe ratio for prefix-mode epoch solves.
+
+    The committed baseline therefore gates the fan-out ratio
+    (sessions per IO stream) and the admitted-session advantage the
+    prefix mode must sustain over whole-stream caching.
+    """
+    from repro.core.parameters import SystemParameters
+    from repro.planner.solver import Planner
+    from repro.runtime.runtime import run_runtime
+    from repro.runtime.scenarios import build_scenario
+    from repro.units import GB, KB
+    from repro.vod.placement import PrefixPlacement
+
+    scale = _scale(preset)
+    horizon = scale["vod_horizon"]
+    start = _elapsed()
+    prefix_result = run_runtime(build_scenario("flash_crowd", seed=11,
+                                               horizon=horizon))
+    wall = _elapsed() - start
+    whole_config = build_scenario("flash_crowd", seed=11, horizon=horizon)
+    whole_config.configuration = "cache"
+    whole_result = run_runtime(whole_config)
+
+    epochs = int(scale["replan_epochs"])
+    n_titles = int(scale["replan_titles"])
+    params = SystemParameters.table3_default(
+        n_streams=1, bit_rate=500 * KB, k=2).replace(size_disk=100 * GB)
+
+    def replan_loop(warm_start: bool) -> Planner:
+        planner = Planner(warm_start=warm_start)
+        placement = PrefixPlacement(n_titles, planner=planner)
+        for epoch in range(epochs):
+            for title in range(n_titles):
+                for _ in range(1 + (title + epoch) % 4):
+                    placement.observe(title)
+            placement.replan(params, float(40 + epoch), dram_budget=2 * GB)
+        return planner
+
+    probes_cold = _probe_total(replan_loop(False))
+    probes_warm = _probe_total(replan_loop(True))
+    totals = prefix_result.totals
+    return {"wall_time_s": wall,
+            "events_per_sec": prefix_result.events_executed / wall,
+            "fanout_ratio": prefix_result.notes["fanout_sessions_per_stream"],
+            "sessions_prefix": float(totals.get("admits", 0)),
+            "sessions_whole": float(whole_result.totals.get("admits", 0)),
+            "batched_joins": float(totals.get("batched_joins", 0)),
+            "io_streams": prefix_result.notes["streams_opened"],
+            "prefix_probes_cold_run": probes_cold,
+            "prefix_probes_warm_run": probes_warm,
+            "probe_ratio": (probes_cold / probes_warm
+                            if probes_warm else 0.0)}
+
+
 #: Workload name -> runner; the order is the report order.
 WORKLOADS = {
     "event_loop": bench_event_loop,
@@ -369,6 +442,7 @@ WORKLOADS = {
     "planner_warm": bench_planner_warm,
     "admission_storm": bench_admission_storm,
     "replan_epochs": bench_replan_epochs,
+    "flash_crowd": bench_flash_crowd,
 }
 
 

@@ -33,6 +33,9 @@ class ConfigurationKind(enum.Enum):
     CACHE = "cache"
     #: Bank split between caching and buffering (Section 7 future work).
     HYBRID = "hybrid"
+    #: Bank holds per-title *prefixes*; the disk serves the tails and
+    #: batched sessions share IO streams (:mod:`repro.vod`).
+    PREFIX = "prefix"
 
 
 @dataclass(frozen=True)
@@ -43,7 +46,12 @@ class Configuration:
     defers to ``params.k`` at solve time (the common case for the
     legacy wrappers).  ``policy`` and ``popularity`` are required for
     CACHE and HYBRID; ``k_cache`` only exists for HYBRID, where ``k``
-    is the *total* bank and ``k - k_cache`` devices buffer.
+    is the *total* bank and ``k - k_cache`` devices buffer.  PREFIX
+    carries its demand model as two scalars — ``mems_fraction`` (the
+    expected byte share served from the resident prefixes) and
+    ``fanout`` (sessions per shared IO stream) — so the planner never
+    depends on the per-title allocation behind them (see
+    :mod:`repro.vod.placement`, which computes both).
     """
 
     kind: ConfigurationKind
@@ -51,6 +59,8 @@ class Configuration:
     policy: CachePolicy | None = None
     popularity: PopularityDistribution | None = None
     k_cache: int | None = None
+    mems_fraction: float | None = None
+    fanout: float | None = None
 
     def __post_init__(self) -> None:
         if self.k is not None and self.k < 0:
@@ -75,6 +85,24 @@ class Configuration:
             raise ConfigurationError("a buffer configuration needs k >= 1")
         if self.kind is ConfigurationKind.CACHE and self.k == 0:
             raise ConfigurationError("a cache configuration needs k >= 1")
+        if self.kind is ConfigurationKind.PREFIX:
+            if self.policy is None or self.mems_fraction is None:
+                raise ConfigurationError(
+                    "prefix configuration needs policy and mems_fraction")
+            if not 0.0 <= self.mems_fraction <= 1.0:
+                raise ConfigurationError(
+                    f"mems_fraction must be in [0, 1], "
+                    f"got {self.mems_fraction!r}")
+            if self.fanout is None or self.fanout < 1.0:
+                raise ConfigurationError(
+                    f"fanout must be >= 1, got {self.fanout!r}")
+            if self.k == 0:
+                raise ConfigurationError(
+                    "a prefix configuration needs k >= 1")
+        elif self.mems_fraction is not None or self.fanout is not None:
+            raise ConfigurationError(
+                f"mems_fraction/fanout only apply to prefix "
+                f"configurations, not {self.kind.value}")
 
     # -- Constructors --------------------------------------------------------
 
@@ -105,6 +133,17 @@ class Configuration:
                 f"k_buffer must be >= 0, got {k_buffer!r}")
         return cls(kind=ConfigurationKind.HYBRID, k=k_cache + k_buffer,
                    policy=policy, popularity=popularity, k_cache=k_cache)
+
+    @classmethod
+    def prefix(cls, policy: CachePolicy, mems_fraction: float, *,
+               fanout: float = 1.0, k: int | None = None) -> "Configuration":
+        """Prefix cache: MEMS serves ``mems_fraction`` of each IO
+        stream's bytes under ``policy``; ``fanout`` sessions share one
+        stream (``fanout=1`` states demand in IO-stream units — the
+        admission controller's spelling, since batched joins consume no
+        new stream)."""
+        return cls(kind=ConfigurationKind.PREFIX, k=k, policy=policy,
+                   mems_fraction=float(mems_fraction), fanout=float(fanout))
 
     @classmethod
     def from_legacy(cls, configuration: str, *,
@@ -149,8 +188,12 @@ class Configuration:
         if self.kind is ConfigurationKind.BUFFER:
             return f"buffer({k_text or 'k=params'})"
         require(self.policy is not None,
-                "cache/hybrid configuration constructed without a policy")
+                "cache/hybrid/prefix configuration constructed without "
+                "a policy")
         if self.kind is ConfigurationKind.CACHE:
             return f"cache({self.policy.value}, {k_text or 'k=params'})"
+        if self.kind is ConfigurationKind.PREFIX:
+            return (f"prefix({self.policy.value}, h={self.mems_fraction:.3f},"
+                    f" fanout={self.fanout:g}, {k_text or 'k=params'})")
         return (f"hybrid({self.policy.value}, k_cache={self.k_cache}, "
                 f"k_buffer={self.k_buffer})")

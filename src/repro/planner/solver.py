@@ -158,6 +158,8 @@ class Planner:
                 return self._plan_buffer(params, configuration, quantise)
             if kind is ConfigurationKind.CACHE:
                 return self._plan_cache(params, configuration)
+            if kind is ConfigurationKind.PREFIX:
+                return self._plan_prefix(params, configuration)
             return self._plan_hybrid(params, configuration)
         except _FEASIBILITY_ERRORS as exc:
             return Plan(params=params, configuration=configuration,
@@ -205,6 +207,48 @@ class Planner:
                     total_dram=total,
                     capacity_fraction=design.cached_fraction,
                     hit_rate=design.hit_rate, design=design)
+
+    def _plan_prefix(self, params: SystemParameters,
+                     configuration: Configuration) -> Plan:
+        """The prefix-cache demand model of :mod:`repro.vod`.
+
+        ``params.n_streams`` counts *sessions*; ``fanout`` of them
+        share each IO stream (batched multicast joins read the shared
+        stream's DRAM buffer, charging no capacity of their own).  Of
+        the resulting IO streams, the expected ``mems_fraction`` load
+        is served from the MEMS-resident prefixes at cache service
+        quality (Eqs. 12/13) and the remainder streams tails from the
+        disk at Theorem 1 quality — the same expected-value split the
+        whole-stream cache model uses, applied per byte instead of per
+        title.  Total demand is strictly increasing in the population,
+        so the inverse capacity searches apply unchanged.
+        """
+        solve_params = self._effective_params(params, configuration)
+        require(configuration.policy is not None
+                and configuration.mems_fraction is not None
+                and configuration.fanout is not None,
+                "prefix Configuration validated without policy/"
+                "mems_fraction/fanout")
+        fraction = configuration.mems_fraction
+        n_sessions = solve_params.n_streams
+        n_io = n_sessions / configuration.fanout
+        n_mems = fraction * n_io
+        n_disk = (1.0 - fraction) * n_io
+        dram_mems = 0.0
+        if n_mems > 0:
+            dram_mems = n_mems * cache_buffer(
+                configuration.policy, n_mems, solve_params.bit_rate,
+                solve_params.k, solve_params.r_mems, solve_params.l_mems)
+        dram_disk = 0.0
+        if n_disk > 0:
+            dram_disk = n_disk * min_buffer_direct(
+                n_disk, solve_params.bit_rate, solve_params.r_disk,
+                solve_params.l_disk)
+        total = dram_mems + dram_disk
+        return Plan(params=solve_params, configuration=configuration,
+                    feasible=True,
+                    per_stream_dram=total / n_sessions if n_sessions else 0.0,
+                    total_dram=total, hit_rate=fraction)
 
     def _plan_hybrid(self, params: SystemParameters,
                      configuration: Configuration) -> Plan:

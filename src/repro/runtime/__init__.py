@@ -11,6 +11,7 @@ from repro.runtime.metrics import IntervalSnapshot, MetricsLog, render_dashboard
 from repro.runtime.placement import AdaptivePlacement, PlacementDecision
 from repro.runtime.runtime import (
     DriftEvent,
+    FocusEvent,
     MigrationRecord,
     RuntimeConfig,
     RuntimeResult,
@@ -18,7 +19,12 @@ from repro.runtime.runtime import (
     SurgeEvent,
     run_runtime,
 )
-from repro.runtime.scenarios import SCENARIOS, build_scenario, run_scenario
+from repro.runtime.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    run_scenario,
+    run_scenario_batch,
+)
 from repro.runtime.sessions import (
     Session,
     SessionEvent,
@@ -31,6 +37,7 @@ __all__ = [
     "DriftEvent",
     "FailureEvent",
     "FailureKind",
+    "FocusEvent",
     "IntervalSnapshot",
     "MetricsLog",
     "MigrationRecord",
@@ -50,4 +57,5 @@ __all__ = [
     "render_dashboard",
     "run_runtime",
     "run_scenario",
+    "run_scenario_batch",
 ]

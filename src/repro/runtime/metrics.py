@@ -35,6 +35,7 @@ SCHEMA_VERSION = 1
 COUNTER_NAMES: tuple[str, ...] = (
     "arrivals", "admits", "rejects", "departures", "drops",
     "migrations_in", "migrations_out", "replans", "failures",
+    "batched_joins", "streams_opened", "streams_closed",
 )
 
 
@@ -176,6 +177,13 @@ def render_dashboard(log: MetricsLog, *, max_rows: int = 24) -> str:
         f"final:  blocking {last.get('blocking_probability', 0.0):.4f} "
         f"(Erlang-B {last.get('erlang_b_prediction', 0.0):.4f}), "
         f"degraded time {last.get('degraded_time', 0.0):.0f}s")
+    if "fanout_ratio" in last:
+        lines.append(
+            f"vod:    fanout {last['fanout_ratio']:.2f} sessions/stream "
+            f"(cumulative {last.get('fanout_cumulative', 0.0):.2f}), "
+            f"prefix hit {last.get('prefix_hit_rate', 0.0):.3f}, "
+            f"{last.get('prefix_resident_titles', 0.0):.0f} resident, "
+            f"tail-disk load {last.get('tail_disk_load', 0.0):.2f}")
     if "planner_cache_hits" in last:
         lines.append(
             f"planner: {last['planner_cache_hits']:.0f} cache hits / "

@@ -13,6 +13,11 @@ discrete-event engine:
 * injected faults (:mod:`repro.runtime.failures`) shrink or throttle
   the bank mid-run and the runtime recomputes a feasible degraded
   configuration, shedding the newest sessions when it must;
+* under the VoD ``"prefix"`` mode (:mod:`repro.vod`) the bank holds
+  per-title *prefixes*, same-title arrivals inside a batching window
+  share one IO stream through a
+  :class:`~repro.vod.multicast.MulticastBatcher`, and admission
+  control charges per *stream* rather than per session;
 * every reporting interval the :class:`~repro.runtime.metrics.MetricsLog`
   seals a snapshot of the session funnel and operator gauges.
 
@@ -50,6 +55,8 @@ from repro.runtime.sessions import (
 )
 from repro.scheduling.admission import AdmissionController
 from repro.simulation.engine import Simulator
+from repro.vod.multicast import MulticastBatcher
+from repro.vod.placement import PrefixDecision, PrefixPlacement
 from repro.workloads.arrivals import predicted_blocking
 
 
@@ -81,6 +88,26 @@ class SurgeEvent:
 
 
 @dataclass(frozen=True)
+class FocusEvent:
+    """Focused flash crowd: ``weight`` of arrivals collapse onto
+    ``title`` at ``time`` (``weight=0`` clears the focus)."""
+
+    time: float
+    title: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+        if self.title < 0:
+            raise ConfigurationError(
+                f"title must be >= 0, got {self.title!r}")
+        if not 0.0 <= self.weight <= 1.0:
+            raise ConfigurationError(
+                f"weight must be in [0, 1], got {self.weight!r}")
+
+
+@dataclass(frozen=True)
 class MigrationRecord:
     """One epoch's placement change."""
 
@@ -107,13 +134,21 @@ class RuntimeConfig:
     horizon: float
     epoch: float = 600.0
     metrics_interval: float = 60.0
-    #: "cache" (adaptive placement), "buffer", or "none" (direct disk).
+    #: "cache" (adaptive placement), "buffer", "none" (direct disk), or
+    #: "prefix" (VoD prefix cache with multicast batching).
     configuration: str = "cache"
     device: MemsDevice | None = None
     placement_decay: float = 0.5
     failures: tuple[FailureEvent, ...] = ()
     drifts: tuple[DriftEvent, ...] = ()
     surges: tuple[SurgeEvent, ...] = ()
+    focuses: tuple[FocusEvent, ...] = ()
+    #: Prefix-mode sizing knobs (ignored outside ``"prefix"``): startup
+    #: safety factor, minimum prefix seconds, and the longest batching
+    #: window a hot title's prefix may grow to.
+    prefix_safety: float = 2.0
+    prefix_floor: float = 1.0
+    batch_window: float = 120.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -129,10 +164,19 @@ class RuntimeConfig:
         if self.dram_budget < 0:
             raise ConfigurationError(
                 f"dram_budget must be >= 0, got {self.dram_budget!r}")
-        if self.configuration not in ("none", "buffer", "cache"):
+        if self.configuration not in ("none", "buffer", "cache", "prefix"):
             raise ConfigurationError(
-                f"configuration must be 'none', 'buffer' or 'cache', "
-                f"got {self.configuration!r}")
+                f"configuration must be 'none', 'buffer', 'cache' or "
+                f"'prefix', got {self.configuration!r}")
+        if self.prefix_safety <= 0:
+            raise ConfigurationError(
+                f"prefix_safety must be > 0, got {self.prefix_safety!r}")
+        if self.prefix_floor < 0:
+            raise ConfigurationError(
+                f"prefix_floor must be >= 0, got {self.prefix_floor!r}")
+        if self.batch_window <= 0:
+            raise ConfigurationError(
+                f"batch_window must be > 0, got {self.batch_window!r}")
         if self.device is None:
             from repro.devices.catalog import MEMS_G3
 
@@ -224,6 +268,12 @@ class RuntimeResult:
             f"{sum(len(m.migrations_out) for m in self.migrations)} out "
             f"over {len(self.migrations)} re-plans",
         ]
+        if "fanout_sessions_per_stream" in self.notes:
+            lines.append(
+                f"vod: {self.notes['fanout_sessions_per_stream']:.2f} "
+                f"sessions/stream over "
+                f"{self.notes.get('streams_opened', 0.0):.0f} IO streams "
+                f"({totals.get('batched_joins', 0)} batched joins)")
         if self.planner_cache:
             hits = self.planner_cache.get("hits", 0)
             misses = self.planner_cache.get("misses", 0)
@@ -273,8 +323,12 @@ class ServerRuntime:
             config.device, config.params.k, BankPolicy.ROUND_ROBIN)
 
         workload = config.workload
+        self._placement: AdaptivePlacement | None = None
+        self._prefix: PrefixPlacement | None = None
+        self._prefix_decision: PrefixDecision | None = None
+        self._batcher: MulticastBatcher | None = None
         if self._mode == "cache":
-            self._placement: AdaptivePlacement | None = AdaptivePlacement(
+            self._placement = AdaptivePlacement(
                 workload.n_titles, decay=config.placement_decay,
                 prior_weights=workload.current_weights(),
                 planner=self._planner)
@@ -286,8 +340,24 @@ class ServerRuntime:
                 self._degraded_params(), config.dram_budget,
                 configuration="cache", policy=decision.policy,
                 popularity=decision.popularity, planner=self._planner)
+        elif self._mode == "prefix":
+            self._batcher = MulticastBatcher()
+            self._prefix = PrefixPlacement(
+                workload.n_titles, decay=config.placement_decay,
+                prior_weights=workload.current_weights(),
+                safety=config.prefix_safety,
+                floor_seconds=config.prefix_floor,
+                window_cap=config.batch_window,
+                planner=self._planner)
+            decision = self._prefix.replan(self._degraded_params(), 0.0,
+                                           dram_budget=config.dram_budget)
+            self._policy = decision.policy
+            self._prefix_decision = decision
+            self._record_migration(0.0, decision)
+            self._controller = AdmissionController(
+                self._degraded_params(), config.dram_budget,
+                spec=decision.spec, planner=self._planner)
         else:
-            self._placement = None
             self._controller = AdmissionController(
                 self._degraded_params(), config.dram_budget,
                 configuration=self._mode, planner=self._planner)
@@ -321,6 +391,12 @@ class ServerRuntime:
         self._metrics.count("arrivals")
         if self._placement is not None:
             self._placement.observe(title)
+        if self._prefix is not None:
+            self._prefix.observe(title)
+        if self._mode == "prefix":
+            self._admit_prefix(sim, title)
+            self._schedule_arrival(sim)
+            return
         decision = self._controller.try_admit()
         if decision.admitted:
             session = Session(session_id=self._next_id, title=title,
@@ -344,12 +420,82 @@ class ServerRuntime:
                 session_id=-1, title=title, reason=decision.reason))
         self._schedule_arrival(sim)
 
+    def _admit_prefix(self, sim: Simulator, title: int) -> None:
+        """Prefix-mode admission: join an open stream or charge a new one.
+
+        A same-title arrival inside an open stream's batching window
+        rides that stream for free — no admission check, no new IO.
+        Only a brand-new stream goes through the controller, which
+        therefore counts *IO streams*, the unit the planner's prefix
+        demand model is stated in.
+        """
+        workload = self.config.workload
+        require(self._prefix is not None and self._batcher is not None,
+                "prefix admission outside prefix mode")
+        shared = self._batcher.joinable(title, sim.now)
+        if shared is not None:
+            session = Session(session_id=self._next_id, title=title,
+                              arrival_time=sim.now,
+                              holding_time=workload.next_holding(self._rng),
+                              served_by="shared",
+                              stream_id=shared.stream_id)
+            self._next_id += 1
+            self._sessions[session.session_id] = session
+            self._batcher.join(shared, session.session_id)
+            self._metrics.count("admits")
+            self._metrics.count("batched_joins")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.ADMIT,
+                session_id=session.session_id, title=title,
+                served_by=session.served_by))
+            sim.after(session.holding_time, self._make_departure(session),
+                      "departure")
+            return
+        decision = self._controller.try_admit()
+        if decision.admitted:
+            served_by = ("prefix" if self._prefix.is_resident(title)
+                         else "disk")
+            session = Session(session_id=self._next_id, title=title,
+                              arrival_time=sim.now,
+                              holding_time=workload.next_holding(self._rng),
+                              served_by=served_by)
+            self._next_id += 1
+            stream = self._batcher.open(
+                title, sim.now, self._prefix.window_seconds(title),
+                session.session_id)
+            session.stream_id = stream.stream_id
+            self._sessions[session.session_id] = session
+            self._metrics.count("admits")
+            self._metrics.count("streams_opened")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.ADMIT,
+                session_id=session.session_id, title=title,
+                served_by=session.served_by))
+            sim.after(session.holding_time, self._make_departure(session),
+                      "departure")
+        else:
+            self._rejects_total += 1
+            self._metrics.count("rejects")
+            self._events.append(SessionEvent(
+                time=sim.now, kind=SessionEventKind.REJECT,
+                session_id=-1, title=title, reason=decision.reason))
+
     def _make_departure(self, session: Session):
         def depart(sim: Simulator) -> None:
             # The session may have been shed by a failure already.
             if self._sessions.pop(session.session_id, None) is None:
                 return
-            self._controller.release(1)
+            if session.stream_id is not None:
+                # Shared stream: the IO slot frees only when the last
+                # rider leaves.
+                if (self._batcher is not None
+                        and self._batcher.has_stream(session.stream_id)):
+                    if self._batcher.leave(session.stream_id,
+                                           session.session_id):
+                        self._controller.release(1)
+                        self._metrics.count("streams_closed")
+            else:
+                self._controller.release(1)
             self._metrics.count("departures")
             self._events.append(SessionEvent(
                 time=sim.now, kind=SessionEventKind.DEPART,
@@ -370,6 +516,24 @@ class ServerRuntime:
                 time=sim.now, kind=SessionEventKind.DROP,
                 session_id=session.session_id, title=session.title,
                 served_by=session.served_by, reason=reason))
+
+    def _shed_streams(self, sim: Simulator, n_drop: int,
+                      reason: str) -> None:
+        """Close the ``n_drop`` newest IO streams and drop their riders."""
+        require(self._batcher is not None,
+                "stream shedding outside prefix mode")
+        for stream in self._batcher.drop_newest(n_drop):
+            self._controller.release(1)
+            self._metrics.count("streams_closed")
+            for session_id in stream.session_ids:
+                session = self._sessions.pop(session_id, None)
+                if session is None:  # pragma: no cover - defensive
+                    continue
+                self._metrics.count("drops")
+                self._events.append(SessionEvent(
+                    time=sim.now, kind=SessionEventKind.DROP,
+                    session_id=session.session_id, title=session.title,
+                    served_by=session.served_by, reason=reason))
 
     def _record_migration(self, time: float, decision) -> None:
         if decision.migrations_in or decision.migrations_out:
@@ -407,9 +571,92 @@ class ServerRuntime:
         if len(self._sessions) > capacity:
             self._shed_sessions(sim, len(self._sessions) - capacity, reason)
 
+    def _replan_prefix(self, sim: Simulator, *, reason: str) -> None:
+        """Re-allocate prefixes and swap the admission spec (in streams)."""
+        require(self._prefix is not None and self._batcher is not None,
+                "prefix replan outside prefix mode")
+        self._metrics.count("replans")
+        decision = self._prefix.replan(
+            self._degraded_params(), float(self._batcher.active_streams),
+            dram_budget=self.config.dram_budget)
+        self._policy = decision.policy
+        self._prefix_decision = decision
+        self._record_migration(sim.now, decision)
+        self._controller.reconfigure(params=self._degraded_params(),
+                                     spec=decision.spec)
+        # Stream openers follow their titles across the migration
+        # (riders keep "shared" — their IO is the opener's).
+        for session in self._sessions.values():
+            if session.served_by != "shared":
+                session.served_by = (
+                    "prefix" if self._prefix.is_resident(session.title)
+                    else "disk")
+        capacity = self._controller.capacity()
+        if self._batcher.active_streams > capacity:
+            self._shed_streams(
+                sim, self._batcher.active_streams - capacity, reason)
+
     def _on_epoch(self, sim: Simulator) -> None:
         if self._mode == "cache":
             self._replan(sim, reason="epoch re-plan over capacity")
+        elif self._mode == "prefix":
+            self._replan_prefix(sim, reason="epoch re-plan over capacity")
+
+    def _fail_prefix(self, sim: Simulator) -> None:
+        """Degrade the prefix mode after a bank failure.
+
+        While any device survives the normal epoch machinery absorbs
+        the hit: re-plan against the shrunken bank and shed whole
+        streams over the new capacity.  Total bank loss collapses the
+        mode — no prefixes means no instant-start batching, so every
+        surviving session needs its own direct-disk stream and the
+        runtime falls back to a rebuilt ``"none"`` controller.
+        """
+        require(self._prefix is not None and self._batcher is not None,
+                "prefix failure handling outside prefix mode")
+        if self._k_active >= 1:
+            self._replan_prefix(sim, reason="device failure")
+            return
+        from repro.core.popularity import EmpiricalPopularity
+
+        popularity = EmpiricalPopularity.from_counts(self._prefix.scores())
+        plan = plan_recovery(self.config.params, self.config.dram_budget,
+                             len(self._sessions), popularity,
+                             k_active=0, r_mems_factor=self._rate_factor,
+                             planner=self._planner)
+        if plan.n_dropped:
+            # Shed sessions directly: the old controller counted IO
+            # streams, so its slots are not session slots to release.
+            victims = list(self._sessions.values())[::-1][:plan.n_dropped]
+            for session in victims:
+                del self._sessions[session.session_id]
+                self._metrics.count("drops")
+                self._events.append(SessionEvent(
+                    time=sim.now, kind=SessionEventKind.DROP,
+                    session_id=session.session_id, title=session.title,
+                    served_by=session.served_by, reason="device failure"))
+        # Batching collapses with the bank: every survivor becomes its
+        # own direct-disk stream.  A fresh (empty) batcher keeps the
+        # live gauges at zero; the cumulative fan-out counters carry
+        # over so the end-of-run ratio still covers the whole run.
+        self._batcher.dissolve()
+        fresh = MulticastBatcher()
+        fresh.sessions_total = self._batcher.sessions_total
+        fresh.streams_total = self._batcher.streams_total
+        self._batcher = fresh
+        for session in self._sessions.values():
+            session.stream_id = None
+            session.served_by = "disk"
+        self._prefix = None
+        self._prefix_decision = None
+        self._mode = plan.mode
+        self._policy = plan.policy
+        self._controller = AdmissionController(
+            self._degraded_params(), self.config.dram_budget,
+            configuration=plan.mode, planner=self._planner)
+        for _ in self._sessions:
+            require(self._controller.try_admit().admitted,
+                    "recovery plan under-counted the surviving sessions")
 
     def _make_failure(self, event: FailureEvent):
         def fail(sim: Simulator) -> None:
@@ -418,6 +665,14 @@ class ServerRuntime:
                 self._k_active = max(0, self._k_active - event.count)
             else:
                 self._rate_factor *= event.factor
+            if self._mode == "prefix":
+                self._fail_prefix(sim)
+                self._bank = (None if self._k_active < 1 else MemsBank(
+                    self.config.device, self._k_active,
+                    BankPolicy.ROUND_ROBIN))
+                if self._degraded_since is None:
+                    self._degraded_since = sim.now
+                return
             popularity = self.config.workload.popularity
             if self._placement is not None:
                 # Judge recovery against the observed traffic, not the
@@ -470,6 +725,12 @@ class ServerRuntime:
 
         return surge
 
+    def _make_focus(self, event: FocusEvent):
+        def focus(sim: Simulator) -> None:
+            self.config.workload.focus_title(event.title, event.weight)
+
+        return focus
+
     # -- Gauges --------------------------------------------------------------
 
     def _device_utilization(self) -> float:
@@ -480,6 +741,16 @@ class ServerRuntime:
         if self._bank is None:
             return disk_load
         bank_rate = self._bank.aggregate_bandwidth * self._rate_factor
+        if self._mode == "prefix":
+            require(self._batcher is not None
+                    and self._prefix_decision is not None,
+                    "prefix mode runs without a batcher/decision")
+            # Fan-out means the devices see IO streams, not sessions;
+            # the prefix fraction splits each stream's bytes.
+            n_io = float(self._batcher.active_streams)
+            h = self._prefix_decision.mems_fraction
+            disk_load = n_io * (1.0 - h) * params.bit_rate / params.r_disk
+            return max(disk_load, n_io * h * params.bit_rate / bank_rate)
         if self._mode == "cache":
             n_cache = sum(1 for s in self._sessions.values()
                           if s.served_by == "cache")
@@ -525,6 +796,26 @@ class ServerRuntime:
             "degraded": 1.0 if degraded else 0.0,
             "degraded_time": degraded_time,
         }
+        if self._batcher is not None:
+            streams = self._batcher.active_streams
+            h = (self._prefix_decision.mems_fraction
+                 if self._prefix_decision is not None else 0.0)
+            allocation = (self._prefix.allocation
+                          if self._prefix is not None else None)
+            mems_bytes = (allocation.total_bytes
+                          if allocation is not None else 0.0)
+            gauges["io_streams"] = float(streams)
+            gauges["fanout_ratio"] = (n / streams) if streams else 0.0
+            gauges["fanout_cumulative"] = self._batcher.fanout
+            gauges["prefix_hit_rate"] = h
+            gauges["prefix_resident_titles"] = float(
+                len(self._prefix.resident_titles)
+                if self._prefix is not None else 0)
+            gauges["sessions_per_mems_byte"] = (
+                n / mems_bytes if mems_bytes > 0 else 0.0)
+            gauges["tail_disk_load"] = (
+                streams * (1.0 - h) * self.config.params.bit_rate
+                / self.config.params.r_disk)
         stats = self._planner.stats()
         solves = stats["hits"] + stats["misses"]
         gauges["planner_cache_hits"] = float(stats["hits"])
@@ -551,6 +842,8 @@ class ServerRuntime:
             sim.at(drift.time, self._make_drift(drift), "drift")
         for surge in sorted(config.surges, key=lambda e: e.time):
             sim.at(surge.time, self._make_surge(surge), "surge")
+        for focus in sorted(config.focuses, key=lambda e: e.time):
+            sim.at(focus.time, self._make_focus(focus), "focus")
         sim.run(until=config.horizon)
         if (not self._metrics.snapshots
                 or self._metrics.snapshots[-1].t_end < config.horizon):
@@ -562,6 +855,12 @@ class ServerRuntime:
             final_dram = self._controller.dram_required()
         except (AdmissionError, CapacityError):  # pragma: no cover
             final_dram = float("inf")
+        notes = {"offered_load": config.workload.offered_load,
+                 "seed": float(config.seed)}
+        if self._batcher is not None:
+            notes["fanout_sessions_per_stream"] = self._batcher.fanout
+            notes["streams_opened"] = float(self._batcher.streams_total)
+            notes["batched_sessions"] = float(self._batcher.sessions_total)
         return RuntimeResult(
             events=self._events,
             metrics=self._metrics,
@@ -575,8 +874,7 @@ class ServerRuntime:
             degraded_time=self._degraded_time,
             horizon=config.horizon,
             events_executed=sim.events_executed,
-            notes={"offered_load": config.workload.offered_load,
-                   "seed": float(config.seed)},
+            notes=notes,
             planner_cache=self._planner.stats())
 
 

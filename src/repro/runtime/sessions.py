@@ -10,7 +10,10 @@ time-varying effects the static model cannot express:
 * **popularity drift** — the title ranking rotates, so yesterday's hot
   titles cool and the adaptive placement must chase the new head;
 * **rate surges** — the arrival rate scales by a factor mid-run (flash
-  crowds).
+  crowds);
+* **title focus** — a share of all arrivals collapses onto one title
+  (the flash crowd's *object* of attention), the regime where the VoD
+  prefix mode's multicast batching pays off.
 """
 
 from __future__ import annotations
@@ -43,7 +46,8 @@ class SessionEvent:
     kind: SessionEventKind
     session_id: int
     title: int
-    #: "cache" or "disk" at admission time; None for rejects.
+    #: "cache" or "disk" at admission time ("prefix"/"shared" under the
+    #: VoD prefix mode); None for rejects.
     served_by: str | None = None
     #: Rejection/drop reason (None for admits and normal departures).
     reason: str | None = None
@@ -63,6 +67,9 @@ class Session:
     arrival_time: float
     holding_time: float
     served_by: str
+    #: Shared IO stream carrying this session under the VoD prefix
+    #: mode; None outside it (and after a failure dissolves the batch).
+    stream_id: int | None = None
 
     @property
     def departure_time(self) -> float:
@@ -85,6 +92,8 @@ class SessionWorkload:
     _rate_factor: float = field(default=1.0, init=False)
     _rotation: int = field(default=0, init=False)
     _base_weights: np.ndarray = field(default=None, init=False, repr=False)
+    _focus_title: int | None = field(default=None, init=False)
+    _focus_weight: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -126,17 +135,46 @@ class SessionWorkload:
         """
         self._rotation = (self._rotation + shift) % self.n_titles
 
+    def focus_title(self, title: int, weight: float) -> None:
+        """Collapse ``weight`` of all arrivals onto one title.
+
+        A focused flash crowd: each arrival picks ``title`` with
+        probability ``weight`` and otherwise falls through to the usual
+        rotated ranking.  ``weight=0`` clears the focus (and restores
+        the unfocused sampling path exactly, so downstream draws are
+        bit-identical to a run that never focused).
+        """
+        if not 0 <= title < self.n_titles:
+            raise ConfigurationError(
+                f"title must be in [0, {self.n_titles}), got {title!r}")
+        if not 0.0 <= weight <= 1.0:
+            raise ConfigurationError(
+                f"focus weight must be in [0, 1], got {weight!r}")
+        if weight <= 0.0:
+            self._focus_title = None
+            self._focus_weight = 0.0
+        else:
+            self._focus_title = title
+            self._focus_weight = weight
+
     def title_weight(self, title: int) -> float:
         """Current access probability of one title."""
         if not 0 <= title < self.n_titles:
             raise ConfigurationError(
                 f"title must be in [0, {self.n_titles}), got {title!r}")
-        return float(self._base_weights[
-            (title - self._rotation) % self.n_titles])
+        return float(self._effective_weights()[title])
 
     def current_weights(self) -> np.ndarray:
-        """Per-title access probabilities under the current rotation."""
-        return np.roll(self._base_weights, self._rotation)
+        """Per-title access probabilities under rotation and focus."""
+        return self._effective_weights()
+
+    def _effective_weights(self) -> np.ndarray:
+        rotated = np.roll(self._base_weights, self._rotation)
+        if self._focus_title is None:
+            return rotated
+        mixed = (1.0 - self._focus_weight) * rotated
+        mixed[self._focus_title] += self._focus_weight
+        return mixed
 
     # -- Sampling ------------------------------------------------------------
 
@@ -148,5 +186,10 @@ class SessionWorkload:
         return float(rng.exponential(self.mean_holding))
 
     def next_title(self, rng: np.random.Generator) -> int:
+        if self._focus_title is not None:
+            # One draw per arrival either way, so entering/leaving a
+            # focus window consumes the same RNG stream length.
+            return int(rng.choice(self.n_titles,
+                                  p=self._effective_weights()))
         rank = int(rng.choice(self.n_titles, p=self._base_weights))
         return (rank + self._rotation) % self.n_titles

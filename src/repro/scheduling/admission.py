@@ -50,26 +50,43 @@ class AdmissionController:
 
     ``configuration`` is ``"none"`` (plain disk-to-DRAM), ``"buffer"``
     (MEMS buffer, Theorem 2), or ``"cache"`` (MEMS cache, Theorems 3/4,
-    which also needs ``policy`` and ``popularity``).  ``planner``
-    injects a specific :class:`repro.planner.Planner` (e.g. the online
-    runtime's, so its cache counters cover admission solves); by
-    default the process-wide shared planner is used.
+    which also needs ``policy`` and ``popularity``).  Demand models
+    without a legacy string — the prefix mode of :mod:`repro.vod` —
+    are passed directly as a planner ``spec``
+    (:class:`repro.planner.Configuration`); ``spec`` and the legacy
+    fields are mutually exclusive.  In prefix mode the admitted unit is
+    an *IO stream*, not a session: the runtime calls :meth:`try_admit`
+    only when an arrival opens a new shared stream, and batched joins
+    ride for free.  ``planner`` injects a specific
+    :class:`repro.planner.Planner` (e.g. the online runtime's, so its
+    cache counters cover admission solves); by default the process-wide
+    shared planner is used.
     """
 
     def __init__(self, params: SystemParameters, dram_budget: float, *,
                  configuration: str = "none",
                  policy: CachePolicy | None = None,
                  popularity: PopularityDistribution | None = None,
+                 spec: Configuration | None = None,
                  planner: Planner | None = None) -> None:
         if dram_budget < 0:
             raise ConfigurationError(
                 f"dram_budget must be >= 0, got {dram_budget!r}")
-        self._check_configuration(configuration, policy, popularity)
+        if spec is not None:
+            if configuration != "none" or policy is not None \
+                    or popularity is not None:
+                raise ConfigurationError(
+                    "pass either spec= or the legacy configuration "
+                    "fields, not both")
+        else:
+            self._check_configuration(configuration, policy, popularity)
         self._params = params.replace(n_streams=0)
         self._dram_budget = dram_budget
-        self._configuration = configuration
-        self._policy = policy
-        self._popularity = popularity
+        self._spec = spec
+        self._configuration = (configuration if spec is None
+                               else spec.kind.value)
+        self._policy = policy if spec is None else spec.policy
+        self._popularity = popularity if spec is None else spec.popularity
         self._planner = planner if planner is not None else default_planner()
         self._admitted = 0
         #: Capacity threshold under the current model (default ``limit``),
@@ -103,7 +120,8 @@ class AdmissionController:
 
     @property
     def configuration(self) -> str:
-        """Active server configuration: 'none', 'buffer' or 'cache'."""
+        """Active configuration name: a legacy string, or the spec's
+        kind value (e.g. ``'prefix'``) when running on a spec."""
         return self._configuration
 
     @property
@@ -113,6 +131,8 @@ class AdmissionController:
 
     def _configuration_spec(self) -> Configuration:
         """The planner spelling of the current demand model."""
+        if self._spec is not None:
+            return self._spec
         return Configuration.from_legacy(self._configuration,
                                          policy=self._policy,
                                          popularity=self._popularity)
@@ -139,23 +159,44 @@ class AdmissionController:
                     configuration: str | None = None,
                     policy: CachePolicy | None = None,
                     popularity: PopularityDistribution | None = None,
-                    dram_budget: float | None = None) -> None:
+                    dram_budget: float | None = None,
+                    spec: Configuration | None = None) -> None:
         """Swap the demand model under a live population.
 
         The online runtime re-plans between service epochs (popularity
         drift, device failure): the admitted count is preserved and
         future :meth:`try_admit` calls are judged against the new model.
-        The new population is *not* revalidated here — callers decide
-        how to shed load if the survivors no longer fit (see
-        :mod:`repro.runtime.failures`).
+        Passing ``spec`` replaces the model wholesale (prefix mode does
+        this every epoch — ``h`` moves with the observed popularity);
+        the legacy fields update the string-named models and clear any
+        previous spec.  The new population is *not* revalidated here —
+        callers decide how to shed load if the survivors no longer fit
+        (see :mod:`repro.runtime.failures`).
         """
-        new_configuration = (self._configuration if configuration is None
-                             else configuration)
-        new_policy = self._policy if policy is None else policy
-        new_popularity = (self._popularity if popularity is None
-                          else popularity)
-        self._check_configuration(new_configuration, new_policy,
-                                  new_popularity)
+        if spec is not None:
+            if configuration is not None or policy is not None \
+                    or popularity is not None:
+                raise ConfigurationError(
+                    "pass either spec= or the legacy configuration "
+                    "fields, not both")
+            self._spec = spec
+            self._configuration = spec.kind.value
+            self._policy = spec.policy
+            self._popularity = spec.popularity
+        elif (configuration is not None or policy is not None
+                or popularity is not None):
+            base = "none" if self._spec is not None else self._configuration
+            new_configuration = (base if configuration is None
+                                 else configuration)
+            new_policy = self._policy if policy is None else policy
+            new_popularity = (self._popularity if popularity is None
+                              else popularity)
+            self._check_configuration(new_configuration, new_policy,
+                                      new_popularity)
+            self._spec = None
+            self._configuration = new_configuration
+            self._policy = new_policy
+            self._popularity = new_popularity
         if dram_budget is not None:
             if dram_budget < 0:
                 raise ConfigurationError(
@@ -163,9 +204,6 @@ class AdmissionController:
             self._dram_budget = dram_budget
         if params is not None:
             self._params = params.replace(n_streams=0)
-        self._configuration = new_configuration
-        self._policy = new_policy
-        self._popularity = new_popularity
         self._capacity_value = None
 
     def capacity(self, *, limit: int = DEFAULT_INT_LIMIT,

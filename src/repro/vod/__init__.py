@@ -1,0 +1,41 @@
+"""Prefix-caching + multicast VoD subsystem.
+
+The paper's cache configuration stores *whole* popular titles on the
+MEMS bank.  This package implements the two refinements the follow-up
+VoD literature applies to such a tier (see ``PAPERS.md``: dynamic
+per-prefix buffer allocation for multicast VoD, and popularity-aware
+prefix caching with adaptive dynamic replacement):
+
+* :mod:`repro.vod.prefix` — per-title *prefix* residency sized from the
+  disk path's startup latency (bitrate x latency), so MEMS bytes buy
+  instant startup instead of whole-title copies;
+* :mod:`repro.vod.multicast` — sessions on the same title arriving
+  within a prefix's playback window share one IO stream, so the
+  planner and admission control account *IO streams*, not sessions;
+* :mod:`repro.vod.replacement` — an adaptive replacement policy that
+  promotes/demotes/resizes resident prefixes from observed popularity
+  at each epoch replan;
+* :mod:`repro.vod.placement` — the epoch controller tying the three
+  together, mirroring :class:`repro.runtime.placement.AdaptivePlacement`
+  for the whole-stream mode.
+"""
+
+from repro.vod.multicast import MulticastBatcher, SharedStream
+from repro.vod.placement import PrefixDecision, PrefixPlacement
+from repro.vod.prefix import (
+    PrefixAllocation,
+    base_prefix_bytes,
+    prefix_seconds,
+)
+from repro.vod.replacement import AdaptiveReplacement
+
+__all__ = [
+    "AdaptiveReplacement",
+    "MulticastBatcher",
+    "PrefixAllocation",
+    "PrefixDecision",
+    "PrefixPlacement",
+    "SharedStream",
+    "base_prefix_bytes",
+    "prefix_seconds",
+]

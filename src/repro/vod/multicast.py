@@ -1,0 +1,167 @@
+"""Multicast/batching: many sessions, one IO stream.
+
+A flash crowd on one title does not need one disk stream per viewer.
+With the title's prefix resident on MEMS, a session arriving within the
+prefix's *playback window* of an already-open stream can start
+instantly from MEMS, catch up, and then share that stream's tail IO —
+the classic prefix-assisted batching of the multicast VoD literature.
+
+:class:`MulticastBatcher` tracks the open :class:`SharedStream` per
+title and the session membership of each stream.  The runtime charges
+admission control (and therefore the planner) *once per stream*:
+batched joins consume no new IO capacity, which is exactly the
+sessions-per-IO-stream economics the ``flash_crowd`` scenario and its
+benchmark gate measure.
+
+All state is insertion-ordered and fed with explicit event times from
+the simulation clock, so a seeded run reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, require
+
+
+@dataclass(slots=True)
+class SharedStream:
+    """One IO stream and the sessions fanned out from it."""
+
+    stream_id: int
+    title: int
+    #: Simulation time the stream (and its batching window) opened.
+    opened_at: float
+    #: Batching window in seconds: sessions arriving before
+    #: ``opened_at + window`` join instead of opening a new stream.
+    window: float
+    #: Member sessions, in join order (the opener first).
+    session_ids: list[int] = field(default_factory=list)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.session_ids)
+
+    def accepts(self, now: float) -> bool:
+        """True while the batching window is still open."""
+        return now - self.opened_at <= self.window
+
+
+class MulticastBatcher:
+    """Shared-stream bookkeeping for one runtime.
+
+    The batcher never decides *admission* — the runtime asks it only
+    "is there an open stream this session can join?", and otherwise
+    runs the admission check for a brand-new stream.  Cumulative
+    counters (`sessions_total` / `streams_total`) survive stream
+    closure, so the end-of-run fanout ratio covers the whole run.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[int, SharedStream] = {}
+        #: Newest stream per title (the only one still joinable).
+        self._open_by_title: dict[int, int] = {}
+        self._next_stream_id = 0
+        self.sessions_total = 0
+        self.streams_total = 0
+
+    # -- Introspection -------------------------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        """IO streams currently open (what admission control counts)."""
+        return len(self._streams)
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently riding any open stream."""
+        return sum(s.n_sessions for s in self._streams.values())
+
+    @property
+    def fanout(self) -> float:
+        """Cumulative sessions-per-IO-stream ratio over the run."""
+        if self.streams_total == 0:
+            return 0.0
+        return self.sessions_total / self.streams_total
+
+    def has_stream(self, stream_id: int) -> bool:
+        return stream_id in self._streams
+
+    def stream(self, stream_id: int) -> SharedStream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no open stream {stream_id!r}") from None
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def joinable(self, title: int, now: float) -> SharedStream | None:
+        """The open stream a ``title`` arrival at ``now`` may join."""
+        stream_id = self._open_by_title.get(title)
+        if stream_id is None:
+            return None
+        stream = self._streams.get(stream_id)
+        if stream is None or not stream.accepts(now):
+            # The pointer went stale (stream closed, or its window
+            # lapsed); drop it so the next lookup short-circuits.
+            del self._open_by_title[title]
+            return None
+        return stream
+
+    def open(self, title: int, now: float, window: float,
+             session_id: int) -> SharedStream:
+        """Open a new stream for ``session_id`` (the opener joins it)."""
+        if window < 0:
+            raise ConfigurationError(
+                f"window must be >= 0, got {window!r}")
+        stream = SharedStream(stream_id=self._next_stream_id, title=title,
+                              opened_at=now, window=window,
+                              session_ids=[session_id])
+        self._next_stream_id += 1
+        self._streams[stream.stream_id] = stream
+        self._open_by_title[title] = stream.stream_id
+        self.streams_total += 1
+        self.sessions_total += 1
+        return stream
+
+    def join(self, stream: SharedStream, session_id: int) -> None:
+        """Fan ``session_id`` out from an open stream."""
+        require(stream.stream_id in self._streams,
+                f"cannot join closed stream {stream.stream_id}")
+        stream.session_ids.append(session_id)
+        self.sessions_total += 1
+
+    def leave(self, stream_id: int, session_id: int) -> bool:
+        """A member departs; returns True when the stream closed."""
+        stream = self.stream(stream_id)
+        try:
+            stream.session_ids.remove(session_id)
+        except ValueError:
+            raise ConfigurationError(
+                f"session {session_id} is not a member of stream "
+                f"{stream_id}") from None
+        if stream.session_ids:
+            return False
+        self._close(stream)
+        return True
+
+    def drop_newest(self, count: int) -> list[SharedStream]:
+        """Close the ``count`` newest streams; returns them (members
+        intact) so the caller can shed the riding sessions."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count!r}")
+        victims = sorted(self._streams.values(),
+                         key=lambda s: s.stream_id)[::-1][:count]
+        for stream in victims:
+            self._close(stream)
+        return victims
+
+    def dissolve(self) -> list[SharedStream]:
+        """Close every stream (the bank died; batching collapses)."""
+        return self.drop_newest(len(self._streams))
+
+    def _close(self, stream: SharedStream) -> None:
+        del self._streams[stream.stream_id]
+        if self._open_by_title.get(stream.title) == stream.stream_id:
+            del self._open_by_title[stream.title]

@@ -1,0 +1,14 @@
+"""Fixture: float comparisons ``float-equality`` must flag.
+
+Lives under a ``vod/`` directory because the rule is path-scoped: the
+prefix sizing and byte-fraction chains are float arithmetic.  The
+three module-level comparisons are violations; the integer comparison
+in ``no_streams`` is not.
+"""
+FULL_PREFIX = 0.5 + 0.5 == 1.0
+WINDOW = float("inf") != float("inf")
+FRACTION = -0.25 == -0.25
+
+
+def no_streams(n):
+    return n == 0

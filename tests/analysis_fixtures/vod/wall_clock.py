@@ -1,0 +1,18 @@
+"""Fixture: seed-guarantee breaches ``determinism`` must flag.
+
+Lives under a ``vod/`` directory because the rule is path-scoped: the
+prefix/multicast subsystem feeds the seeded runtime, so it carries the
+same bans as ``runtime/``.
+"""
+import random
+import time
+
+import numpy as np
+
+
+def batch_stamp():
+    opened_at = time.monotonic()
+    jitter = random.random()
+    draw = np.random.uniform()
+    rng = np.random.default_rng(11)
+    return opened_at, jitter, draw, rng.random()

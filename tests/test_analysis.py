@@ -112,6 +112,20 @@ class TestDeterminism:
         found = findings_for("planner/incremental.py", rule="determinism")
         assert not any("perf_counter" in f.message for f in found)
 
+    def test_vod_layer_is_in_scope(self):
+        checker = get_checker("determinism")
+        assert checker.applies_to(Path("src/repro/vod/multicast.py"))
+        assert checker.applies_to(Path("src/repro/vod/placement.py"))
+
+    def test_flags_clocks_and_global_rng_in_vod(self):
+        found = findings_for("vod/wall_clock.py", rule="determinism")
+        assert [f.line for f in found] == [14, 15, 16]
+        messages = " / ".join(f.message for f in found)
+        assert "time.monotonic" in messages
+        assert "random" in messages
+        assert "numpy.random.uniform" in messages
+        assert not any("default_rng(11)" in f.message for f in found)
+
     def test_sanctioned_perf_escapes_are_suppressed_inline(self):
         # The real pool (parallel.py) and timer (bench.py) carry
         # reviewed suppressions; the modules must scan clean.
@@ -180,6 +194,18 @@ class TestFloatEquality:
                              rule="float-equality")
         assert [f.line for f in found] == [9, 11]
         # int(...) == 0 on line 13 is a count comparison and passes.
+
+    def test_vod_layer_is_in_scope(self):
+        checker = get_checker("float-equality")
+        assert checker.applies_to(Path("src/repro/vod/prefix.py"))
+        assert not checker.applies_to(Path("src/repro/runtime/metrics.py"))
+
+    def test_flags_float_comparisons_in_vod(self):
+        found = findings_for("vod/float_eq.py", rule="float-equality")
+        assert [f.line for f in found] == [8, 9, 10]
+        by_line = {f.line: f.message for f in found}
+        assert "math.isclose" in by_line[8]
+        assert "math.isinf" in by_line[9]
 
 
 class TestExceptionHygiene:

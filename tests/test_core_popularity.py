@@ -5,6 +5,7 @@ import pytest
 from repro.core.popularity import (
     PAPER_DISTRIBUTIONS,
     BimodalPopularity,
+    EmpiricalPopularity,
     UniformPopularity,
     ZipfPopularity,
     paper_distributions,
@@ -127,3 +128,70 @@ class TestZipf:
             ZipfPopularity(alpha=1, n_titles=0)
         with pytest.raises(ConfigurationError):
             ZipfPopularity(alpha=1, n_titles=10).title_probability(11)
+
+
+class TestEmpiricalUnderDrift:
+    """Edge cases the runtime's drift scenarios push the fit through."""
+
+    def test_all_mass_on_one_title(self):
+        # A fully focused flash crowd: every observation hits one title.
+        dist = EmpiricalPopularity.from_counts([0.0, 0.0, 25.0, 0.0])
+        assert dist.weights[0] == pytest.approx(1.0)
+        assert all(w == pytest.approx(0.0) for w in dist.weights[1:])
+        # Caching that single title is a perfect cache...
+        assert dist.hit_rate(0.25) == pytest.approx(1.0)
+        # ...and a partial prefix of it scales linearly.
+        assert dist.hit_rate(0.125) == pytest.approx(0.5)
+        assert dist.hit_rate(1.0) == pytest.approx(1.0)
+
+    def test_empty_observation_window(self):
+        # No counts at all is a configuration error...
+        with pytest.raises(ConfigurationError):
+            EmpiricalPopularity.from_counts([])
+        # ...but an epoch with zero observed traffic (all-zero counts)
+        # degrades to uniform rather than dividing by zero.
+        dist = EmpiricalPopularity.from_counts([0.0, 0.0, 0.0, 0.0])
+        assert dist.weights == (0.25,) * 4
+        assert dist.hit_rate(0.5) == pytest.approx(0.5)
+
+    def test_drift_rotation_is_rank_invariant(self):
+        # Rotating which titles carry the head (the DriftEvent model)
+        # must not change the fitted rank curve: hit_rate consumes
+        # sorted shares.
+        before = EmpiricalPopularity.from_counts([8.0, 4.0, 2.0, 1.0])
+        after = EmpiricalPopularity.from_counts([1.0, 8.0, 4.0, 2.0])
+        assert before.weights == after.weights
+        for p in (0.1, 0.25, 0.5, 0.9):
+            assert before.hit_rate(p) == pytest.approx(after.hit_rate(p))
+
+    def test_unsorted_direct_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalPopularity(weights=(0.2, 0.8))
+
+
+class TestBimodalSkewBoundary:
+    """``skew``/``is_uniform`` across the 50:50 uniform boundary."""
+
+    def test_uniform_boundary(self):
+        dist = BimodalPopularity.parse("50:50")
+        assert dist.is_uniform
+        assert dist.skew == pytest.approx(1.0)
+        assert dist.hit_rate(0.3) == pytest.approx(0.3)
+
+    def test_just_across_the_boundary(self):
+        dist = BimodalPopularity.parse("49:51")
+        assert not dist.is_uniform
+        assert dist.skew > 1.0
+        assert dist.hit_rate(0.49) == pytest.approx(0.51)
+
+    def test_crossing_below_uniform_rejected(self):
+        # 51:49 would give the "popular" class less than its uniform
+        # share; the constructor (and therefore parse) refuses.
+        with pytest.raises(ConfigurationError):
+            BimodalPopularity.parse("51:49")
+
+    def test_skew_grows_with_concentration(self):
+        skews = [BimodalPopularity.parse(spec).skew
+                 for spec in ("50:50", "20:80", "5:95", "1:99")]
+        assert skews == sorted(skews)
+        assert skews[0] == pytest.approx(1.0)

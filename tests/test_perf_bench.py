@@ -76,7 +76,7 @@ class TestRunWorkloads:
         assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
                                   "runtime_scenario", "planner_cold",
                                   "planner_warm", "admission_storm",
-                                  "replan_epochs"}
+                                  "replan_epochs", "flash_crowd"}
 
     def test_admission_storm_tiny(self):
         (record,) = run_workloads(["admission_storm"], preset="tiny")
@@ -92,6 +92,20 @@ class TestRunWorkloads:
         assert record.metrics["probe_ratio"] > 1.0
         assert record.metrics["planner_probes_warm_run"] > 0
         assert record.metrics["solves_per_sec"] > 0
+
+    def test_flash_crowd_tiny(self):
+        (record,) = run_workloads(["flash_crowd"], preset="tiny")
+        for key in ("wall_time_s", "events_per_sec", "fanout_ratio",
+                    "sessions_prefix", "sessions_whole", "batched_joins",
+                    "io_streams", "prefix_probes_cold_run",
+                    "prefix_probes_warm_run", "probe_ratio"):
+            assert key in record.metrics
+        assert record.metrics["fanout_ratio"] > 1.0
+        assert record.metrics["batched_joins"] > 0
+        # Hinted epoch replans must replay warm, and cheaper than cold.
+        assert record.metrics["prefix_probes_warm_run"] > 0
+        assert (record.metrics["prefix_probes_warm_run"]
+                < record.metrics["prefix_probes_cold_run"])
 
     def test_unknown_workload(self):
         with pytest.raises(ConfigurationError):
