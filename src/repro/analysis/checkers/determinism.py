@@ -38,7 +38,7 @@ from repro.analysis.base import Checker, Finding, register
 
 #: Directories whose modules carry the seed guarantee.
 SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf",
-                         "vod"})
+                         "vod", "service"})
 
 #: Individual modules outside those directories that opt in, as
 #: ``(parent_dir, filename)`` tails.  The warm-start search engine

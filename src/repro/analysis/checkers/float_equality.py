@@ -30,9 +30,12 @@ from pathlib import Path
 
 from repro.analysis.base import Checker, Finding, register
 
-#: Directories where the rule binds (the analytical layers and the
-#: experiment runners that assemble their outputs).
-SCOPED_DIRS = frozenset({"core", "planner", "experiments", "vod"})
+#: Directories where the rule binds (the analytical layers, the
+#: experiment runners that assemble their outputs, and the service
+#: control plane — its backpressure thresholds and parity comparisons
+#: are float chains).
+SCOPED_DIRS = frozenset({"core", "planner", "experiments", "vod",
+                         "service"})
 
 
 def _is_float_call(node: ast.expr) -> bool:

@@ -16,6 +16,11 @@ Usage::
     mems-repro runtime device-failure --seed 7 --json metrics.json
                                     # run a scenario, print the dashboard
     mems-repro runtime all --jobs 4 # the whole scenario suite in parallel
+    mems-repro runtime flash_crowd --emit-config flash.json
+                                    # dump a scenario as declarative JSON
+    mems-repro runtime --config flash.json
+                                    # run a declarative config through the
+                                    # service control plane
     mems-repro bench --preset small --out bench_out
                                     # record BENCH_<name>.json timings
     mems-repro bench --replay bench_out --compare benchmarks/baselines
@@ -105,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="MEMS devices in the bank (default 2)")
     runtime_cmd = sub.add_parser(
         "runtime", help="run an online-server scenario (or 'list')")
-    runtime_cmd.add_argument("scenario",
+    runtime_cmd.add_argument("scenario", nargs="?", default=None,
                              help="scenario name (see 'runtime list')")
     runtime_cmd.add_argument("--seed", type=int, default=0,
                              help="random seed (default 0)")
@@ -117,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes for 'all' "
                                   "(default 1 = serial)")
+    runtime_cmd.add_argument("--config", metavar="PATH", default=None,
+                             help="run a declarative RuntimeConfig JSON "
+                                  "file through the service control plane "
+                                  "(instead of a named scenario)")
+    runtime_cmd.add_argument("--emit-config", metavar="PATH", default=None,
+                             help="with a scenario name: write its "
+                                  "declarative RuntimeConfig JSON to PATH "
+                                  "('-' for stdout) and exit")
     lint_cmd = sub.add_parser(
         "lint", help="run the repo-specific static-analysis pass")
     lint_cmd.add_argument("paths", nargs="*", default=["src"],
@@ -144,12 +157,57 @@ def _run_lint(args: argparse.Namespace) -> int:
 
 def _run_runtime(args: argparse.Namespace) -> int:
     """The ``runtime`` subcommand: run a scenario, print the dashboard."""
+    from repro.errors import ConfigurationError
     from repro.runtime.scenarios import (
         SCENARIOS,
         run_scenario,
         run_scenario_batch,
     )
+    from repro.service.scenarios import (
+        build_service_scenario,
+        require_known_scenario,
+    )
 
+    if args.config is not None:
+        from repro.service.config import RuntimeConfig
+        from repro.service.traffic import run_service
+
+        if args.scenario is not None or args.emit_config is not None:
+            raise ConfigurationError(
+                "--config replaces the scenario name (and cannot be "
+                "combined with --emit-config)")
+        with open(args.config, encoding="utf-8") as handle:
+            config = RuntimeConfig.from_json(handle.read())
+        if args.horizon is not None:
+            if args.horizon <= 0:
+                raise ConfigurationError(
+                    f"horizon must be > 0, got {args.horizon!r}")
+            config = config.replace(horizon=args.horizon)
+        result = run_service(config.replace(seed=args.seed)
+                             if args.seed != config.seed else config)
+        print(result.dashboard())
+        print()
+        print(result.summary())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json(indent=2))
+            print(f"wrote {args.json}", file=sys.stderr)
+        return 0
+    if args.scenario is None:
+        raise ConfigurationError(
+            "runtime needs a scenario name, 'list', 'all', or --config "
+            "(see 'runtime list')")
+    if args.emit_config is not None:
+        config = build_service_scenario(args.scenario, seed=args.seed,
+                                        horizon=args.horizon)
+        text = config.to_json(indent=2)
+        if args.emit_config == "-":
+            print(text)
+        else:
+            with open(args.emit_config, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.emit_config}", file=sys.stderr)
+        return 0
     if args.scenario == "list":
         for name, factory in SCENARIOS.items():
             doc = (factory.__doc__ or "").strip().splitlines()[0]
@@ -173,6 +231,9 @@ def _run_runtime(args: argparse.Namespace) -> int:
                 _json.dump(payload, handle, indent=2)
             print(f"wrote {args.json}", file=sys.stderr)
         return 0
+    # Fail on a bad name before anything heavy runs — and through the
+    # one canonical validator, so the error text has a single home.
+    require_known_scenario(args.scenario)
     result = run_scenario(args.scenario, seed=args.seed,
                           horizon=args.horizon)
     print(result.dashboard())

@@ -20,7 +20,15 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
 * ``flash_crowd`` — the VoD prefix-mode scenario against the identical
   workload under whole-stream caching: the committed baseline pins the
   multicast fan-out ratio and the admitted-session advantage, plus a
-  warm-vs-cold probe ratio for the prefix epoch re-planner.
+  warm-vs-cold probe ratio for the prefix epoch re-planner;
+* ``service_churn`` — control-plane churn through the
+  :class:`~repro.service.facade.MediaService` facade: cycles of
+  admit / teardown / reconfigure ops with the epoch replan running
+  *off the request path* (``replan_latency > 0``), so admits landing
+  inside each replan window park as PENDING tickets that the
+  replan-done event finalizes; the baseline gates the facade's
+  ``ops_per_sec`` and records how many tickets took the EVENT_FLOW
+  path.
 
 JSON schema (``BenchRecord.to_dict``)::
 
@@ -53,6 +61,7 @@ METRIC_DIRECTIONS: dict[str, str] = {
     "wall_time_s": "lower",
     "events_per_sec": "higher",
     "solves_per_sec": "higher",
+    "ops_per_sec": "higher",
 }
 
 #: Per-preset workload scale knobs.
@@ -61,18 +70,21 @@ _PRESETS: dict[str, dict[str, float]] = {
     "tiny": {"events": 5_000, "max_streams": 300.0, "horizon": 600.0,
              "grid": 4, "storm_epochs": 16, "storm_arrivals": 25,
              "replan_epochs": 10, "replan_titles": 20,
-             "vod_horizon": 2_000.0},
+             "vod_horizon": 2_000.0,
+             "churn_cycles": 8, "churn_admits": 40},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
               "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
               "replan_epochs": 16, "replan_titles": 40,
-              "vod_horizon": 6_000.0},
+              "vod_horizon": 6_000.0,
+              "churn_cycles": 24, "churn_admits": 120},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
              "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
              "storm_epochs": 60, "storm_arrivals": 400,
              "replan_epochs": 40, "replan_titles": 80,
-             "vod_horizon": 12_000.0},
+             "vod_horizon": 12_000.0,
+             "churn_cycles": 60, "churn_admits": 300},
 }
 
 
@@ -180,11 +192,15 @@ def bench_figure6_sweep(preset: str) -> dict[str, float]:
 
 def bench_runtime_scenario(preset: str) -> dict[str, float]:
     """The ``device-failure`` online scenario, seeded and bounded."""
-    from repro.runtime.scenarios import run_scenario
+    from repro.runtime.runtime import run_runtime
+    from repro.runtime.scenarios import build_scenario
 
     horizon = _scale(preset)["horizon"]
+    # Build the config outside the timed region: the factory's one-time
+    # service-package import must not land in a single-repeat wall time.
+    config = build_scenario("device-failure", seed=7, horizon=horizon)
     start = _elapsed()
-    result = run_scenario("device-failure", seed=7, horizon=horizon)
+    result = run_runtime(config)
     wall = _elapsed() - start
     cache = result.planner_cache
     solves = cache.get("hits", 0) + cache.get("misses", 0)
@@ -433,6 +449,66 @@ def bench_flash_crowd(preset: str) -> dict[str, float]:
                             if probes_warm else 0.0)}
 
 
+def bench_service_churn(preset: str) -> dict[str, float]:
+    """Control-plane churn through the ``MediaService`` facade.
+
+    Each cycle opens an off-path replan window (``replan_latency > 0``),
+    fires an admit burst into it — every one of those parks as a
+    PENDING ticket, the EVENT_FLOW path — advances the calendar past
+    the replan-done event (finalizing the parked tickets under the
+    fresh plan), fires a second burst down the synchronous path, tears
+    half the admitted sessions down, and nudges the DRAM budget through
+    ``reconfigure`` so the next cycle re-solves capacity.  The gated
+    ``ops_per_sec`` is facade calls (admit + teardown + reconfigure)
+    over the whole churn; ``pending_finalized`` pins that the off-path
+    window actually parked work (the CI gate asserts it is > 0).
+    """
+    from repro.service.config import ControlConfig
+    from repro.service.events import EventLog, ReplanCompleted
+    from repro.service.facade import MediaService
+    from repro.service.scenarios import adaptive_cache
+    from repro.units import MB
+
+    scale = _scale(preset)
+    cycles = int(scale["churn_cycles"])
+    admits = int(scale["churn_admits"])
+    latency = 5.0
+    config = adaptive_cache(seed=3).replace(
+        control=ControlConfig(epoch=300.0, metrics_interval=120.0,
+                              replan_latency=latency))
+    service = MediaService(config)
+    sim = service.sim
+    log = EventLog()
+    service.bus.subscribe(ReplanCompleted, log)
+    ops = 0
+    live: list[int] = []
+    start = _elapsed()
+    for cycle in range(cycles):
+        service.on_epoch(sim)  # opens the replan window
+        for _ in range(admits):  # all of these park as PENDING
+            ticket = service.admit()
+            ops += 1
+        sim.run(until=sim.now + latency + 1.0)  # replan-done finalizes
+        for _ in range(admits):  # synchronous path
+            ticket = service.admit()
+            ops += 1
+            if ticket.admitted:
+                live.append(ticket.session_id)
+        for session_id in live[::2]:
+            service.teardown(session_id)
+            ops += 1
+        live = live[1::2]
+        service.reconfigure(dram_budget=(50 * MB) * (1.0 + 1e-6 * cycle))
+        ops += 1
+    wall = _elapsed() - start
+    pending_finalized = sum(e.pending_finalized for e in log.events)
+    return {"wall_time_s": wall,
+            "ops_per_sec": ops / wall,
+            "ops": float(ops),
+            "pending_finalized": float(pending_finalized),
+            "events_published": float(service.bus.events_published)}
+
+
 #: Workload name -> runner; the order is the report order.
 WORKLOADS = {
     "event_loop": bench_event_loop,
@@ -443,6 +519,7 @@ WORKLOADS = {
     "admission_storm": bench_admission_storm,
     "replan_epochs": bench_replan_epochs,
     "flash_crowd": bench_flash_crowd,
+    "service_churn": bench_service_churn,
 }
 
 

@@ -183,6 +183,23 @@ class RuntimeConfig:
             self.device = MEMS_G3
 
 
+@dataclass(frozen=True)
+class ArrivalOutcome:
+    """What one arrival did to the server (the admission verdict).
+
+    The legacy run loop ignores it; the service facade
+    (:mod:`repro.service`) turns it into tickets and bus events.
+    """
+
+    admitted: bool
+    title: int
+    session: Session | None = None
+    served_by: str | None = None
+    reason: str | None = None
+    #: True when a prefix-mode arrival joined an open shared stream.
+    batched: bool = False
+
+
 @dataclass
 class RuntimeResult:
     """Everything one runtime run produced."""
@@ -362,6 +379,53 @@ class ServerRuntime:
                 self._degraded_params(), config.dram_budget,
                 configuration=self._mode, planner=self._planner)
 
+    # -- Accessors (the service facade drives the engine through these) ------
+
+    @property
+    def sim(self) -> Simulator:
+        """The run's event calendar (shared with the service facade)."""
+        return self._sim
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The run's single seeded generator."""
+        return self._rng
+
+    @property
+    def mode(self) -> str:
+        """Active configuration mode ("none"/"buffer"/"cache"/"prefix")."""
+        return self._mode
+
+    @property
+    def controller(self) -> AdmissionController:
+        """The live admission controller."""
+        return self._controller
+
+    @property
+    def planner(self) -> Planner:
+        """The run's private planner."""
+        return self._planner
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently playing."""
+        return len(self._sessions)
+
+    @property
+    def policy(self) -> CachePolicy | None:
+        """The placement policy of the last plan (None in static modes)."""
+        return self._policy
+
+    @property
+    def rejects_total(self) -> int:
+        """Arrivals the engine itself has rejected so far."""
+        return self._rejects_total
+
+    @property
+    def k_active(self) -> int:
+        """Surviving MEMS devices."""
+        return self._k_active
+
     # -- Geometry ------------------------------------------------------------
 
     def _degraded_params(self) -> SystemParameters:
@@ -385,8 +449,22 @@ class ServerRuntime:
         sim.after(delay, self._on_arrival, "arrival")
 
     def _on_arrival(self, sim: Simulator) -> None:
+        self.handle_arrival(sim)
+        self._schedule_arrival(sim)
+
+    def handle_arrival(self, sim: Simulator,
+                       title: int | None = None) -> ArrivalOutcome:
+        """Process one arrival: observe, admit or reject, schedule exit.
+
+        The engine's admission operation: the legacy run loop calls it
+        from the Poisson arrival chain, the service facade calls it for
+        each :meth:`repro.service.MediaService.admit`.  When ``title``
+        is None the workload draws one (the next draw of the seeded
+        stream, so both paths consume the RNG identically).
+        """
         workload = self.config.workload
-        title = workload.next_title(self._rng)
+        if title is None:
+            title = workload.next_title(self._rng)
         self._arrivals_total += 1
         self._metrics.count("arrivals")
         if self._placement is not None:
@@ -394,9 +472,7 @@ class ServerRuntime:
         if self._prefix is not None:
             self._prefix.observe(title)
         if self._mode == "prefix":
-            self._admit_prefix(sim, title)
-            self._schedule_arrival(sim)
-            return
+            return self._admit_prefix(sim, title)
         decision = self._controller.try_admit()
         if decision.admitted:
             session = Session(session_id=self._next_id, title=title,
@@ -412,15 +488,18 @@ class ServerRuntime:
                 served_by=session.served_by))
             sim.after(session.holding_time, self._make_departure(session),
                       "departure")
-        else:
-            self._rejects_total += 1
-            self._metrics.count("rejects")
-            self._events.append(SessionEvent(
-                time=sim.now, kind=SessionEventKind.REJECT,
-                session_id=-1, title=title, reason=decision.reason))
-        self._schedule_arrival(sim)
+            return ArrivalOutcome(admitted=True, title=title,
+                                  session=session,
+                                  served_by=session.served_by)
+        self._rejects_total += 1
+        self._metrics.count("rejects")
+        self._events.append(SessionEvent(
+            time=sim.now, kind=SessionEventKind.REJECT,
+            session_id=-1, title=title, reason=decision.reason))
+        return ArrivalOutcome(admitted=False, title=title,
+                              reason=decision.reason)
 
-    def _admit_prefix(self, sim: Simulator, title: int) -> None:
+    def _admit_prefix(self, sim: Simulator, title: int) -> ArrivalOutcome:
         """Prefix-mode admission: join an open stream or charge a new one.
 
         A same-title arrival inside an open stream's batching window
@@ -450,7 +529,9 @@ class ServerRuntime:
                 served_by=session.served_by))
             sim.after(session.holding_time, self._make_departure(session),
                       "departure")
-            return
+            return ArrivalOutcome(admitted=True, title=title,
+                                  session=session,
+                                  served_by=session.served_by, batched=True)
         decision = self._controller.try_admit()
         if decision.admitted:
             served_by = ("prefix" if self._prefix.is_resident(title)
@@ -473,36 +554,59 @@ class ServerRuntime:
                 served_by=session.served_by))
             sim.after(session.holding_time, self._make_departure(session),
                       "departure")
+            return ArrivalOutcome(admitted=True, title=title,
+                                  session=session,
+                                  served_by=session.served_by)
+        self._rejects_total += 1
+        self._metrics.count("rejects")
+        self._events.append(SessionEvent(
+            time=sim.now, kind=SessionEventKind.REJECT,
+            session_id=-1, title=title, reason=decision.reason))
+        return ArrivalOutcome(admitted=False, title=title,
+                              reason=decision.reason)
+
+    def _complete_departure(self, sim: Simulator, session: Session) -> None:
+        """Release the departed session's slot and log the exit."""
+        if session.stream_id is not None:
+            # Shared stream: the IO slot frees only when the last
+            # rider leaves.
+            if (self._batcher is not None
+                    and self._batcher.has_stream(session.stream_id)):
+                if self._batcher.leave(session.stream_id,
+                                       session.session_id):
+                    self._controller.release(1)
+                    self._metrics.count("streams_closed")
         else:
-            self._rejects_total += 1
-            self._metrics.count("rejects")
-            self._events.append(SessionEvent(
-                time=sim.now, kind=SessionEventKind.REJECT,
-                session_id=-1, title=title, reason=decision.reason))
+            self._controller.release(1)
+        self._metrics.count("departures")
+        self._events.append(SessionEvent(
+            time=sim.now, kind=SessionEventKind.DEPART,
+            session_id=session.session_id, title=session.title,
+            served_by=session.served_by))
 
     def _make_departure(self, session: Session):
         def depart(sim: Simulator) -> None:
             # The session may have been shed by a failure already.
             if self._sessions.pop(session.session_id, None) is None:
                 return
-            if session.stream_id is not None:
-                # Shared stream: the IO slot frees only when the last
-                # rider leaves.
-                if (self._batcher is not None
-                        and self._batcher.has_stream(session.stream_id)):
-                    if self._batcher.leave(session.stream_id,
-                                           session.session_id):
-                        self._controller.release(1)
-                        self._metrics.count("streams_closed")
-            else:
-                self._controller.release(1)
-            self._metrics.count("departures")
-            self._events.append(SessionEvent(
-                time=sim.now, kind=SessionEventKind.DEPART,
-                session_id=session.session_id, title=session.title,
-                served_by=session.served_by))
+            self._complete_departure(sim, session)
 
         return depart
+
+    def close_session(self, sim: Simulator, session_id: int) -> Session | None:
+        """Tear one session down early (the service ``teardown`` op).
+
+        Accounted exactly like a natural departure — the slot is
+        released and a ``DEPART`` event is logged — so the engine's
+        scheduled departure callback later finds the session gone and
+        no-ops.  Returns the closed session, or None if the id is not
+        live.
+        """
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return None
+        self._complete_departure(sim, session)
+        return session
 
     def _shed_sessions(self, sim: Simulator, n_drop: int,
                        reason: str) -> None:
@@ -597,10 +701,23 @@ class ServerRuntime:
                 sim, self._batcher.active_streams - capacity, reason)
 
     def _on_epoch(self, sim: Simulator) -> None:
+        self.run_epoch(sim)
+
+    def run_epoch(self, sim: Simulator) -> bool:
+        """Run one epoch re-plan now; True when a re-plan happened.
+
+        The replan operation of the control plane: the legacy loop
+        fires it on the epoch timer, the service facade fires it off
+        the request path (possibly delayed by ``replan_latency``).
+        Static modes ("none"/"buffer") have nothing to re-plan.
+        """
         if self._mode == "cache":
             self._replan(sim, reason="epoch re-plan over capacity")
-        elif self._mode == "prefix":
+            return True
+        if self._mode == "prefix":
             self._replan_prefix(sim, reason="epoch re-plan over capacity")
+            return True
+        return False
 
     def _fail_prefix(self, sim: Simulator) -> None:
         """Degrade the prefix mode after a bank failure.
@@ -660,74 +777,90 @@ class ServerRuntime:
 
     def _make_failure(self, event: FailureEvent):
         def fail(sim: Simulator) -> None:
-            self._metrics.count("failures")
-            if event.kind is FailureKind.DEVICE_LOSS:
-                self._k_active = max(0, self._k_active - event.count)
-            else:
-                self._rate_factor *= event.factor
-            if self._mode == "prefix":
-                self._fail_prefix(sim)
-                self._bank = (None if self._k_active < 1 else MemsBank(
-                    self.config.device, self._k_active,
-                    BankPolicy.ROUND_ROBIN))
-                if self._degraded_since is None:
-                    self._degraded_since = sim.now
-                return
-            popularity = self.config.workload.popularity
-            if self._placement is not None:
-                # Judge recovery against the observed traffic, not the
-                # configured distribution.
-                from repro.core.popularity import EmpiricalPopularity
-
-                popularity = EmpiricalPopularity.from_counts(
-                    self._placement.scores())
-            plan = plan_recovery(self.config.params,
-                                 self.config.dram_budget,
-                                 len(self._sessions), popularity,
-                                 k_active=self._k_active,
-                                 r_mems_factor=self._rate_factor,
-                                 planner=self._planner)
-            if plan.n_dropped:
-                self._shed_sessions(sim, plan.n_dropped, "device failure")
-            previous_mode = self._mode
-            self._mode = plan.mode
-            self._policy = plan.policy
-            if plan.mode == "cache":
-                self._controller.reconfigure(
-                    params=self._degraded_params(), configuration="cache",
-                    policy=plan.policy, popularity=popularity)
-                # Shrink the cached set to the surviving capacity now
-                # rather than waiting for the next epoch tick.
-                self._replan(sim, reason="device failure")
-            else:
-                self._controller.reconfigure(
-                    params=self._degraded_params(),
-                    configuration=plan.mode)
-                if previous_mode == "cache":
-                    for session in self._sessions.values():
-                        session.served_by = self._served_by(session.title)
-            self._bank = (None if self._k_active < 1 else MemsBank(
-                self.config.device, self._k_active, BankPolicy.ROUND_ROBIN))
-            if self._degraded_since is None:
-                self._degraded_since = sim.now
+            self.apply_failure(sim, event)
 
         return fail
 
+    def apply_failure(self, sim: Simulator, event: FailureEvent) -> None:
+        """Degrade the bank per ``event`` and re-plan the survivors."""
+        self._metrics.count("failures")
+        if event.kind is FailureKind.DEVICE_LOSS:
+            self._k_active = max(0, self._k_active - event.count)
+        else:
+            self._rate_factor *= event.factor
+        if self._mode == "prefix":
+            self._fail_prefix(sim)
+            self._bank = (None if self._k_active < 1 else MemsBank(
+                self.config.device, self._k_active,
+                BankPolicy.ROUND_ROBIN))
+            if self._degraded_since is None:
+                self._degraded_since = sim.now
+            return
+        popularity = self.config.workload.popularity
+        if self._placement is not None:
+            # Judge recovery against the observed traffic, not the
+            # configured distribution.
+            from repro.core.popularity import EmpiricalPopularity
+
+            popularity = EmpiricalPopularity.from_counts(
+                self._placement.scores())
+        plan = plan_recovery(self.config.params,
+                             self.config.dram_budget,
+                             len(self._sessions), popularity,
+                             k_active=self._k_active,
+                             r_mems_factor=self._rate_factor,
+                             planner=self._planner)
+        if plan.n_dropped:
+            self._shed_sessions(sim, plan.n_dropped, "device failure")
+        previous_mode = self._mode
+        self._mode = plan.mode
+        self._policy = plan.policy
+        if plan.mode == "cache":
+            self._controller.reconfigure(
+                params=self._degraded_params(), configuration="cache",
+                policy=plan.policy, popularity=popularity)
+            # Shrink the cached set to the surviving capacity now
+            # rather than waiting for the next epoch tick.
+            self._replan(sim, reason="device failure")
+        else:
+            self._controller.reconfigure(
+                params=self._degraded_params(),
+                configuration=plan.mode)
+            if previous_mode == "cache":
+                for session in self._sessions.values():
+                    session.served_by = self._served_by(session.title)
+        self._bank = (None if self._k_active < 1 else MemsBank(
+            self.config.device, self._k_active, BankPolicy.ROUND_ROBIN))
+        if self._degraded_since is None:
+            self._degraded_since = sim.now
+
+    def apply_drift(self, sim: Simulator, event: DriftEvent) -> None:
+        """Rotate the title ranking (popularity drift)."""
+        self.config.workload.rotate_popularity(event.shift)
+
+    def apply_surge(self, sim: Simulator, event: SurgeEvent) -> None:
+        """Scale the arrival rate (flash crowd)."""
+        self.config.workload.scale_rate(event.factor)
+
+    def apply_focus(self, sim: Simulator, event: FocusEvent) -> None:
+        """Concentrate arrivals onto one title (focused crowd)."""
+        self.config.workload.focus_title(event.title, event.weight)
+
     def _make_drift(self, event: DriftEvent):
         def drift(sim: Simulator) -> None:
-            self.config.workload.rotate_popularity(event.shift)
+            self.apply_drift(sim, event)
 
         return drift
 
     def _make_surge(self, event: SurgeEvent):
         def surge(sim: Simulator) -> None:
-            self.config.workload.scale_rate(event.factor)
+            self.apply_surge(sim, event)
 
         return surge
 
     def _make_focus(self, event: FocusEvent):
         def focus(sim: Simulator) -> None:
-            self.config.workload.focus_title(event.title, event.weight)
+            self.apply_focus(sim, event)
 
         return focus
 
@@ -760,6 +893,10 @@ class ServerRuntime:
             # Buffered traffic crosses the bank twice (write + read).
             return max(disk_load, 2 * n * params.bit_rate / bank_rate)
         return disk_load
+
+    def seal_metrics(self, sim: Simulator) -> None:
+        """Close one reporting interval now (the service metrics op)."""
+        self._on_metrics(sim)
 
     def _on_metrics(self, sim: Simulator) -> None:
         workload = self.config.workload
@@ -845,6 +982,17 @@ class ServerRuntime:
         for focus in sorted(config.focuses, key=lambda e: e.time):
             sim.at(focus.time, self._make_focus(focus), "focus")
         sim.run(until=config.horizon)
+        return self.finalize()
+
+    def finalize(self) -> RuntimeResult:
+        """Seal the run after the horizon and build the result.
+
+        Shared by the legacy :meth:`run` loop and the service traffic
+        programs, so both paths produce the result through identical
+        code (the parity harness compares the JSON byte for byte).
+        """
+        config = self.config
+        sim = self._sim
         if (not self._metrics.snapshots
                 or self._metrics.snapshots[-1].t_end < config.horizon):
             self._on_metrics(sim)

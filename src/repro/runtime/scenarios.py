@@ -4,6 +4,15 @@ Each scenario is a reproducible :class:`~repro.runtime.runtime.RuntimeConfig`
 factory: same name + seed + horizon => identical run (admissions,
 migrations, drops, and metrics all derive from one seeded generator).
 
+Since the control-plane refactor the scenario *contents* live
+declaratively in :mod:`repro.service.scenarios` — one frozen
+:class:`~repro.service.config.RuntimeConfig` tree per name, dumpable
+to JSON via ``mems-repro runtime --emit-config``.  The factories here
+are thin ``.to_legacy()`` shims kept for the imperative callers (and
+for their docstrings, which ``mems-repro runtime list`` prints); the
+parity harness in :mod:`repro.service.parity` holds the two paths to
+byte-identical output.
+
 The content library is modelled as 100 equal-sized titles on a 200 GB
 slice of the disk, so the ``k = 2`` G3 bank caches the top 5-10% of the
 catalogue depending on policy — enough for the adaptive placement to
@@ -19,40 +28,20 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.core.parameters import SystemParameters
-from repro.core.popularity import ZipfPopularity
 from repro.errors import ConfigurationError
-from repro.runtime.failures import FailureEvent, FailureKind
-from repro.runtime.runtime import (
-    DriftEvent,
-    FocusEvent,
-    RuntimeConfig,
-    RuntimeResult,
-    SurgeEvent,
-    run_runtime,
-)
-from repro.runtime.sessions import SessionWorkload
-from repro.units import GB, KB, MB
-
-#: Library size: 100 titles on a 200 GB disk slice.
-_N_TITLES = 100
-_LIBRARY_BYTES = 200 * GB
-_BIT_RATE = 500 * KB
+from repro.runtime.runtime import RuntimeConfig, RuntimeResult, run_runtime
 
 
-def _disk_params() -> SystemParameters:
-    return SystemParameters.table3_default(n_streams=1, bit_rate=_BIT_RATE,
-                                           k=1)
+def _service_scenarios():
+    """The declarative registry, imported lazily.
 
+    ``repro.service.config`` itself imports the runtime layer (its
+    tree compiles to the legacy config), so a module-level import here
+    would close an import cycle through ``repro.runtime.__init__``.
+    """
+    from repro.service import scenarios
 
-def _cache_params() -> SystemParameters:
-    return SystemParameters.table3_default(
-        n_streams=1, bit_rate=_BIT_RATE, k=2).replace(
-            size_disk=_LIBRARY_BYTES)
-
-
-def _zipf() -> ZipfPopularity:
-    return ZipfPopularity(alpha=1.0, n_titles=_N_TITLES)
+    return scenarios
 
 
 def steady_disk(*, seed: int = 0,
@@ -62,13 +51,8 @@ def steady_disk(*, seed: int = 0,
     Fixed capacity, no adaptation — the run that validates the
     empirical blocking probability against Erlang-B.
     """
-    return RuntimeConfig(
-        params=_disk_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(arrival_rate=160 / 600.0,
-                                 mean_holding=600.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=3_600.0, metrics_interval=600.0,
-        configuration="none", seed=seed)
+    return _service_scenarios().steady_disk(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def adaptive_cache(*, seed: int = 0,
@@ -78,16 +62,8 @@ def adaptive_cache(*, seed: int = 0,
     The title ranking rotates twice mid-run; each epoch the placement
     re-ranks from observed admissions and migrates the cached set.
     """
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(arrival_rate=150 / 1_200.0,
-                                 mean_holding=1_200.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="cache",
-        drifts=(DriftEvent(time=horizon / 3, shift=25),
-                DriftEvent(time=2 * horizon / 3, shift=25)),
-        seed=seed)
+    return _service_scenarios().adaptive_cache(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def device_failure(*, seed: int = 0,
@@ -100,47 +76,32 @@ def device_failure(*, seed: int = 0,
     budget is deliberately tight so the run sits near capacity and the
     failure is consequential.
     """
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=10 * MB,
-        workload=SessionWorkload(arrival_rate=170 / 1_200.0,
-                                 mean_holding=1_200.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="cache",
-        failures=(FailureEvent(time=horizon / 2,
-                               kind=FailureKind.DEVICE_LOSS, count=1),),
-        seed=seed)
+    return _service_scenarios().device_failure(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def degraded_bandwidth(*, seed: int = 0,
                        horizon: float = 6_000.0) -> RuntimeConfig:
     """Both MEMS devices throttle to 40% media rate mid-run."""
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(arrival_rate=150 / 1_200.0,
-                                 mean_holding=1_200.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="cache",
-        failures=(FailureEvent(time=horizon / 2,
-                               kind=FailureKind.BANDWIDTH_DEGRADE,
-                               factor=0.4),),
-        seed=seed)
+    return _service_scenarios().degraded_bandwidth(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def flash_crowd(*, seed: int = 0,
                 horizon: float = 30_000.0) -> RuntimeConfig:
     """Arrival rate surges 2.5x through the middle third of the run."""
-    return RuntimeConfig(
-        params=_disk_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(arrival_rate=120 / 600.0,
-                                 mean_holding=600.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=3_600.0, metrics_interval=600.0,
-        configuration="none",
-        surges=(SurgeEvent(time=horizon / 3, factor=2.5),
-                SurgeEvent(time=2 * horizon / 3, factor=1.0)),
-        seed=seed)
+    return _service_scenarios().flash_crowd(
+        seed=seed, horizon=horizon).to_legacy()
+
+
+def overload(*, seed: int = 0, horizon: float = 30_000.0) -> RuntimeConfig:
+    """Plain disk offered ~3x its admission capacity, start to finish.
+
+    The saturation run: blocking dominates, and the service facade's
+    backpressure governor spends the run in ``SHEDDING``.
+    """
+    return _service_scenarios().overload(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def vod_flash_crowd(*, seed: int = 0,
@@ -155,18 +116,8 @@ def vod_flash_crowd(*, seed: int = 0,
     whole-stream cache at the same MEMS/DRAM budgets — the fan-out
     economics the ``flash_crowd`` benchmark gate records.
     """
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(arrival_rate=150 / 1_200.0,
-                                 mean_holding=1_200.0, n_titles=_N_TITLES,
-                                 popularity=_zipf()),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="prefix",
-        surges=(SurgeEvent(time=horizon / 3, factor=6.0),
-                SurgeEvent(time=2 * horizon / 3, factor=1.0)),
-        focuses=(FocusEvent(time=horizon / 3, title=7, weight=0.7),
-                 FocusEvent(time=2 * horizon / 3, title=7, weight=0.0)),
-        seed=seed)
+    return _service_scenarios().vod_flash_crowd(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def vod_diurnal_drift(*, seed: int = 0,
@@ -178,21 +129,8 @@ def vod_diurnal_drift(*, seed: int = 0,
     the head as the ranking rotates each quarter; the rate doubles for
     the "evening" and halves for the "night".
     """
-    n_titles = 4 * _N_TITLES
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(
-            arrival_rate=150 / 1_200.0, mean_holding=1_200.0,
-            n_titles=n_titles,
-            popularity=ZipfPopularity(alpha=1.0, n_titles=n_titles)),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="prefix",
-        drifts=(DriftEvent(time=horizon / 4, shift=100),
-                DriftEvent(time=horizon / 2, shift=100),
-                DriftEvent(time=3 * horizon / 4, shift=100)),
-        surges=(SurgeEvent(time=horizon / 4, factor=2.0),
-                SurgeEvent(time=3 * horizon / 4, factor=0.5)),
-        seed=seed)
+    return _service_scenarios().vod_diurnal_drift(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 def vod_long_tail(*, seed: int = 0,
@@ -203,15 +141,8 @@ def vod_long_tail(*, seed: int = 0,
     resident prefixes buy few batched joins and the tail-disk load
     stays high — the contrast run for ``flash_crowd``.
     """
-    n_titles = 4 * _N_TITLES
-    return RuntimeConfig(
-        params=_cache_params(), dram_budget=50 * MB,
-        workload=SessionWorkload(
-            arrival_rate=150 / 1_200.0, mean_holding=1_200.0,
-            n_titles=n_titles,
-            popularity=ZipfPopularity(alpha=0.4, n_titles=n_titles)),
-        horizon=horizon, epoch=300.0, metrics_interval=120.0,
-        configuration="prefix", seed=seed)
+    return _service_scenarios().vod_long_tail(
+        seed=seed, horizon=horizon).to_legacy()
 
 
 SCENARIOS: dict[str, Callable[..., RuntimeConfig]] = {
@@ -220,6 +151,7 @@ SCENARIOS: dict[str, Callable[..., RuntimeConfig]] = {
     "device-failure": device_failure,
     "degraded-bandwidth": degraded_bandwidth,
     "flash-crowd": flash_crowd,
+    "overload": overload,
     "flash_crowd": vod_flash_crowd,
     "diurnal_drift": vod_diurnal_drift,
     "long_tail": vod_long_tail,
@@ -227,13 +159,14 @@ SCENARIOS: dict[str, Callable[..., RuntimeConfig]] = {
 
 
 def _require_known(name: str) -> Callable[..., RuntimeConfig]:
-    """Look up a scenario factory; one canonical unknown-name error."""
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown scenario {name!r}; available: "
-            f"{', '.join(SCENARIOS)}") from None
+    """Look up a scenario factory; one canonical unknown-name error.
+
+    Validation is delegated to
+    :func:`repro.service.scenarios.require_known_scenario` so the
+    error text has a single home across the CLI and both registries.
+    """
+    _service_scenarios().require_known_scenario(name)
+    return SCENARIOS[name]
 
 
 def build_scenario(name: str, *, seed: int = 0,

@@ -95,6 +95,11 @@ class AdmissionController:
         #: Last solved capacity, kept across :meth:`reconfigure` as the
         #: warm-start hint — the model rarely moves far in one step.
         self._capacity_hint: int | None = None
+        #: Parked hints, keyed by demand-model kind: a reconfigure that
+        #: swaps the model kind (cache -> none after a failure, say)
+        #: re-keys the hint instead of seeding the new model's search
+        #: with the old model's capacity.
+        self._capacity_hints: dict[str, int] = {}
 
     @staticmethod
     def _check_configuration(configuration: str,
@@ -172,7 +177,14 @@ class AdmissionController:
         previous spec.  The new population is *not* revalidated here —
         callers decide how to shed load if the survivors no longer fit
         (see :mod:`repro.runtime.failures`).
+
+        A swap that changes the demand-model *kind* also re-keys the
+        warm-start capacity hint: the parked hint of the new kind (if
+        any) seeds the next solve, and the old kind's hint is parked
+        for a possible swap back, so a search is never warm-started
+        from a different model's answer.
         """
+        old_kind = self._configuration
         if spec is not None:
             if configuration is not None or policy is not None \
                     or popularity is not None:
@@ -204,6 +216,11 @@ class AdmissionController:
             self._dram_budget = dram_budget
         if params is not None:
             self._params = params.replace(n_streams=0)
+        if self._configuration != old_kind:
+            if self._capacity_hint is not None:
+                self._capacity_hints[old_kind] = self._capacity_hint
+            self._capacity_hint = self._capacity_hints.get(
+                self._configuration)
         self._capacity_value = None
 
     def capacity(self, *, limit: int = DEFAULT_INT_LIMIT,

@@ -1,0 +1,146 @@
+"""Admission backpressure states with hysteresis.
+
+When a loss system runs near its admission limit, a binary
+admit/reject signal is a poor operator interface: the interesting
+regimes are *approaching* saturation (start steering new traffic away)
+and *past* it (the server is actively refusing or shedding).  The
+:class:`BackpressureGovernor` classifies the admission load — admitted
+population over solved capacity — into three states:
+
+``ACCEPTING``
+    comfortably under capacity; admit freely.
+``THROTTLED``
+    near capacity; admissions still succeed but dispatchers should
+    back off (the P2P sizing analysis in PAPERS.md is why this must be
+    an online signal, not a scenario-time constant).
+``SHEDDING``
+    at or beyond capacity; new admissions are being rejected, and a
+    failure/replan may be dropping live sessions.
+
+Transitions are **monotone in load** — a higher load never maps to an
+earlier state — and **hysteretic**: each state is entered at a high
+threshold and left at a strictly lower one, so load noise around a
+threshold cannot flap the state (and with it the event stream).  The
+governor is pure bookkeeping: it never changes an admission verdict,
+it only names the regime, so a run with the governor attached stays
+byte-identical to one without.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ServiceState(enum.Enum):
+    """Backpressure regime of the admission plane."""
+
+    ACCEPTING = "accepting"
+    THROTTLED = "throttled"
+    SHEDDING = "shedding"
+
+
+#: State -> severity rank (monotone order of the regimes).
+_SEVERITY = {ServiceState.ACCEPTING: 0, ServiceState.THROTTLED: 1,
+             ServiceState.SHEDDING: 2}
+
+
+def severity(state: ServiceState) -> int:
+    """Monotone rank of a state (ACCEPTING=0 .. SHEDDING=2)."""
+    return _SEVERITY[state]
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Thresholds of the governor, as load fractions of capacity.
+
+    Enter thresholds must sit strictly above their exit thresholds
+    (that gap *is* the hysteresis), and the throttle band must sit
+    below the shed band so the states are monotone in load::
+
+        0 <= throttle_exit < throttle_enter <= shed_exit < shed_enter
+    """
+
+    throttle_enter: float = 0.85
+    throttle_exit: float = 0.70
+    shed_enter: float = 1.0
+    shed_exit: float = 0.95
+
+    def __post_init__(self) -> None:
+        ordered = (self.throttle_exit, self.throttle_enter,
+                   self.shed_exit, self.shed_enter)
+        if any(value < 0 for value in ordered):
+            raise ConfigurationError(
+                f"backpressure thresholds must be >= 0, got {ordered!r}")
+        if not self.throttle_exit < self.throttle_enter:
+            raise ConfigurationError(
+                f"throttle_exit must be < throttle_enter, got "
+                f"{self.throttle_exit!r} >= {self.throttle_enter!r}")
+        if not self.shed_exit < self.shed_enter:
+            raise ConfigurationError(
+                f"shed_exit must be < shed_enter, got "
+                f"{self.shed_exit!r} >= {self.shed_enter!r}")
+        if not self.throttle_enter <= self.shed_exit:
+            raise ConfigurationError(
+                f"throttle_enter must be <= shed_exit, got "
+                f"{self.throttle_enter!r} > {self.shed_exit!r}")
+
+
+class BackpressureGovernor:
+    """Classifies admission load into a hysteretic ServiceState.
+
+    Call :meth:`update` with the current load fraction after every
+    admission-plane operation; it returns the ``(previous, new)`` pair
+    exactly when the state changed (the caller publishes exactly one
+    bus event per transition) and None otherwise.
+    """
+
+    def __init__(self, config: BackpressureConfig | None = None) -> None:
+        self.config = config if config is not None else BackpressureConfig()
+        self._state = ServiceState.ACCEPTING
+
+    @property
+    def state(self) -> ServiceState:
+        return self._state
+
+    def classify(self, load: float) -> ServiceState:
+        """The state a *fresh* governor assigns to ``load`` (no
+        hysteresis): the monotone spine the transitions respect."""
+        if load < 0:
+            raise ConfigurationError(f"load must be >= 0, got {load!r}")
+        cfg = self.config
+        if load >= cfg.shed_enter:
+            return ServiceState.SHEDDING
+        if load >= cfg.throttle_enter:
+            return ServiceState.THROTTLED
+        return ServiceState.ACCEPTING
+
+    def update(self, load: float
+               ) -> tuple[ServiceState, ServiceState] | None:
+        """Fold one load observation in; report a transition if any."""
+        if load < 0:
+            raise ConfigurationError(f"load must be >= 0, got {load!r}")
+        cfg = self.config
+        state = self._state
+        if state is ServiceState.ACCEPTING:
+            new = self.classify(load)
+        elif state is ServiceState.THROTTLED:
+            if load >= cfg.shed_enter:
+                new = ServiceState.SHEDDING
+            elif load <= cfg.throttle_exit:
+                new = ServiceState.ACCEPTING
+            else:
+                new = state
+        else:  # SHEDDING
+            if load <= cfg.throttle_exit:
+                new = ServiceState.ACCEPTING
+            elif load <= cfg.shed_exit:
+                new = ServiceState.THROTTLED
+            else:
+                new = state
+        if new is state:
+            return None
+        self._state = new
+        return (state, new)

@@ -1,0 +1,226 @@
+"""Typed service events and the publication bus.
+
+Every externally observable control-plane action of the
+:class:`~repro.service.facade.MediaService` — admissions, rejections,
+pending tickets, replans, failures, recoveries, backpressure state
+changes, reconfigurations, drains — is published as one frozen, typed
+event on an :class:`EventBus`.  Metrics rollups, the dashboard, tests,
+and (later) cluster dispatch all *subscribe* rather than poke at
+service internals, which is what keeps the facade's request path free
+of observer-specific code.
+
+Dispatch is synchronous and deterministic: subscribers run in
+subscription order at the simulated instant the event is published, so
+a seeded run reproduces the exact event stream.  The bus itself never
+reads a clock — every event carries the simulation time it happened
+at.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Base class: something the control plane did at ``time``."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """Stable lowercase event-kind name (the class name)."""
+        return type(self).__name__
+
+    def to_dict(self) -> dict:
+        payload = {"kind": self.kind}
+        for spec in fields(self):
+            payload[spec.name] = getattr(self, spec.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class SessionAdmitted(ServiceEvent):
+    """An admit ticket was finalized as admitted."""
+
+    ticket_id: int
+    session_id: int
+    title: int
+    served_by: str
+    #: True when the ticket spent time PENDING behind a replan.
+    was_pending: bool = False
+
+
+@dataclass(frozen=True)
+class SessionRejected(ServiceEvent):
+    """An admit ticket was finalized as rejected."""
+
+    ticket_id: int
+    title: int | None
+    reason: str
+    was_pending: bool = False
+
+
+@dataclass(frozen=True)
+class AdmitPending(ServiceEvent):
+    """An admit arrived during an in-flight replan; ticket parked."""
+
+    ticket_id: int
+    title: int | None
+
+
+@dataclass(frozen=True)
+class SessionClosed(ServiceEvent):
+    """An explicit ``teardown`` closed a live session."""
+
+    session_id: int
+    title: int
+
+
+@dataclass(frozen=True)
+class ReplanStarted(ServiceEvent):
+    """An epoch/reconfigure replan left the request path."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReplanCompleted(ServiceEvent):
+    """The replan landed; placement and demand model are swapped."""
+
+    reason: str
+    #: Simulated seconds the replan spent in flight (0 = synchronous).
+    duration: float
+    #: Admission capacity under the new model.
+    capacity: int
+    #: PENDING tickets finalized by this completion.
+    pending_finalized: int
+
+
+@dataclass(frozen=True)
+class FailureInjected(ServiceEvent):
+    """A fault hit the MEMS bank."""
+
+    failure_kind: str
+    count: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class RecoveryPlanned(ServiceEvent):
+    """The degraded re-plan after a failure settled on a mode."""
+
+    mode: str
+    policy: str | None
+    k_active: int
+    sessions_dropped: int
+
+
+@dataclass(frozen=True)
+class BackpressureChanged(ServiceEvent):
+    """The admission backpressure state moved."""
+
+    previous: str
+    state: str
+    load: float
+
+
+@dataclass(frozen=True)
+class Reconfigured(ServiceEvent):
+    """A live ``reconfigure`` operation changed the running config."""
+
+    changes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DrainStarted(ServiceEvent):
+    """The service stopped accepting new sessions."""
+
+    active_sessions: int
+
+
+#: Every publishable event type, in a stable documentation order.
+EVENT_TYPES: tuple[type[ServiceEvent], ...] = (
+    SessionAdmitted, SessionRejected, AdmitPending, SessionClosed,
+    ReplanStarted, ReplanCompleted, FailureInjected, RecoveryPlanned,
+    BackpressureChanged, Reconfigured, DrainStarted,
+)
+
+
+class EventBus:
+    """Synchronous, deterministic pub/sub for :class:`ServiceEvent`.
+
+    ``subscribe(SessionAdmitted, cb)`` delivers only that type;
+    ``subscribe(None, cb)`` delivers everything.  Publication order is
+    delivery order, and per-event subscribers run before wildcard ones,
+    each in subscription order — no threads, no reordering, so event
+    streams are reproducible run to run.
+    """
+
+    def __init__(self) -> None:
+        self._by_type: dict[type[ServiceEvent],
+                            list[Callable[[ServiceEvent], None]]] = {}
+        self._wildcard: list[Callable[[ServiceEvent], None]] = []
+        self._published = 0
+
+    @property
+    def events_published(self) -> int:
+        """Total events published on this bus."""
+        return self._published
+
+    def subscribe(self, event_type: type[ServiceEvent] | None,
+                  callback: Callable[[ServiceEvent], None]) -> None:
+        """Register ``callback`` for one event type (None = all)."""
+        if event_type is None:
+            self._wildcard.append(callback)
+            return
+        if not (isinstance(event_type, type)
+                and issubclass(event_type, ServiceEvent)):
+            raise ConfigurationError(
+                f"subscribe needs a ServiceEvent subclass or None, "
+                f"got {event_type!r}")
+        self._by_type.setdefault(event_type, []).append(callback)
+
+    def publish(self, event: ServiceEvent) -> None:
+        """Deliver ``event`` to its subscribers, synchronously."""
+        if not isinstance(event, ServiceEvent):
+            raise ConfigurationError(
+                f"publish needs a ServiceEvent, got {event!r}")
+        self._published += 1
+        for callback in self._by_type.get(type(event), ()):
+            callback(event)
+        for callback in self._wildcard:
+            callback(event)
+
+
+@dataclass
+class EventCounter:
+    """A bus subscriber that rolls events up into per-kind counts.
+
+    The metrics/dashboard-facing consumer: attach with
+    ``bus.subscribe(None, counter)`` and read ``counter.counts``.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def __call__(self, event: ServiceEvent) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class EventLog:
+    """A bus subscriber that records the full event stream (tests)."""
+
+    def __init__(self) -> None:
+        self.events: list[ServiceEvent] = []
+
+    def __call__(self, event: ServiceEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type[ServiceEvent]) -> list[ServiceEvent]:
+        return [e for e in self.events if isinstance(e, event_type)]

@@ -1,0 +1,377 @@
+"""The MediaService facade: the runtime as a long-running service.
+
+:class:`MediaService` fronts one :class:`~repro.runtime.runtime.ServerRuntime`
+with the five control-plane operations a production streaming server
+exposes — ``admit`` / ``teardown`` / ``stats`` / ``reconfigure`` /
+``drain`` — plus fault injection, and publishes every externally
+observable action as a typed event on the service's
+:class:`~repro.service.events.EventBus`.
+
+Two properties define the facade:
+
+* **Replans run off the request path.**  With
+  ``control.replan_latency > 0`` an epoch replan is a *window*, not an
+  instant: :meth:`on_epoch` publishes ``ReplanStarted`` and schedules a
+  ``replan-done`` simulation event; an :meth:`admit` that lands inside
+  the window returns a ``PENDING`` :class:`AdmitTicket` immediately —
+  it never blocks, and never consults the half-swapped demand model —
+  and the replan-done event finalizes the parked tickets FIFO under the
+  fresh plan (the bud-runtime EVENT_FLOW shape).  With the default
+  latency of 0 the replan is synchronous and the facade is
+  byte-identical to the legacy run loop, which is what the parity
+  harness proves.
+
+* **Backpressure is a published state, not a verdict.**  The
+  :class:`~repro.service.backpressure.BackpressureGovernor` classifies
+  admission load after every state-changing operation and the facade
+  publishes exactly one ``BackpressureChanged`` event per transition.
+  The governor never alters an admission decision, so attaching it is
+  observationally free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.failures import FailureEvent
+from repro.runtime.runtime import (
+    DriftEvent,
+    FocusEvent,
+    RuntimeResult,
+    ServerRuntime,
+    SurgeEvent,
+)
+from repro.service.backpressure import BackpressureGovernor, ServiceState
+from repro.service.config import RuntimeConfig
+from repro.service.events import (
+    AdmitPending,
+    BackpressureChanged,
+    DrainStarted,
+    EventBus,
+    FailureInjected,
+    Reconfigured,
+    RecoveryPlanned,
+    ReplanCompleted,
+    ReplanStarted,
+    SessionAdmitted,
+    SessionClosed,
+    SessionRejected,
+)
+
+
+class TicketState(enum.Enum):
+    """Lifecycle state of one admit ticket."""
+
+    PENDING = "pending"
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class AdmitTicket:
+    """The receipt one :meth:`MediaService.admit` call returns.
+
+    ``PENDING`` tickets were issued during an in-flight replan; the
+    replan-done event finalizes them (``finalized_at`` is then the
+    finalization time, not the issue time).
+    """
+
+    ticket_id: int
+    state: TicketState
+    created_at: float
+    title: int | None = None
+    session_id: int | None = None
+    served_by: str | None = None
+    reason: str | None = None
+    batched: bool = False
+    finalized_at: float | None = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.state is TicketState.ADMITTED
+
+    @property
+    def pending(self) -> bool:
+        return self.state is TicketState.PENDING
+
+
+class MediaService:
+    """Service facade over one engine run (see module docstring)."""
+
+    def __init__(self, config: RuntimeConfig,
+                 bus: EventBus | None = None) -> None:
+        self.config = config
+        self.bus = bus if bus is not None else EventBus()
+        self.engine = ServerRuntime(config.to_legacy())
+        self.governor = BackpressureGovernor(config.control.backpressure)
+        self._next_ticket = 0
+        self._tickets_issued = 0
+        self._pending: list[AdmitTicket] = []
+        self._replan_inflight = False
+        self._replan_started_at = 0.0
+        self._draining = False
+
+    # -- Internals -----------------------------------------------------------
+
+    @property
+    def sim(self):
+        """The engine's event calendar (traffic programs schedule on it)."""
+        return self.engine.sim
+
+    def _new_ticket(self, state: TicketState, **fields) -> AdmitTicket:
+        ticket = AdmitTicket(ticket_id=self._next_ticket, state=state,
+                            created_at=self.engine.sim.now, **fields)
+        self._next_ticket += 1
+        self._tickets_issued += 1
+        return ticket
+
+    def _load(self) -> float:
+        """Admission load fraction: admitted streams over capacity."""
+        admitted = self.engine.controller.admitted_streams
+        capacity = self.engine.controller.capacity()
+        if capacity <= 0:
+            return 0.0 if admitted == 0 else self.governor.config.shed_enter
+        return admitted / capacity
+
+    def _update_backpressure(self) -> None:
+        """Fold the current load in; publish one event per transition."""
+        load = self._load()
+        transition = self.governor.update(load)
+        if transition is not None:
+            previous, state = transition
+            self.bus.publish(BackpressureChanged(
+                time=self.engine.sim.now, previous=previous.value,
+                state=state.value, load=load))
+
+    # -- Facade operations ---------------------------------------------------
+
+    @property
+    def state(self) -> ServiceState:
+        """Current backpressure regime."""
+        return self.governor.state
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def replan_inflight(self) -> bool:
+        return self._replan_inflight
+
+    @property
+    def pending_tickets(self) -> int:
+        return len(self._pending)
+
+    def admit(self, title: int | None = None) -> AdmitTicket:
+        """Request one session; never blocks.
+
+        Returns an ``ADMITTED`` or ``REJECTED`` ticket immediately, or
+        a ``PENDING`` one when a replan is in flight (finalized by the
+        replan-done event).  ``title`` defaults to the next draw of the
+        workload's seeded popularity stream.
+        """
+        sim = self.engine.sim
+        if self._draining:
+            ticket = self._new_ticket(TicketState.REJECTED, title=title,
+                                      reason="draining",
+                                      finalized_at=sim.now)
+            self.bus.publish(SessionRejected(
+                time=sim.now, ticket_id=ticket.ticket_id, title=title,
+                reason="draining"))
+            return ticket
+        if self._replan_inflight:
+            ticket = self._new_ticket(TicketState.PENDING, title=title)
+            self._pending.append(ticket)
+            self.bus.publish(AdmitPending(
+                time=sim.now, ticket_id=ticket.ticket_id, title=title))
+            return ticket
+        ticket = self._new_ticket(TicketState.PENDING, title=title)
+        return self._finalize_admit(ticket, was_pending=False)
+
+    def _finalize_admit(self, ticket: AdmitTicket, *,
+                        was_pending: bool) -> AdmitTicket:
+        """Run the engine admission for ``ticket`` and publish the result."""
+        sim = self.engine.sim
+        outcome = self.engine.handle_arrival(sim, ticket.title)
+        ticket.title = outcome.title
+        ticket.finalized_at = sim.now
+        if outcome.admitted:
+            ticket.state = TicketState.ADMITTED
+            ticket.session_id = outcome.session.session_id
+            ticket.served_by = outcome.served_by
+            ticket.batched = outcome.batched
+            self.bus.publish(SessionAdmitted(
+                time=sim.now, ticket_id=ticket.ticket_id,
+                session_id=ticket.session_id, title=outcome.title,
+                served_by=outcome.served_by, was_pending=was_pending))
+        else:
+            ticket.state = TicketState.REJECTED
+            ticket.reason = outcome.reason
+            self.bus.publish(SessionRejected(
+                time=sim.now, ticket_id=ticket.ticket_id,
+                title=outcome.title, reason=outcome.reason,
+                was_pending=was_pending))
+        self._update_backpressure()
+        return ticket
+
+    def teardown(self, session_id: int) -> bool:
+        """Close one live session early; True when it was live."""
+        sim = self.engine.sim
+        session = self.engine.close_session(sim, session_id)
+        if session is None:
+            return False
+        self.bus.publish(SessionClosed(
+            time=sim.now, session_id=session.session_id,
+            title=session.title))
+        self._update_backpressure()
+        return True
+
+    def stats(self) -> dict:
+        """A point-in-time snapshot of the control plane."""
+        engine = self.engine
+        return {
+            "time": engine.sim.now,
+            "state": self.governor.state.value,
+            "mode": engine.mode,
+            "active_sessions": engine.active_sessions,
+            "admitted_streams": engine.controller.admitted_streams,
+            "capacity": engine.controller.capacity(),
+            "load": self._load(),
+            "k_active": engine.k_active,
+            "draining": self._draining,
+            "replan_inflight": self._replan_inflight,
+            "pending_tickets": len(self._pending),
+            "tickets_issued": self._tickets_issued,
+            "events_published": self.bus.events_published,
+        }
+
+    def reconfigure(self, *, rate_factor: float | None = None,
+                    popularity_shift: int | None = None,
+                    focus_title: int | None = None,
+                    focus_weight: float | None = None,
+                    dram_budget: float | None = None) -> tuple[str, ...]:
+        """Change the live run's traffic model or budget.
+
+        Each keyword maps to one engine operation (arrival-rate scale,
+        popularity rotation, title focus, DRAM budget swap); one
+        ``Reconfigured`` event lists everything that changed.
+        """
+        if (focus_title is None) != (focus_weight is None):
+            raise ConfigurationError(
+                "focus_title and focus_weight go together")
+        sim = self.engine.sim
+        changes: list[str] = []
+        if rate_factor is not None:
+            self.engine.apply_surge(
+                sim, SurgeEvent(time=sim.now, factor=rate_factor))
+            changes.append(f"rate_factor={rate_factor:g}")
+        if popularity_shift is not None:
+            self.engine.apply_drift(
+                sim, DriftEvent(time=sim.now, shift=popularity_shift))
+            changes.append(f"popularity_shift={popularity_shift}")
+        if focus_title is not None:
+            self.engine.apply_focus(
+                sim, FocusEvent(time=sim.now, title=focus_title,
+                                weight=focus_weight))
+            changes.append(f"focus={focus_title}:{focus_weight:g}")
+        if dram_budget is not None:
+            if dram_budget < 0:
+                raise ConfigurationError(
+                    f"dram_budget must be >= 0, got {dram_budget!r}")
+            self.engine.config.dram_budget = dram_budget
+            self.engine.controller.reconfigure(dram_budget=dram_budget)
+            changes.append(f"dram_budget={dram_budget:g}")
+        if not changes:
+            raise ConfigurationError("reconfigure called with no changes")
+        self.bus.publish(Reconfigured(time=sim.now, changes=tuple(changes)))
+        self._update_backpressure()
+        return tuple(changes)
+
+    def drain(self) -> int:
+        """Stop accepting sessions; live ones play out.
+
+        Returns the number of sessions still playing.  Subsequent
+        admits — including PENDING tickets finalized after the drain —
+        are rejected at the service layer with reason ``"draining"``
+        (the engine and its counters are untouched).
+        """
+        if not self._draining:
+            self._draining = True
+            self.bus.publish(DrainStarted(
+                time=self.engine.sim.now,
+                active_sessions=self.engine.active_sessions))
+        return self.engine.active_sessions
+
+    # -- Control-plane events ------------------------------------------------
+
+    def on_epoch(self, sim) -> None:
+        """The epoch tick: re-plan now, or open a replan window.
+
+        Scheduled by the traffic program with the same ``"epoch"``
+        label the legacy loop uses.  Static modes have nothing to
+        re-plan and stay silent.
+        """
+        latency = self.config.control.replan_latency
+        if latency <= 0:
+            if self.engine.run_epoch(sim):
+                self.bus.publish(ReplanStarted(time=sim.now, reason="epoch"))
+                self.bus.publish(ReplanCompleted(
+                    time=sim.now, reason="epoch", duration=0.0,
+                    capacity=self.engine.controller.capacity(),
+                    pending_finalized=0))
+                self._update_backpressure()
+            return
+        if self.engine.mode not in ("cache", "prefix"):
+            return
+        if self._replan_inflight:  # pragma: no cover - latency < epoch
+            return
+        self._replan_inflight = True
+        self._replan_started_at = sim.now
+        self.bus.publish(ReplanStarted(time=sim.now, reason="epoch"))
+        sim.after(latency, self._finish_replan, "replan-done")
+
+    def _finish_replan(self, sim) -> None:
+        """The replan-done event: swap the plan, finalize parked tickets."""
+        self.engine.run_epoch(sim)
+        self._replan_inflight = False
+        parked, self._pending = self._pending, []
+        finalized = 0
+        for ticket in parked:
+            if self._draining:
+                ticket.state = TicketState.REJECTED
+                ticket.reason = "draining"
+                ticket.finalized_at = sim.now
+                self.bus.publish(SessionRejected(
+                    time=sim.now, ticket_id=ticket.ticket_id,
+                    title=ticket.title, reason="draining",
+                    was_pending=True))
+            else:
+                self._finalize_admit(ticket, was_pending=True)
+            finalized += 1
+        self.bus.publish(ReplanCompleted(
+            time=sim.now, reason="epoch",
+            duration=sim.now - self._replan_started_at,
+            capacity=self.engine.controller.capacity(),
+            pending_finalized=finalized))
+        self._update_backpressure()
+
+    def inject_failure(self, sim, event: FailureEvent) -> None:
+        """Degrade the MEMS bank per ``event`` and publish the recovery."""
+        before = self.engine.active_sessions
+        self.engine.apply_failure(sim, event)
+        self.bus.publish(FailureInjected(
+            time=sim.now, failure_kind=event.kind.value, count=event.count,
+            factor=event.factor))
+        policy = self.engine.policy
+        self.bus.publish(RecoveryPlanned(
+            time=sim.now, mode=self.engine.mode,
+            policy=policy.value if policy is not None else None,
+            k_active=self.engine.k_active,
+            sessions_dropped=before - self.engine.active_sessions))
+        self._update_backpressure()
+
+    def finalize(self) -> RuntimeResult:
+        """Seal the run and build the result (identical to legacy)."""
+        return self.engine.finalize()

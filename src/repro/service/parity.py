@@ -1,0 +1,77 @@
+"""The parity harness: service path vs legacy path, byte for byte.
+
+The refactor's safety net.  For every named scenario it runs the run
+twice from the same declarative config — once through the legacy
+:func:`~repro.runtime.runtime.run_runtime` batch loop on the compiled
+legacy config, once through :class:`~repro.service.facade.MediaService`
+plus a :class:`~repro.service.traffic.TrafficProgram` — and demands the
+two :class:`~repro.runtime.runtime.RuntimeResult` JSON payloads be
+*byte-identical*: every admission, rejection, migration, drop, gauge
+sample, note, and the executed-event count.  Anything the facade adds
+(tickets, the event bus, the backpressure governor) must therefore be
+observationally free; anything that isn't shows up as a diff here
+before it ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.runtime import RuntimeResult, run_runtime
+from repro.service.config import RuntimeConfig
+from repro.service.scenarios import (
+    SERVICE_SCENARIOS,
+    build_service_scenario,
+)
+from repro.service.traffic import run_service
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """The verdict for one scenario."""
+
+    name: str
+    matches: bool
+    legacy_json: str
+    service_json: str
+
+    def first_divergence(self, context: int = 60) -> str | None:
+        """A short excerpt around the first differing byte (or None)."""
+        if self.matches:
+            return None
+        a, b = self.legacy_json, self.service_json
+        n = min(len(a), len(b))
+        at = next((i for i in range(n) if a[i] != b[i]), n)
+        lo = max(0, at - context)
+        return (f"at byte {at}: legacy ...{a[lo:at + context]!r} vs "
+                f"service ...{b[lo:at + context]!r}")
+
+
+def run_both(config: RuntimeConfig) -> tuple[RuntimeResult, RuntimeResult]:
+    """One config, both paths: (legacy result, service result)."""
+    legacy = run_runtime(config.to_legacy())
+    service = run_service(config)
+    return legacy, service
+
+
+def compare_config(name: str, config: RuntimeConfig) -> ParityReport:
+    """Run both paths for ``config`` and compare the JSON bytes."""
+    legacy, service = run_both(config)
+    legacy_json = legacy.to_json(indent=None)
+    service_json = service.to_json(indent=None)
+    return ParityReport(name=name, matches=legacy_json == service_json,
+                        legacy_json=legacy_json, service_json=service_json)
+
+
+def compare_scenario(name: str, *, seed: int = 0,
+                     horizon: float | None = None) -> ParityReport:
+    """Parity verdict for one named scenario."""
+    config = build_service_scenario(name, seed=seed, horizon=horizon)
+    return compare_config(name, config)
+
+
+def verify_all(*, seed: int = 0,
+               horizon: float | None = None) -> dict[str, ParityReport]:
+    """Parity verdicts for every named scenario."""
+    return {name: compare_scenario(name, seed=seed, horizon=horizon)
+            for name in SERVICE_SCENARIOS}

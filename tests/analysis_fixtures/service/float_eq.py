@@ -1,0 +1,15 @@
+"""Fixture: float comparisons ``float-equality`` must flag.
+
+Lives under a ``service/`` directory because the rule is path-scoped:
+backpressure thresholds and load fractions are float chains, so exact
+equality there is the classic hysteresis-flapping bug.  The three
+module-level comparisons are violations; the integer comparison in
+``no_pending`` is not.
+"""
+AT_THRESHOLD = 0.85 + 0.1 == 0.95
+LOAD = float("inf") != float("inf")
+EXIT_BAND = -0.7 == -0.7
+
+
+def no_pending(n):
+    return n == 0

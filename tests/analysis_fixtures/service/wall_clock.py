@@ -1,0 +1,20 @@
+"""Fixture: seed-guarantee breaches ``determinism`` must flag.
+
+Lives under a ``service/`` directory because the rule is path-scoped:
+the control plane timestamps events with *simulated* time and replays
+traffic from one seeded generator, so it carries the same bans as
+``runtime/`` — an event bus that read the wall clock would break the
+byte-identical parity guarantee.
+"""
+import random
+import time
+
+import numpy as np
+
+
+def ticket_stamp():
+    issued_at = time.time()
+    ticket_jitter = random.random()
+    draw = np.random.uniform()
+    rng = np.random.default_rng(7)
+    return issued_at, ticket_jitter, draw, rng.random()

@@ -126,6 +126,20 @@ class TestDeterminism:
         assert "numpy.random.uniform" in messages
         assert not any("default_rng(11)" in f.message for f in found)
 
+    def test_service_layer_is_in_scope(self):
+        checker = get_checker("determinism")
+        assert checker.applies_to(Path("src/repro/service/facade.py"))
+        assert checker.applies_to(Path("src/repro/service/events.py"))
+
+    def test_flags_clocks_and_global_rng_in_service(self):
+        found = findings_for("service/wall_clock.py", rule="determinism")
+        assert [f.line for f in found] == [16, 17, 18]
+        messages = " / ".join(f.message for f in found)
+        assert "time.time" in messages
+        assert "random" in messages
+        assert "numpy.random.uniform" in messages
+        assert not any("default_rng(7)" in f.message for f in found)
+
     def test_sanctioned_perf_escapes_are_suppressed_inline(self):
         # The real pool (parallel.py) and timer (bench.py) carry
         # reviewed suppressions; the modules must scan clean.
@@ -206,6 +220,18 @@ class TestFloatEquality:
         by_line = {f.line: f.message for f in found}
         assert "math.isclose" in by_line[8]
         assert "math.isinf" in by_line[9]
+
+    def test_service_layer_is_in_scope(self):
+        checker = get_checker("float-equality")
+        assert checker.applies_to(Path("src/repro/service/backpressure.py"))
+        assert checker.applies_to(Path("src/repro/service/parity.py"))
+
+    def test_flags_float_comparisons_in_service(self):
+        found = findings_for("service/float_eq.py", rule="float-equality")
+        assert [f.line for f in found] == [9, 10, 11]
+        by_line = {f.line: f.message for f in found}
+        assert "math.isclose" in by_line[9]
+        assert "math.isinf" in by_line[10]
 
 
 class TestExceptionHygiene:

@@ -76,7 +76,8 @@ class TestRunWorkloads:
         assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
                                   "runtime_scenario", "planner_cold",
                                   "planner_warm", "admission_storm",
-                                  "replan_epochs", "flash_crowd"}
+                                  "replan_epochs", "flash_crowd",
+                                  "service_churn"}
 
     def test_admission_storm_tiny(self):
         (record,) = run_workloads(["admission_storm"], preset="tiny")
@@ -106,6 +107,15 @@ class TestRunWorkloads:
         assert record.metrics["prefix_probes_warm_run"] > 0
         assert (record.metrics["prefix_probes_warm_run"]
                 < record.metrics["prefix_probes_cold_run"])
+
+    def test_service_churn_tiny(self):
+        (record,) = run_workloads(["service_churn"], preset="tiny")
+        assert record.metrics["ops"] > 0
+        assert record.metrics["ops_per_sec"] > 0
+        # The churn drives real EVENT_FLOW traffic: admits parked in
+        # replan windows must get finalized by replan-done events.
+        assert record.metrics["pending_finalized"] > 0
+        assert record.metrics["events_published"] >= record.metrics["ops"]
 
     def test_unknown_workload(self):
         with pytest.raises(ConfigurationError):

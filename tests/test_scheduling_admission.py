@@ -113,6 +113,49 @@ class TestArrivalFastPath:
         assert "exceeds the budget" in decision.reason
 
 
+class TestWarmStartHints:
+    """Regression: a kind swap must re-key the warm-start hint.
+
+    ``reconfigure`` used to leave ``_capacity_hint`` holding the *old*
+    model's capacity, so the next solve for the new kind was seeded
+    with a different demand model's answer.
+    """
+
+    def test_kind_change_parks_the_old_hint(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        plain = controller.capacity()
+        assert controller._capacity_hint == plain
+        controller.reconfigure(configuration="buffer")
+        # The new kind has no parked hint; the old one is parked.
+        assert controller._capacity_hint is None
+        assert controller._capacity_hints["none"] == plain
+
+    def test_swapping_back_restores_the_parked_hint(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        plain = controller.capacity()
+        controller.reconfigure(configuration="buffer")
+        buffered = controller.capacity()
+        controller.reconfigure(configuration="none")
+        assert controller._capacity_hint == plain
+        assert controller._capacity_hints["buffer"] == buffered
+
+    def test_same_kind_reconfigure_keeps_the_hint(self, params):
+        controller = AdmissionController(params, 1 * GB)
+        plain = controller.capacity()
+        controller.reconfigure(dram_budget=1 * GB * (1.0 + 1e-9))
+        # A budget nudge is not a kind change: warm start survives.
+        assert controller._capacity_hint == plain
+
+    def test_hints_never_change_the_answer(self, params):
+        churned = AdmissionController(params, 1 * GB)
+        churned.capacity()
+        churned.reconfigure(configuration="buffer")
+        churned.capacity()
+        churned.reconfigure(configuration="none")
+        fresh = AdmissionController(params, 1 * GB)
+        assert churned.capacity() == fresh.capacity()
+
+
 class TestConfigurations:
     def test_buffer_admits_more_than_plain_when_dram_bound(self):
         params = SystemParameters.table3_default(n_streams=1,

@@ -1,0 +1,138 @@
+"""Backpressure governor: monotone classification, hysteresis, events."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.backpressure import (
+    BackpressureConfig,
+    BackpressureGovernor,
+    ServiceState,
+    severity,
+)
+from repro.service.events import BackpressureChanged, EventBus, EventLog
+
+
+def _loads(step=0.05, top=1.5):
+    n = int(round(top / step))
+    return [round(i * step, 10) for i in range(n + 1)]
+
+
+class TestConfig:
+    def test_default_band_ordering_holds(self):
+        cfg = BackpressureConfig()
+        assert (cfg.throttle_exit < cfg.throttle_enter
+                <= cfg.shed_exit < cfg.shed_enter)
+
+    def test_rejects_inverted_bands(self):
+        with pytest.raises(ConfigurationError, match="throttle_exit"):
+            BackpressureConfig(throttle_enter=0.5, throttle_exit=0.5)
+        with pytest.raises(ConfigurationError, match="shed_exit"):
+            BackpressureConfig(shed_enter=0.9, shed_exit=0.9)
+        with pytest.raises(ConfigurationError, match="throttle_enter"):
+            BackpressureConfig(throttle_enter=0.97, shed_exit=0.95)
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            BackpressureConfig(throttle_exit=-0.1)
+
+
+class TestMonotone:
+    def test_classification_is_monotone_in_load(self):
+        governor = BackpressureGovernor()
+        ranks = [severity(governor.classify(load)) for load in _loads(0.01)]
+        assert ranks == sorted(ranks)
+
+    def test_classification_hits_all_three_states(self):
+        governor = BackpressureGovernor()
+        assert governor.classify(0.0) is ServiceState.ACCEPTING
+        assert governor.classify(0.85) is ServiceState.THROTTLED
+        assert governor.classify(1.0) is ServiceState.SHEDDING
+        assert governor.classify(3.0) is ServiceState.SHEDDING
+
+    def test_update_never_skips_below_classify_floor(self):
+        # From any start state, a load at/above an enter threshold lands
+        # at least as severe as the fresh classification of that load.
+        for start, load in itertools.product(ServiceState, _loads()):
+            governor = BackpressureGovernor()
+            governor._state = start
+            governor.update(load)
+            fresh = BackpressureGovernor().classify(load)
+            if load >= governor.config.shed_enter:
+                assert governor.state is ServiceState.SHEDDING
+            elif load <= governor.config.throttle_exit:
+                assert governor.state is ServiceState.ACCEPTING
+            else:  # inside a hysteresis band: between fresh and start
+                low = min(severity(fresh), severity(start))
+                high = max(severity(fresh), severity(start))
+                assert low <= severity(governor.state) <= high
+
+    def test_rejects_negative_load(self):
+        governor = BackpressureGovernor()
+        with pytest.raises(ConfigurationError, match="load"):
+            governor.classify(-0.1)
+        with pytest.raises(ConfigurationError, match="load"):
+            governor.update(-0.1)
+
+
+class TestHysteresis:
+    def test_noise_around_enter_threshold_does_not_flap(self):
+        # Oscillating just under/over throttle_enter: one transition in,
+        # none back out, because exit sits strictly lower.
+        governor = BackpressureGovernor()
+        transitions = []
+        for load in [0.84, 0.86, 0.84, 0.86, 0.84]:
+            change = governor.update(load)
+            if change is not None:
+                transitions.append(change)
+        assert transitions == [
+            (ServiceState.ACCEPTING, ServiceState.THROTTLED)]
+        assert governor.state is ServiceState.THROTTLED
+
+    def test_exit_requires_dropping_below_the_lower_threshold(self):
+        governor = BackpressureGovernor()
+        governor.update(0.9)
+        assert governor.state is ServiceState.THROTTLED
+        assert governor.update(0.75) is None  # above throttle_exit
+        assert governor.update(0.70) == (
+            ServiceState.THROTTLED, ServiceState.ACCEPTING)
+
+    def test_shed_recovery_steps_down_through_throttled(self):
+        governor = BackpressureGovernor()
+        governor.update(1.2)
+        assert governor.state is ServiceState.SHEDDING
+        assert governor.update(0.97) is None  # above shed_exit: still shed
+        assert governor.update(0.90) == (
+            ServiceState.SHEDDING, ServiceState.THROTTLED)
+        assert governor.update(0.60) == (
+            ServiceState.THROTTLED, ServiceState.ACCEPTING)
+
+    def test_steady_load_never_transitions(self):
+        for load in _loads():
+            governor = BackpressureGovernor()
+            governor.update(load)
+            assert all(governor.update(load) is None for _ in range(5))
+
+
+class TestEventDiscipline:
+    def test_exactly_one_event_per_transition(self):
+        # Drive a load sawtooth through a bus-publishing wrapper and
+        # check the event stream is exactly the transition stream.
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(BackpressureChanged, log)
+        governor = BackpressureGovernor()
+        ramp = _loads(0.05, 1.4)
+        expected = []
+        for time, load in enumerate(ramp + ramp[::-1] + ramp):
+            change = governor.update(load)
+            if change is not None:
+                prev, new = change
+                expected.append((prev.value, new.value))
+                bus.publish(BackpressureChanged(
+                    time=float(time), previous=prev.value, state=new.value,
+                    load=load))
+        published = [(e.previous, e.state) for e in log.events]
+        assert published == expected
+        assert len(published) == 6  # two full up-down-up sweeps
+        for prev, new in published:
+            assert prev != new

@@ -1,0 +1,105 @@
+"""The typed event bus: dispatch order, typing, counters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.events import (
+    EVENT_TYPES,
+    EventBus,
+    EventCounter,
+    EventLog,
+    ReplanCompleted,
+    ServiceEvent,
+    SessionAdmitted,
+    SessionRejected,
+)
+
+
+def _admitted(time=1.0, **overrides):
+    fields = dict(time=time, ticket_id=0, session_id=0, title=3,
+                  served_by="disk")
+    fields.update(overrides)
+    return SessionAdmitted(**fields)
+
+
+class TestEventTypes:
+    def test_every_type_is_a_frozen_service_event(self):
+        for event_type in EVENT_TYPES:
+            assert issubclass(event_type, ServiceEvent)
+            assert event_type.__dataclass_params__.frozen
+
+    def test_kind_is_the_class_name(self):
+        assert _admitted().kind == "SessionAdmitted"
+
+    def test_to_dict_carries_kind_and_fields(self):
+        payload = _admitted(time=2.5).to_dict()
+        assert payload["kind"] == "SessionAdmitted"
+        assert payload["time"] == 2.5
+        assert payload["served_by"] == "disk"
+
+
+class TestEventBus:
+    def test_typed_subscription_sees_only_its_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(SessionAdmitted, seen.append)
+        bus.publish(_admitted())
+        bus.publish(SessionRejected(time=2.0, ticket_id=1, title=4,
+                                    reason="full"))
+        assert len(seen) == 1
+        assert isinstance(seen[0], SessionAdmitted)
+
+    def test_wildcard_sees_everything_after_typed(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(None, lambda e: order.append("wild"))
+        bus.subscribe(SessionAdmitted, lambda e: order.append("typed"))
+        bus.publish(_admitted())
+        assert order == ["typed", "wild"]
+
+    def test_publication_order_is_delivery_order(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(None, log)
+        events = [_admitted(time=float(i), ticket_id=i) for i in range(5)]
+        for event in events:
+            bus.publish(event)
+        assert log.events == events
+
+    def test_counts_published_events(self):
+        bus = EventBus()
+        assert bus.events_published == 0
+        bus.publish(_admitted())
+        bus.publish(_admitted(ticket_id=1))
+        assert bus.events_published == 2
+
+    def test_rejects_non_event_publish_and_bad_subscribe(self):
+        bus = EventBus()
+        with pytest.raises(ConfigurationError, match="ServiceEvent"):
+            bus.publish("not an event")
+        with pytest.raises(ConfigurationError, match="subscribe"):
+            bus.subscribe(int, lambda e: None)
+
+
+class TestSubscribers:
+    def test_counter_rolls_up_per_kind(self):
+        bus = EventBus()
+        counter = EventCounter()
+        bus.subscribe(None, counter)
+        bus.publish(_admitted())
+        bus.publish(_admitted(ticket_id=1))
+        bus.publish(SessionRejected(time=3.0, ticket_id=2, title=1,
+                                    reason="full"))
+        assert counter.counts == {"SessionAdmitted": 2,
+                                  "SessionRejected": 1}
+        assert counter.total() == 3
+
+    def test_log_filters_by_type(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(None, log)
+        bus.publish(_admitted())
+        bus.publish(ReplanCompleted(time=2.0, reason="epoch", duration=0.0,
+                                    capacity=10, pending_finalized=0))
+        assert len(log.of_type(ReplanCompleted)) == 1
+        assert len(log.of_type(SessionAdmitted)) == 1
