@@ -8,6 +8,19 @@ A checker is a small class with a stable ``rule`` id, a one-line
 :func:`register` at import time; :mod:`repro.analysis.checkers`
 imports every rule module so the registry is complete after one
 ``import repro.analysis``.
+
+Two kinds of rule share the registry:
+
+* **file rules** (:class:`Checker`) see one parsed module at a time
+  and run inside the parallel per-file pass;
+* **graph rules** (:class:`ProjectChecker`) see the assembled
+  :class:`~repro.analysis.project.ProjectGraph` — the whole-program
+  import graph and symbol table — and run once per invocation.
+
+Every checker receives the project's
+:class:`~repro.analysis.config.LintConfig`; path scopes that PR 3
+hardcoded as per-checker constants now come from the config's
+declarative ``[tool.mems-repro.lint.scopes]`` tables.
 """
 
 from __future__ import annotations
@@ -16,8 +29,13 @@ import ast
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from repro.analysis.config import LintConfig
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.project import ProjectGraph
 
 
 @dataclass(frozen=True, order=True)
@@ -40,13 +58,21 @@ class Finding:
         return {"rule": self.rule, "path": self.path, "line": self.line,
                 "col": self.col, "message": self.message}
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> Finding:
+        """Inverse of :meth:`to_dict` (the incremental cache reader)."""
+        return cls(path=str(data["path"]), line=int(data["line"]),  # type: ignore[arg-type]
+                   col=int(data["col"]), rule=str(data["rule"]),  # type: ignore[arg-type]
+                   message=str(data["message"]))
+
 
 class Checker:
-    """Base class for one lint rule.
+    """Base class for one per-file lint rule.
 
     Subclasses set ``rule`` and ``description`` and implement
     :meth:`check`.  ``applies_to`` narrows the rule to the layers where
-    the invariant holds; the engine consults it per file, so fixture
+    the invariant holds; by default it honours the config's scope table
+    for the rule (no scope entry = applies everywhere), so fixture
     trees under ``tests/`` exercise scoped rules simply by mirroring
     the directory names (``runtime/``, ``core/``, ...).
     """
@@ -55,21 +81,53 @@ class Checker:
     rule: str = ""
     #: One-line description shown by ``mems-repro lint --list-rules``.
     description: str = ""
+    #: Bump when the rule's logic changes: cached findings keyed under
+    #: an older version are discarded on the next run.
+    version: int = 1
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config if config is not None else LintConfig()
 
     def applies_to(self, path: Path) -> bool:
-        """True when the rule binds for ``path`` (default: everywhere)."""
-        return True
+        """True when the rule binds for ``path`` (default: the config
+        scope for this rule, or everywhere without one)."""
+        scope = self.config.scope(self.rule)
+        return True if scope is None else scope.applies_to(path)
 
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:
         """Yield every violation found in the parsed module."""
         raise NotImplementedError
 
-    def finding(self, path: Path, node: ast.AST, message: str) -> Finding:
+    def finding(self, path: Path | str, node: ast.AST,
+                message: str) -> Finding:
         """Convenience constructor anchored at ``node``'s location."""
         return Finding(path=str(path), line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0), rule=self.rule,
                        message=message)
+
+
+class ProjectChecker(Checker):
+    """Base class for one whole-program (graph) lint rule.
+
+    Graph rules run once per invocation against the assembled
+    :class:`~repro.analysis.project.ProjectGraph`; they only engage
+    when the linted paths sit inside a discovered project (a
+    ``pyproject.toml`` ancestor), never for loose files.
+    """
+
+    def check(self, tree: ast.Module, source: str,
+              path: Path) -> Iterator[Finding]:
+        return iter(())  # graph rules contribute nothing per-file
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """Yield every violation found in the whole-program graph."""
+        raise NotImplementedError
+
+    def at(self, summary_path: str, line: int, message: str) -> Finding:
+        """Finding constructor anchored at a summary's source line."""
+        return Finding(path=summary_path, line=line, col=0,
+                       rule=self.rule, message=message)
 
 
 _REGISTRY: dict[str, type[Checker]] = {}
@@ -92,7 +150,12 @@ def all_rules() -> dict[str, type[Checker]]:
     return dict(sorted(_REGISTRY.items()))
 
 
-def get_checker(rule: str) -> Checker:
+def rule_versions() -> tuple[tuple[str, int], ...]:
+    """Sorted ``(rule, version)`` pairs — part of the cache fingerprint."""
+    return tuple((rule, cls.version) for rule, cls in all_rules().items())
+
+
+def get_checker(rule: str, config: LintConfig | None = None) -> Checker:
     """Instantiate the checker for ``rule``.
 
     Unknown ids raise :class:`~repro.errors.ConfigurationError` listing
@@ -104,11 +167,12 @@ def get_checker(rule: str) -> Checker:
         known = ", ".join(sorted(_REGISTRY)) or "<none registered>"
         raise ConfigurationError(
             f"unknown lint rule {rule!r}; known rules: {known}") from None
-    return checker_class()
+    return checker_class(config)
 
 
-def select_checkers(rules: Iterable[str] | None = None) -> list[Checker]:
+def select_checkers(rules: Iterable[str] | None = None,
+                    config: LintConfig | None = None) -> list[Checker]:
     """Instantiate the requested checkers (default: every registered one)."""
     if rules is None:
-        return [cls() for cls in all_rules().values()]
-    return [get_checker(rule) for rule in rules]
+        return [cls(config) for cls in all_rules().values()]
+    return [get_checker(rule, config) for rule in rules]

@@ -1,0 +1,107 @@
+"""Ratchet baseline: adopt a rule before the tree is clean.
+
+A new rule on an old tree finds dozens of pre-existing violations; a
+gate that blocks on all of them either never lands or lands with the
+rule disabled.  The ratchet is the standard middle path: a committed
+baseline records the *accepted* finding count per ``(rule, path)``,
+the gate waives up to that many findings, and any **new** violation in
+a file still fails loudly.  Counts only ratchet down — regenerate the
+baseline after paying debt and the lower count becomes the new bound.
+
+Semantics are deliberately count-based, not location-based: line
+numbers churn with every edit, so a baseline that pins locations
+rots immediately.  If a file's finding count for a rule exceeds its
+baselined count, *all* of that file's findings for the rule are
+reported (the author sees the full debt, not an arbitrary "newest"
+subset); at or under the count, all are waived.
+
+The repository's own baseline (``lint-baseline.json``) is empty — the
+gate lands blocking-clean — but the mechanism is wired so the next
+rule can adopt gradually.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.base import Finding
+from repro.errors import ConfigurationError
+
+#: Version of the baseline file layout.
+BASELINE_SCHEMA = 1
+
+
+def load_baseline(path: Path) -> dict[tuple[str, str], int]:
+    """Read ``{(rule, path): accepted_count}`` from a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read lint baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"lint baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"lint baseline {path} must be a JSON object with "
+            f'"schema": {BASELINE_SCHEMA}')
+    counts = payload.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ConfigurationError(
+            f'lint baseline {path}: "counts" must be an object')
+    accepted: dict[tuple[str, str], int] = {}
+    for rule, files in counts.items():
+        if not isinstance(files, dict):
+            raise ConfigurationError(
+                f"lint baseline {path}: counts[{rule!r}] must map "
+                f"paths to integers")
+        for file_path, count in files.items():
+            if not isinstance(count, int) or count < 0:
+                raise ConfigurationError(
+                    f"lint baseline {path}: counts[{rule!r}][{file_path!r}]"
+                    f" must be a non-negative integer")
+            accepted[(rule, file_path)] = count
+    return accepted
+
+
+def apply_baseline(findings: list[Finding],
+                   accepted: dict[tuple[str, str], int], *,
+                   keys: list[str] | None = None) -> list[Finding]:
+    """Waive findings covered by the baseline (count semantics above).
+
+    ``keys`` supplies the stable path key for each finding (project-
+    root-relative, so the committed baseline survives being invoked
+    from any directory); defaults to the findings' own paths.
+    """
+    if not accepted:
+        return findings
+    if keys is None:
+        keys = [finding.path for finding in findings]
+    totals: dict[tuple[str, str], int] = {}
+    for finding, path_key in zip(findings, keys):
+        key = (finding.rule, path_key)
+        totals[key] = totals.get(key, 0) + 1
+    kept = []
+    for finding, path_key in zip(findings, keys):
+        key = (finding.rule, path_key)
+        if totals[key] <= accepted.get(key, 0):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def render_baseline(findings: list[Finding], *,
+                    keys: list[str] | None = None) -> str:
+    """Serialize the current findings as a fresh baseline file."""
+    if keys is None:
+        keys = [finding.path for finding in findings]
+    counts: dict[str, dict[str, int]] = {}
+    for finding, path_key in zip(findings, keys):
+        by_path = counts.setdefault(finding.rule, {})
+        by_path[path_key] = by_path.get(path_key, 0) + 1
+    payload = {"schema": BASELINE_SCHEMA,
+               "counts": {rule: dict(sorted(files.items()))
+                          for rule, files in sorted(counts.items())}}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,187 @@
+"""Incremental result cache: warm re-lints re-parse only changed files.
+
+The whole-program pass reads every module under ``src/`` on every
+invocation; without a cache that is ~100 parses plus checker walks
+per run, which turns the pre-commit loop into a coffee break.  The
+cache stores, per file, the content digest plus everything the engine
+derives from the parse — the file-rule findings, the module's
+:class:`~repro.analysis.project.ModuleSummary`, and its suppression
+map — so an unchanged file costs one ``sha256`` of its bytes and zero
+parses, while the graph rules still see a complete, current project.
+
+Correctness keying, not freshness guessing:
+
+* each entry is keyed by the file's **content digest** — touching a
+  file without changing it stays a cache hit (no mtime heuristics);
+* the whole cache is keyed by a **fingerprint** of the cache schema,
+  the Python version, the resolved :class:`LintConfig`, and every
+  registered rule's ``version`` — editing the config or bumping a
+  rule's logic discards all cached results at once, so a stale cache
+  can never mask a new violation.
+
+Entries store the findings of *every* file rule (the parse dominates;
+running the extra checkers is noise), and the engine filters to the
+requested ``--rule`` selection on read — so warm runs hit regardless
+of which rule subset each invocation asks for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import Finding, rule_versions
+from repro.analysis.config import LintConfig
+from repro.analysis.project import SUMMARY_VERSION, ModuleSummary
+
+#: Bump when the cache entry layout changes.
+CACHE_SCHEMA = 1
+
+#: Cache file name, created in the project root (gitignored).
+CACHE_FILENAME = ".lint-cache.json"
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def cache_fingerprint(config: LintConfig) -> str:
+    """Hash of everything that invalidates the whole cache at once."""
+    payload = json.dumps({
+        "cache_schema": CACHE_SCHEMA,
+        "summary_version": SUMMARY_VERSION,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "config": config.fingerprint(),
+        "rules": list(rule_versions()),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class FileEntry:
+    """Everything the engine derives from one parsed file."""
+
+    digest: str
+    #: Post-suppression findings of every file rule (engine filters).
+    findings: list[Finding] = field(default_factory=list)
+    #: Module summary for the graph phase (None for parse errors or
+    #: files outside the project's import root).
+    summary: ModuleSummary | None = None
+    #: Logical-line suppression map (line -> sorted rule list) — the
+    #: graph phase applies it to whole-program findings.
+    suppressions: dict[int, list[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "digest": self.digest,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": (None if self.summary is None
+                        else self.summary.to_dict()),
+            "suppressions": {str(line): rules for line, rules
+                             in sorted(self.suppressions.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> FileEntry:
+        summary = data.get("summary")
+        return cls(
+            digest=str(data["digest"]),
+            findings=[Finding.from_dict(f)  # type: ignore[arg-type]
+                      for f in data.get("findings", ())],
+            summary=(None if summary is None
+                     else ModuleSummary.from_dict(summary)),  # type: ignore[arg-type]
+            suppressions={int(line): list(rules) for line, rules
+                          in data.get("suppressions", {}).items()})  # type: ignore[union-attr]
+
+
+class IncrementalCache:
+    """The on-disk cache: one JSON file, atomic rewrite per run."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._entries: dict[str, FileEntry] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path, config: LintConfig) -> IncrementalCache:
+        """Read the cache, discarding it wholesale on any mismatch."""
+        fingerprint = cache_fingerprint(config)
+        cache = cls(path, fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or \
+                payload.get("fingerprint") != fingerprint:
+            return cache
+        try:
+            for key, raw in payload.get("files", {}).items():
+                cache._entries[key] = FileEntry.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            cache._entries.clear()
+        return cache
+
+    def lookup(self, key: str, digest: str) -> FileEntry | None:
+        """The entry for ``key`` if its content still matches."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, key: str, entry: FileEntry) -> None:
+        previous = self._entries.get(key)
+        self._entries[key] = entry
+        if previous is None or previous.digest != entry.digest:
+            self._dirty = True
+
+    def prune(self, live_keys: set[str]) -> None:
+        """Drop entries for files no longer part of the run's universe."""
+        stale = [key for key in self._entries if key not in live_keys]
+        for key in stale:
+            del self._entries[key]
+            self._dirty = True
+
+    def write(self) -> None:
+        """Persist (atomic rename); best-effort on read-only trees."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": {key: entry.to_dict()
+                      for key, entry in sorted(self._entries.items())},
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self._dirty = False
+
+
+class NullCache(IncrementalCache):
+    """``--no-cache``: every lookup misses, nothing touches disk."""
+
+    def __init__(self) -> None:
+        super().__init__(Path(os.devnull), fingerprint="")
+
+    def lookup(self, key: str, digest: str) -> FileEntry | None:
+        self.misses += 1
+        return None
+
+    def write(self) -> None:
+        return

@@ -5,22 +5,35 @@ themselves via :func:`repro.analysis.base.register` at import time).
 One module per rule keeps each invariant's logic, scope, and rationale
 in one reviewable place; add new rules by dropping a module here and
 importing it below.
+
+Six rules are per-file; four (``layer-boundaries``, ``dead-export``,
+``shim-freshness`` file-scoped on the declared shims, and
+``event-contract``) enforce whole-program contracts — see
+:mod:`repro.analysis.project` for the graph they run against.
 """
 
 from repro.analysis.checkers import (  # noqa: F401  (registration imports)
     asserts,
+    dead_export,
     determinism,
+    event_contract,
     exceptions,
     float_equality,
+    layer_boundaries,
+    shim_freshness,
     shim_imports,
     units_literals,
 )
 
 __all__ = [
     "asserts",
+    "dead_export",
     "determinism",
+    "event_contract",
     "exceptions",
     "float_equality",
+    "layer_boundaries",
+    "shim_freshness",
     "shim_imports",
     "units_literals",
 ]

@@ -4,9 +4,10 @@ The runtime promises that a fixed seed reproduces a run byte-for-byte
 (``docs/RUNTIME.md``), and every simulation/workload entry point takes
 a ``seed``.  That only holds while *all* randomness flows through an
 injected ``numpy.random.Generator`` and nothing reads the wall clock.
-This rule bans, inside ``simulation/``, ``runtime/``, ``workloads/``,
-``perf/``, ``vod/`` (the prefix/multicast subsystem feeds the seeded
-runtime), and the file-scoped ``planner/incremental.py`` (whose
+This rule bans, inside the scope declared by
+``[tool.mems-repro.lint.scopes.determinism]`` — the stochastic layers
+``simulation/``, ``runtime/``, ``workloads/``, ``perf/``, ``vod/``,
+``service/`` plus the file-scoped ``planner/incremental.py`` (whose
 warm-start replay must be bit-reproducible):
 
 * wall-clock reads (``time.time()``, ``time.monotonic()``,
@@ -35,16 +36,6 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.analysis.base import Checker, Finding, register
-
-#: Directories whose modules carry the seed guarantee.
-SCOPED_DIRS = frozenset({"simulation", "runtime", "workloads", "perf",
-                         "vod", "service"})
-
-#: Individual modules outside those directories that opt in, as
-#: ``(parent_dir, filename)`` tails.  The warm-start search engine
-#: replays cold solves probe for probe — its bit-identical-result
-#: guarantee is a determinism contract, so it carries the same bans.
-SCOPED_FILES = frozenset({("planner", "incremental.py")})
 
 #: Fully-qualified callables that read the wall clock.
 WALL_CLOCK = frozenset({
@@ -111,13 +102,8 @@ class DeterminismChecker(Checker):
     """Flag wall-clock reads and global-RNG use in the seeded layers."""
 
     rule = "determinism"
-    description = ("no wall clocks or global RNG state in simulation/, "
-                   "runtime/, workloads/, vod/; inject a seeded Generator")
-
-    def applies_to(self, path: Path) -> bool:
-        if SCOPED_DIRS.intersection(path.parts):
-            return True
-        return tuple(path.parts[-2:]) in SCOPED_FILES
+    description = ("no wall clocks or global RNG state in the seeded "
+                   "layers (scoped via config); inject a seeded Generator")
 
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:

@@ -1,0 +1,148 @@
+"""``event-contract``: the observability surface is real, both ways.
+
+The control plane (PR 7) speaks frozen event types; the runtime
+exports counters and gauges.  Both surfaces rot silently: an event
+nobody publishes is a dead API, an event nobody consumes is telemetry
+noise, and a gauge that never reaches the dashboard, summary, or docs
+is a number nobody can see.  No per-file rule can tell — publication
+lives in the facade, consumption in handlers and docs, production in
+the runtime, rendering in the metrics module.
+
+Checked project-wide, from configuration
+(``[tool.mems-repro.lint.contracts]``):
+
+* every subclass of ``events-base`` defined in ``events-module`` must
+  be **published** (instantiated somewhere in the project) and
+  **consumed** (read — imported-and-used or dotted-referenced — by a
+  module other than its publishers, or documented in the docs corpus;
+  a bare re-export does not count);
+* every counter name passed to ``<metrics>.count("...")`` and every
+  ``gauges[...]`` key produced by a ``metric-modules`` file must
+  appear in a ``metric-sinks`` file's string constants (the dashboard
+  / summary renderers) or in the docs corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.base import Finding, ProjectChecker, register
+from repro.analysis.config import _endswith, _tail
+from repro.analysis.project import ModuleSummary, ProjectGraph
+
+
+def _mentioned(name: str, text: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", text) is not None
+
+
+@register
+class EventContractChecker(ProjectChecker):
+    """Flag unpublished/unconsumed events and invisible metrics."""
+
+    rule = "event-contract"
+    description = ("event types must be published and consumed; "
+                   "exported counters/gauges must reach a sink or docs")
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        yield from self._check_events(graph)
+        yield from self._check_metrics(graph)
+
+    # -- events -----------------------------------------------------------
+
+    def _event_types(self, events: ModuleSummary) -> dict[str, int]:
+        base = self.config.contracts.events_base
+        lines = {name: line for name, line, kind, _ in events.defs
+                 if kind == "class"}
+        types: set[str] = set()
+        grew = True
+        while grew:  # transitive subclasses within the events module
+            grew = False
+            for name, bases in events.class_bases:
+                if name in types or name.startswith("_"):
+                    continue
+                for candidate in bases:
+                    if candidate == base or \
+                            candidate.endswith(f".{base}") or \
+                            candidate in types:
+                        types.add(name)
+                        grew = True
+                        break
+        return {name: lines.get(name, 1) for name in sorted(types)}
+
+    def _check_events(self, graph: ProjectGraph) -> Iterator[Finding]:
+        module_name = self.config.contracts.events_module
+        events = graph.modules.get(module_name)
+        if events is None:
+            return
+        for name, line in self._event_types(events).items():
+            dotted = f"{module_name}.{name}"
+            publishers = {mod for mod, summary in graph.modules.items()
+                          if dotted in summary.calls}
+            consumers = set()
+            for mod, summary in graph.modules.items():
+                if mod == module_name or mod in publishers:
+                    continue
+                uses_name = (
+                    any(target == module_name and sym == name
+                        for target, sym, _ in summary.imports)
+                    and name in summary.used_names)
+                dotted_use = any(
+                    use == dotted or use.startswith(dotted + ".")
+                    for use in summary.dotted_uses)
+                if uses_name or dotted_use:
+                    consumers.add(mod)
+            documented = _mentioned(name, graph.docs_text)
+            if not publishers and not consumers and not documented:
+                yield self.at(
+                    events.path, line,
+                    f"event type {name} is never published (no "
+                    f"instantiation in the project) nor consumed; delete "
+                    f"it or wire it into the control plane")
+            elif not publishers:
+                yield self.at(
+                    events.path, line,
+                    f"event type {name} is never published — nothing in "
+                    f"the project instantiates it")
+            elif not consumers and not documented:
+                yield self.at(
+                    events.path, line,
+                    f"event type {name} is published but never consumed: "
+                    f"no module besides its publisher reads it and the "
+                    f"docs never mention it")
+
+    # -- metrics ----------------------------------------------------------
+
+    def _summaries_matching(self, graph: ProjectGraph,
+                            specs: tuple[str, ...]) -> list[ModuleSummary]:
+        tails = [_tail(spec) for spec in specs]
+        return [summary for _, summary in sorted(graph.modules.items())
+                if any(_endswith(Path(summary.path), tail)
+                       for tail in tails)]
+
+    def _check_metrics(self, graph: ProjectGraph) -> Iterator[Finding]:
+        producers = self._summaries_matching(
+            graph, self.config.contracts.metric_modules)
+        sinks = self._summaries_matching(
+            graph, self.config.contracts.metric_sinks)
+        sink_text = "\n".join(
+            string for sink in sinks for string in sink.strings)
+        for producer in producers:
+            surface = [("counter", name, line)
+                       for name, line in producer.metric_counts]
+            surface.extend(("gauge", name, line)
+                           for name, line in producer.metric_gauges)
+            seen: set[tuple[str, str]] = set()
+            for kind, name, line in surface:
+                if (kind, name) in seen:
+                    continue
+                seen.add((kind, name))
+                if _mentioned(name, sink_text) or \
+                        _mentioned(name, graph.docs_text):
+                    continue
+                yield self.at(
+                    producer.path, line,
+                    f"{kind} {name!r} is exported by the runtime but "
+                    f"never appears in a metric sink "
+                    f"(dashboard/summary) or the docs")

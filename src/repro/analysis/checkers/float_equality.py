@@ -9,7 +9,8 @@ the same hazard into their table/figure assembly, so they are in scope
 too (comparisons that are *deliberately* exact — catalog cross-checks
 against integer-valued floats — carry reviewed inline suppressions).
 The VoD subsystem (``vod/``) sizes prefixes and byte fractions through
-the same float chains and joins the scope.
+the same float chains and joins the scope.  The binding directories
+live in ``[tool.mems-repro.lint.scopes.float-equality]``, not here.
 The codebase convention is ``math.isclose`` / an explicit tolerance —
 see the ``1e-12``-banded comparisons in the hybrid optimizer — and
 ``math.isinf`` for the ``float("inf")`` sentinels.
@@ -29,13 +30,6 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.analysis.base import Checker, Finding, register
-
-#: Directories where the rule binds (the analytical layers, the
-#: experiment runners that assemble their outputs, and the service
-#: control plane — its backpressure thresholds and parity comparisons
-#: are float chains).
-SCOPED_DIRS = frozenset({"core", "planner", "experiments", "vod",
-                         "service"})
 
 
 def _is_float_call(node: ast.expr) -> bool:
@@ -70,12 +64,9 @@ class FloatEqualityChecker(Checker):
     """Flag ``==`` / ``!=`` with a syntactically float operand."""
 
     rule = "float-equality"
-    description = ("no ==/!= against float expressions in core/, planner/, "
-                   "experiments/ and vod/; use math.isclose / math.isinf "
-                   "/ a tolerance")
-
-    def applies_to(self, path: Path) -> bool:
-        return bool(SCOPED_DIRS.intersection(path.parts))
+    description = ("no ==/!= against float expressions in the analytical "
+                   "layers (scoped via config); use math.isclose / "
+                   "math.isinf / a tolerance")
 
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:

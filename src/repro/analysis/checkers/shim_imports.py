@@ -19,15 +19,9 @@ from pathlib import Path
 
 from repro.analysis.base import Checker, Finding, register
 
-#: The deprecated shim modules, and what replaces each.
-SHIMS = {
-    "repro.core.capacity": "repro.planner.throughput",
-    "repro.core.hybrid": "repro.planner.hybrid",
-}
 
-
-def _shim_of(module: str) -> str | None:
-    for shim in SHIMS:
+def _shim_of(shims: dict[str, str], module: str) -> str | None:
+    for shim in shims:
         if module == shim or module.startswith(shim + "."):
             return shim
     return None
@@ -35,40 +29,43 @@ def _shim_of(module: str) -> str | None:
 
 @register
 class NoShimImportsChecker(Checker):
-    """Flag imports of the deprecated ``core.capacity``/``core.hybrid``."""
+    """Flag imports of the deprecated ``core.capacity``/``core.hybrid``.
+
+    The shim map (and the shim files' own exemption) comes from
+    ``[tool.mems-repro.lint.shims]`` — the same declaration the
+    ``shim-freshness`` rule enforces on the definition side.
+    """
 
     rule = "no-shim-imports"
     description = ("import the planner API from repro.planner, not the "
                    "deprecated core.capacity / core.hybrid shims")
 
-    def applies_to(self, path: Path) -> bool:
-        tail = tuple(path.parts[-2:])
-        return tail not in (("core", "capacity.py"), ("core", "hybrid.py"))
-
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:
+        shims = self.config.shim_map()
+        parents = {shim.rpartition(".")[0] for shim in shims if "." in shim}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    shim = _shim_of(alias.name)
+                    shim = _shim_of(shims, alias.name)
                     if shim is not None:
                         yield self.finding(
                             path, node,
                             f"import of deprecated shim {shim}; use "
-                            f"{SHIMS[shim]}")
+                            f"{shims[shim]}")
             elif isinstance(node, ast.ImportFrom) and node.module:
-                shim = _shim_of(node.module)
+                shim = _shim_of(shims, node.module)
                 if shim is not None:
                     yield self.finding(
                         path, node,
                         f"import from deprecated shim {shim}; use "
-                        f"{SHIMS[shim]}")
-                elif node.module == "repro.core":
+                        f"{shims[shim]}")
+                elif node.module in parents:
                     for alias in node.names:
-                        shim = _shim_of(f"repro.core.{alias.name}")
+                        shim = _shim_of(shims, f"{node.module}.{alias.name}")
                         if shim is not None:
                             yield self.finding(
                                 path, node,
                                 f"import of deprecated shim module "
-                                f"{alias.name!r} from repro.core; use "
-                                f"{SHIMS[shim]}")
+                                f"{alias.name!r} from {node.module}; use "
+                                f"{shims[shim]}")

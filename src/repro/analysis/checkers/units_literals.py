@@ -22,7 +22,8 @@ flagged: in this codebase they are overwhelmingly relative tolerances
 enforces nothing.  Second->millisecond conversions are still caught on
 the multiplicative side (``* 1e3``).
 
-``src/repro/units.py`` itself is exempt — it defines the constants.
+``src/repro/units.py`` itself is exempt (via the config scope's
+``exclude-files``) — it defines the constants.
 Non-unit uses of a flagged magnitude (e.g. a search bound of a million
 iterations) carry an inline suppression naming this rule.
 """
@@ -61,9 +62,6 @@ class UnitLiteralsChecker(Checker):
     rule = "unit-literals"
     description = ("no magic unit literals (1e6, 1_000_000, 1024, "
                    "1 << 20); use the repro.units constants")
-
-    def applies_to(self, path: Path) -> bool:
-        return path.name != "units.py"
 
     def check(self, tree: ast.Module, source: str,
               path: Path) -> Iterator[Finding]:

@@ -5,28 +5,70 @@ subprocess)."""
 
 from __future__ import annotations
 
+import subprocess
 import sys
 from pathlib import Path
 from typing import TextIO
 
 from repro.analysis.base import all_rules
-from repro.analysis.engine import analyze_paths
+from repro.analysis.baseline import render_baseline
+from repro.analysis.engine import baseline_key, run_analysis
 from repro.analysis.reporters import (
     EXIT_USAGE,
     exit_code,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.errors import ConfigurationError
 
 
+def parse_porcelain(text: str) -> list[str]:
+    """``git status --porcelain`` output -> changed ``.py`` paths.
+
+    Handles the rename form (``R  old -> new``: the new name is the
+    one on disk) and skips deletions (nothing left to lint).
+    """
+    changed: list[str] = []
+    for line in text.splitlines():
+        if len(line) < 4:
+            continue
+        status, payload = line[:2], line[3:]
+        if "D" in status:
+            continue
+        if "->" in payload:
+            payload = payload.split("->", 1)[1].strip()
+        payload = payload.strip().strip('"')
+        if payload.endswith(".py"):
+            changed.append(payload)
+    return changed
+
+
+def _git_status_porcelain() -> str:
+    """Shell out for the working-tree status (monkeypatched in tests)."""
+    try:
+        proc = subprocess.run(["git", "status", "--porcelain"],
+                              capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise ConfigurationError(
+            f"--changed needs a git working tree: {exc}") from exc
+    return proc.stdout
+
+
 def run_lint(paths: list[str], *, rules: list[str] | None = None,
              json_output: bool = False, list_rules: bool = False,
-             stream: TextIO | None = None) -> int:
+             stream: TextIO | None = None, jobs: int = 1,
+             changed: bool = False, sarif_path: str | None = None,
+             no_cache: bool = False, baseline: str | None = None,
+             write_baseline: str | None = None) -> int:
     """Lint ``paths`` and print a report; returns the process exit code.
 
     ``rules`` restricts the run to the named checkers; unknown names
     are a *usage* error (exit ``EXIT_USAGE``), not a finding.
+    ``changed`` swaps the path list for the ``.py`` files ``git status
+    --porcelain`` reports as modified (the pre-commit loop).
+    ``write_baseline`` records the current findings as the ratchet
+    baseline instead of failing on them.
     """
     out = sys.stdout if stream is None else stream
     if list_rules:
@@ -34,10 +76,28 @@ def run_lint(paths: list[str], *, rules: list[str] | None = None,
             print(f"{rule:>20}  {checker_class.description}", file=out)
         return 0
     try:
-        findings = analyze_paths([Path(p) for p in paths], rules)
+        if changed:
+            paths = parse_porcelain(_git_status_porcelain())
+        result = run_analysis(
+            [Path(p) for p in paths], rules, jobs=jobs,
+            use_cache=not no_cache,
+            baseline_path=Path(baseline) if baseline else None,
+            use_baseline=write_baseline is None)
     except ConfigurationError as exc:
         print(f"usage error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    findings = result.findings
+    if write_baseline is not None:
+        keys = [baseline_key(f.path, result.config) for f in findings]
+        Path(write_baseline).write_text(
+            render_baseline(findings, keys=keys), encoding="utf-8")
+        print(f"wrote baseline for {len(findings)} finding"
+              f"{'s' if len(findings) != 1 else ''} to {write_baseline}",
+              file=out)
+        return 0
+    if sarif_path is not None:
+        Path(sarif_path).write_text(render_sarif(findings) + "\n",
+                                    encoding="utf-8")
     render = render_json if json_output else render_text
     print(render(findings), file=out)
     return exit_code(findings)

@@ -1,4 +1,4 @@
-"""Finding output: human text, machine JSON, stable exit codes.
+"""Finding output: human text, machine JSON, SARIF, stable exit codes.
 
 The exit-code contract is part of the tool's API (CI and the tests
 rely on it):
@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 
-from repro.analysis.base import Finding
+from repro.analysis.base import Finding, all_rules
 
 #: No findings; the tree is clean.
 EXIT_CLEAN = 0
@@ -44,6 +44,52 @@ def render_json(findings: list[Finding], *, indent: int | None = 2) -> str:
         "schema": JSON_SCHEMA_VERSION,
         "count": len(findings),
         "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+#: SARIF format version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+#: Schema URI stamped into the SARIF report (CI asserts it).
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(findings: list[Finding], *, indent: int | None = 2) -> str:
+    """SARIF 2.1.0 report — the interchange format code-scanning UIs
+    (GitHub, VS Code SARIF viewers) ingest.
+
+    One run, one driver; every registered rule is listed in the
+    driver's rule table (so a clean report still documents the gate),
+    and each finding becomes a ``level: error`` result with a physical
+    location.  Columns are 1-based per the SARIF spec (findings store
+    0-based ``ast`` columns).
+    """
+    rules = [{"id": rule,
+              "shortDescription": {"text": checker_class.description}}
+             for rule, checker_class in all_rules().items()]
+    results = [{
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    } for finding in findings]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "mems-repro-lint",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=indent, sort_keys=True)
 

@@ -11,8 +11,6 @@
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
 from repro.planner.search import (
     MAX_BISECTIONS as _MAX_BISECTIONS,  # noqa: F401  (compat re-export)
     MAX_DOUBLINGS as _MAX_DOUBLINGS,  # noqa: F401  (compat re-export)
@@ -33,12 +31,6 @@ __all__ = [
     "streams_supported",
 ]
 
-
-def _max_feasible(predicate: Callable[[float], bool]) -> float:
-    """Deprecated alias for :func:`repro.planner.search.max_feasible_real`.
-
-    Kept so historical callers keep working; the solver itself (and its
-    tolerance constants ``_REL_TOL`` etc., also re-exported above) now
-    lives in the planning layer.
-    """
-    return max_feasible_real(predicate)
+#: Deprecated alias; the solver (and its tolerance constants
+#: ``_REL_TOL`` etc., re-exported above) lives in the planning layer.
+_max_feasible = max_feasible_real

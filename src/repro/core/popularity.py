@@ -26,6 +26,15 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "BimodalPopularity",
+    "EmpiricalPopularity",
+    "PopularityDistribution",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "paper_distributions",
+]
+
 
 class PopularityDistribution(abc.ABC):
     """Maps a cached content fraction to an access hit rate."""

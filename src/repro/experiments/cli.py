@@ -143,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "see --list-rules)")
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="list the registered rules and exit")
+    lint_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="parse files across N worker processes "
+                               "(findings are byte-identical to serial)")
+    lint_cmd.add_argument("--changed", action="store_true",
+                          help="lint only the .py files git status "
+                               "--porcelain reports as modified "
+                               "(replaces the path list)")
+    lint_cmd.add_argument("--sarif", metavar="PATH", default=None,
+                          help="also write a SARIF 2.1.0 report to PATH")
+    lint_cmd.add_argument("--no-cache", action="store_true",
+                          help="ignore and do not write the incremental "
+                               "result cache (.lint-cache.json)")
+    lint_cmd.add_argument("--baseline", metavar="PATH", default=None,
+                          help="ratchet baseline file to waive accepted "
+                               "findings (default: the pyproject "
+                               "'baseline' setting, if the file exists)")
+    lint_cmd.add_argument("--write-baseline", metavar="PATH", default=None,
+                          help="record the current findings as the "
+                               "ratchet baseline at PATH and exit 0")
     return parser
 
 
@@ -152,7 +171,10 @@ def _run_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args.paths, rules=args.rule, json_output=args.json,
-                    list_rules=args.list_rules)
+                    list_rules=args.list_rules, jobs=args.jobs,
+                    changed=args.changed, sarif_path=args.sarif,
+                    no_cache=args.no_cache, baseline=args.baseline,
+                    write_baseline=args.write_baseline)
 
 
 def _run_runtime(args: argparse.Namespace) -> int:

@@ -23,6 +23,8 @@ from repro.perf.parallel import sweep_map
 from repro.planner import Configuration, default_planner
 from repro.units import GB
 
+__all__ = ["reduction_factors", "run"]
+
 
 def _stream_counts(max_streams: float = 1e5, per_decade: int = 12) -> list[int]:
     """Log-spaced integer stream counts from 1 to ``max_streams``."""

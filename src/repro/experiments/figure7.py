@@ -26,6 +26,8 @@ from repro.experiments.base import ExperimentResult, Series
 from repro.perf.parallel import sweep_map
 from repro.units import GB, KB, MB
 
+__all__ = ["CONTOUR_LEVELS", "DRAM_CAPACITY", "run", "run_panel_a", "run_panel_b"]
+
 #: The case-study DRAM restriction (Section 5.1.3).
 DRAM_CAPACITY = 5 * GB
 #: Contour levels of panel (b), percent.

@@ -21,6 +21,11 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
   workload under whole-stream caching: the committed baseline pins the
   multicast fan-out ratio and the admitted-session advantage, plus a
   warm-vs-cold probe ratio for the prefix epoch re-planner;
+* ``lint`` — the whole-program analysis engine over the repository's
+  own sources, cold (every file parsed, graph built, all rules) and
+  then warm from the content-hash cache on an untouched tree: the
+  committed baseline gates the cold wall time, and the warm run must
+  re-parse **zero** files (the CI gate asserts it);
 * ``service_churn`` — control-plane churn through the
   :class:`~repro.service.facade.MediaService` facade: cycles of
   admit / teardown / reconfigure ops with the epoch replan running
@@ -71,20 +76,23 @@ _PRESETS: dict[str, dict[str, float]] = {
              "grid": 4, "storm_epochs": 16, "storm_arrivals": 25,
              "replan_epochs": 10, "replan_titles": 20,
              "vod_horizon": 2_000.0,
-             "churn_cycles": 8, "churn_admits": 40},
+             "churn_cycles": 8, "churn_admits": 40,
+             "lint_full": 0},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
               "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
               "replan_epochs": 16, "replan_titles": 40,
               "vod_horizon": 6_000.0,
-              "churn_cycles": 24, "churn_admits": 120},
+              "churn_cycles": 24, "churn_admits": 120,
+              "lint_full": 1},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
              "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
              "storm_epochs": 60, "storm_arrivals": 400,
              "replan_epochs": 40, "replan_titles": 80,
              "vod_horizon": 12_000.0,
-             "churn_cycles": 60, "churn_admits": 300},
+             "churn_cycles": 60, "churn_admits": 300,
+             "lint_full": 1},
 }
 
 
@@ -509,6 +517,61 @@ def bench_service_churn(preset: str) -> dict[str, float]:
             "events_published": float(service.bus.events_published)}
 
 
+def bench_lint(preset: str) -> dict[str, float]:
+    """The whole-program lint engine over the repository's own tree.
+
+    Cold pass first — every file parsed, summaries built, the import
+    graph assembled, all rules run — then a warm pass against the same
+    cache file with the tree untouched, which must replay entirely
+    from cached entries: ``files_parsed_warm`` is pinned at 0 by the
+    CI gate, and the committed baseline gates the cold ``wall_time_s``.
+    The ``tiny`` preset (``lint_full = 0``) runs the per-file rules
+    over the analysis package only; the CI/full presets lint the whole
+    ``src`` tree with every rule, graph phase included.
+
+    The imports are lazy and function-local: the analysis layer runs
+    its file pass through :func:`repro.perf.parallel.sweep_map`, so a
+    module-level import here would be a cycle through the package
+    facades.
+    """
+    import tempfile
+
+    from repro.analysis.config import find_project
+    from repro.analysis.engine import run_analysis
+
+    scale = _scale(preset)
+    here = Path(__file__).resolve()
+    config = find_project([here])
+    if config.root is None:  # pragma: no cover - site-packages install
+        raise ConfigurationError(
+            "bench lint needs the repository checkout (no pyproject.toml "
+            f"above {here})")
+    if int(scale["lint_full"]):
+        targets = [config.src_path()]
+        rules = None
+    else:
+        targets = [here.parent.parent / "analysis"]
+        rules = ["no-bare-assert", "exception-hygiene", "unit-literals"]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "lint-cache.json"
+        start = _elapsed()
+        cold = run_analysis(targets, rules, config=config,
+                            cache_path=cache_path)
+        cold_wall = _elapsed() - start
+        start = _elapsed()
+        warm = run_analysis(targets, rules, config=config,
+                            cache_path=cache_path)
+        warm_wall = _elapsed() - start
+    return {"wall_time_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+            "files_checked": float(cold.files_checked),
+            "files_parsed_cold": float(cold.files_parsed),
+            "files_parsed_warm": float(warm.files_parsed),
+            "cache_hits_warm": float(warm.cache_hits),
+            "findings": float(len(cold.findings))}
+
+
 #: Workload name -> runner; the order is the report order.
 WORKLOADS = {
     "event_loop": bench_event_loop,
@@ -520,6 +583,7 @@ WORKLOADS = {
     "replan_epochs": bench_replan_epochs,
     "flash_crowd": bench_flash_crowd,
     "service_churn": bench_service_churn,
+    "lint": bench_lint,
 }
 
 

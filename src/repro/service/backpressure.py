@@ -33,6 +33,13 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "BackpressureConfig",
+    "BackpressureGovernor",
+    "ServiceState",
+    "severity",
+]
+
 
 class ServiceState(enum.Enum):
     """Backpressure regime of the admission plane."""

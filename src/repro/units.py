@@ -19,6 +19,20 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "MS",
+    "SECONDS_PER_MINUTE",
+    "TB",
+    "US",
+    "bytes_to_human",
+    "rate_to_human",
+    "rpm_to_rotation_time",
+    "seconds_to_human",
+]
+
 #: One kilobyte (decimal), in bytes.
 KB = 1_000
 #: One megabyte (decimal), in bytes.

@@ -17,6 +17,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "VbrTrace",
+    "cushion_for_trace",
+    "make_vbr_trace",
+    "vbr_buffer_requirement",
+]
+
 
 @dataclass(frozen=True)
 class VbrTrace:

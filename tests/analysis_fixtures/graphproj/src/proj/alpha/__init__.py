@@ -1,0 +1,1 @@
+"""The alpha layer (may import beta only)."""

@@ -1,0 +1,8 @@
+"""Imports beta (allowed) and gamma (a layer-boundaries violation)."""
+
+from proj.beta.util import helper
+from proj.gamma.extra import thing  # VIOLATION: alpha may not import gamma
+
+
+def use() -> int:
+    return helper() + thing()

@@ -1,0 +1,1 @@
+"""The beta layer (imports nothing)."""

@@ -1,0 +1,13 @@
+"""Exports counters and gauges; ``beta_lost`` reaches no sink or doc."""
+
+
+class Meter:
+    def __init__(self, counters) -> None:
+        self.counters = counters
+
+    def tick(self) -> dict:
+        self.counters.count("beta_ticks")
+        self.counters.count("beta_lost")  # VIOLATION: invisible counter
+        gauges = {"beta_level": 1.0}
+        gauges["beta_depth"] = 2.0
+        return gauges

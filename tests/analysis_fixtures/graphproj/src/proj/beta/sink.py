@@ -1,0 +1,9 @@
+"""The metric sink: its string constants are the visible surface."""
+
+from proj.beta.producer import Meter
+
+TEMPLATE = "beta_ticks {0} beta_level {1}"
+
+
+def render(meter: Meter) -> str:
+    return TEMPLATE.format(meter, meter)

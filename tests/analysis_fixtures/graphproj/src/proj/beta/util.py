@@ -1,0 +1,13 @@
+"""``helper`` has importers; ``orphan`` is a dead-export violation."""
+
+
+def helper() -> int:
+    return 2
+
+
+def orphan() -> int:  # VIOLATION: nothing imports, uses, or exports this
+    return 4
+
+
+def _private() -> int:
+    return 8

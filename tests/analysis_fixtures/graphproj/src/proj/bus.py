@@ -1,0 +1,9 @@
+"""The publisher: instantiating an event type publishes it."""
+
+import proj.events as events
+
+__all__ = ["publish_all"]
+
+
+def publish_all() -> list:
+    return [events.Fired(), events.Parade(), events.Smoke()]

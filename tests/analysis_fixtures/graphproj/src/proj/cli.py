@@ -1,0 +1,10 @@
+"""Entry-point module: ``main`` is live via [project.scripts]."""
+
+from proj.beta.producer import Meter
+from proj.beta.sink import render
+
+
+def main() -> str:
+    meter = Meter(counters=None)
+    meter.tick()
+    return render(meter)

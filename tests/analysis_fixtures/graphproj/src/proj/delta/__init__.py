@@ -1,0 +1,1 @@
+"""The delta layer — deliberately missing from the declared DAG."""

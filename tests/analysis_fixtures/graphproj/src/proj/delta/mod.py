@@ -1,0 +1,9 @@
+"""Any import from an undeclared layer is a finding."""
+
+from proj.beta.util import helper  # VIOLATION: layer delta is undeclared
+
+__all__ = ["combined"]
+
+
+def combined() -> int:
+    return helper()

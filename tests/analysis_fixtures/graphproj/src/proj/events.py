@@ -1,0 +1,27 @@
+"""Event vocabulary; three of the five types violate the contract."""
+
+__all__ = ["Event", "Fired", "Ghost", "Parade", "Quiet", "Smoke"]
+
+
+class Event:
+    pass
+
+
+class Fired(Event):  # published (bus) and consumed (watcher): clean
+    pass
+
+
+class Ghost(Event):  # VIOLATION: never published, never consumed
+    pass
+
+
+class Parade(Event):  # published (bus), documented (docs/NOTES.md): clean
+    pass
+
+
+class Quiet(Event):  # VIOLATION: consumed (watcher) but never published
+    pass
+
+
+class Smoke(Event):  # VIOLATION: published (bus) but never consumed
+    pass

@@ -1,0 +1,1 @@
+"""The gamma layer (declared; imports nothing)."""

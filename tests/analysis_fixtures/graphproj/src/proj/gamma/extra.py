@@ -1,0 +1,5 @@
+"""Imported by alpha (which is not allowed to)."""
+
+
+def thing() -> int:
+    return 3

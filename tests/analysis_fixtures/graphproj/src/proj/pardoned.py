@@ -1,0 +1,9 @@
+"""Imports alpha from the root layer — carried by a named exception."""
+
+from proj.alpha.work import use
+
+__all__ = ["run_all"]
+
+
+def run_all() -> int:
+    return use()

@@ -1,0 +1,11 @@
+"""Declared a pure re-export shim of ``proj.beta.util`` — but stale."""
+
+from proj.beta.util import helper
+
+__all__ = ["compat", "helper", "stale"]
+
+compat = helper
+
+
+def stale() -> int:  # VIOLATION: logic added to a declared shim
+    return helper() + 1

@@ -1,0 +1,7 @@
+"""A consumer: imports-and-reads event types off the bus."""
+
+from proj.events import Fired, Quiet
+
+__all__ = ["HANDLED"]
+
+HANDLED = (Fired, Quiet)

@@ -77,7 +77,7 @@ class TestRunWorkloads:
                                   "runtime_scenario", "planner_cold",
                                   "planner_warm", "admission_storm",
                                   "replan_epochs", "flash_crowd",
-                                  "service_churn"}
+                                  "service_churn", "lint"}
 
     def test_admission_storm_tiny(self):
         (record,) = run_workloads(["admission_storm"], preset="tiny")
@@ -116,6 +116,20 @@ class TestRunWorkloads:
         # replan windows must get finalized by replan-done events.
         assert record.metrics["pending_finalized"] > 0
         assert record.metrics["events_published"] >= record.metrics["ops"]
+
+    def test_lint_tiny(self):
+        (record,) = run_workloads(["lint"], preset="tiny")
+        assert record.metrics["wall_time_s"] > 0
+        assert record.metrics["files_parsed_cold"] > 0
+        assert (record.metrics["files_checked"]
+                == record.metrics["files_parsed_cold"])
+        # The warm pass over an untouched tree replays entirely from
+        # the content-hash cache: nothing is re-parsed.
+        assert record.metrics["files_parsed_warm"] == 0.0
+        assert (record.metrics["cache_hits_warm"]
+                == record.metrics["files_checked"])
+        # The repository lints clean against its own rules.
+        assert record.metrics["findings"] == 0.0
 
     def test_unknown_workload(self):
         with pytest.raises(ConfigurationError):
