@@ -6,6 +6,8 @@ where the reference ``BENCH_<name>.json`` records live::
 
     python benchmarks/regress.py record            # refresh baselines
     python benchmarks/regress.py compare OUT_DIR   # gate OUT_DIR vs them
+    python benchmarks/regress.py trend             # show the baselines
+    python benchmarks/regress.py trend OUT_DIR     # ... vs a current run
 
 ``record`` runs the workloads (best-of-``--repeats``) and overwrites
 the committed baselines — do this on the reference machine when a PR
@@ -16,6 +18,13 @@ records on a different machine.  ``compare``
 replays recorded results from ``OUT_DIR`` against the baselines and
 exits 1 on regression; it never re-runs the workloads, so the gate
 itself is deterministic (see ``docs/PERFORMANCE.md``).
+
+``trend`` makes the perf trajectory visible instead of only pass/fail:
+it prints every metric of every committed ``BENCH_*.json`` as a table,
+and with an ``OUT_DIR`` adds the current run's value and the
+direction-aware delta per metric (gated metrics marked ``*``).  It is
+purely a report — it never runs workloads and never exits nonzero on
+a slowdown; ``compare`` stays the gate.
 """
 
 from __future__ import annotations
@@ -30,6 +39,59 @@ from repro.experiments.cli import main as mems_repro  # noqa: E402
 
 #: The committed reference records.
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def trend(results: str | None = None) -> int:
+    """Print the per-metric trajectory of every committed baseline.
+
+    With ``results``, each row also shows the current run's value and
+    the direction-aware percentage delta (positive = better).  Metrics
+    the regression gate checks are marked with ``*``; the rest are
+    informational.
+    """
+    from repro.perf.bench import METRIC_DIRECTIONS, load_records
+
+    baseline = load_records(BASELINE_DIR)
+    current = load_records(results) if results is not None else {}
+    header = ["workload", "metric", "baseline"]
+    if results is not None:
+        header += ["current", "delta"]
+    rows: list[list[str]] = []
+    for name in sorted(baseline):
+        record = baseline[name]
+        now = current.get(name)
+        for metric in sorted(record.metrics):
+            direction = METRIC_DIRECTIONS.get(metric)
+            marker = "*" if direction else ""
+            then = record.metrics[metric]
+            row = [name, metric + marker, _format_value(then)]
+            if results is not None:
+                value = (now.metrics.get(metric)
+                         if now is not None else None)
+                if value is None:
+                    row += ["-", "-"]
+                elif direction is None or then == 0:
+                    row += [_format_value(value), "-"]
+                else:
+                    change = 100.0 * (value - then) / then
+                    better = change if direction == "higher" else -change
+                    row += [_format_value(value), f"{better:+.1f}%"]
+            rows.append(row)
+    widths = [max(len(row[i]) for row in rows + [header])
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    for row in rows:
+        print("  ".join(c.ljust(w)
+                        for c, w in zip(row, widths)).rstrip())
+    extras = sorted(set(current) - set(baseline))
+    if extras:
+        print(f"(current-only, no baseline yet: {', '.join(extras)})")
+    print("(* = gated by 'compare'; unmarked metrics are informational)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,7 +117,15 @@ def main(argv: list[str] | None = None) -> int:
                          help="allowed regression percent; generous by "
                               "default so shared-runner noise never "
                               "fails CI (default 200)")
+    trend_cmd = sub.add_parser(
+        "trend", help="print the per-metric baseline trajectory table")
+    trend_cmd.add_argument("results", metavar="OUT_DIR", nargs="?",
+                           default=None,
+                           help="optional directory of current "
+                                "BENCH_*.json to diff against")
     args = parser.parse_args(argv)
+    if args.mode == "trend":
+        return trend(args.results)
     if args.mode == "record":
         argv = ["bench", "--preset", args.preset,
                 "--repeats", str(args.repeats),

@@ -153,9 +153,10 @@ DEFAULT_SCOPES: tuple[tuple[str, ScopeSpec], ...] = (
     ("determinism", ScopeSpec(
         dirs=("simulation", "runtime", "workloads", "perf", "vod",
               "service"),
-        files=("planner/incremental.py",))),
+        files=("planner/incremental.py", "planner/batch.py"))),
     ("float-equality", ScopeSpec(
-        dirs=("core", "planner", "experiments", "vod", "service"))),
+        dirs=("core", "planner", "experiments", "vod", "service"),
+        files=("benchmarks/regress.py",))),
     ("no-shim-imports", ScopeSpec(
         exclude_files=("core/capacity.py", "core/hybrid.py"))),
     ("unit-literals", ScopeSpec(exclude_files=("units.py",))),

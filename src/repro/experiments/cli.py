@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for the sweeps "
                               "(default 1 = serial; results identical)")
+    exp_cmd.add_argument("--batch", action="store_true",
+                         help="route sweeps through the vectorized batch "
+                              "planner (results identical; composes with "
+                              "--jobs)")
     exp_cmd.add_argument("--csv", metavar="PATH",
                          help="also write the data series as CSV")
     exp_cmd.add_argument("--width", type=int, default=76,
@@ -281,7 +285,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         if args.ids:
             raise ConfigurationError(
                 "pass experiment ids or --all, not both")
-        results = run_all(jobs=args.jobs)
+        results = run_all(jobs=args.jobs, batch=args.batch)
     elif not args.ids:
         raise ConfigurationError(
             "no experiments selected; pass ids (see 'list') or --all")
@@ -289,9 +293,11 @@ def _run_experiments(args: argparse.Namespace) -> int:
         # A single experiment parallelises *inside* its sweep loops.
         experiment_id = args.ids[0]
         results = {experiment_id: run_experiment(experiment_id,
-                                                 jobs=args.jobs)}
+                                                 jobs=args.jobs,
+                                                 batch=args.batch)}
     else:
-        results = run_selected(list(args.ids), jobs=args.jobs)
+        results = run_selected(list(args.ids), jobs=args.jobs,
+                               batch=args.batch)
     for experiment_id, result in results.items():
         print(result.render(width=args.width, height=args.height))
         print()

@@ -39,7 +39,9 @@ from repro.core.write_streams import max_writers_supported
 from repro.devices.catalog import FUTURE_DISK_2007, MEMS_G3
 from repro.devices.mems_placement import placement_improvement
 from repro.experiments.base import ExperimentResult, Series, Table
-from repro.perf.parallel import sweep_map
+from repro.perf.parallel import batchable, sweep_map
+from repro.planner.batch import batch_max_streams
+from repro.planner.configuration import Configuration
 from repro.scheduling.sptf import sptf_speedup
 from repro.simulation.pipelines import simulate_direct_pipeline
 from repro.units import GB, KB, MB, MS
@@ -141,7 +143,7 @@ def _blocking_rows(
 def run_ext_blocking(*, bit_rate: float = 200 * KB,
                      budgets_gb: tuple[float, ...] = (1.0, 2.0, 4.0),
                      utilization: float = 1.02,
-                     jobs: int = 1) -> ExperimentResult:
+                     jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Erlang-B blocking per configuration as the DRAM budget grows.
 
     The offered load is pinned to ``utilization`` times the *disk-only*
@@ -150,7 +152,8 @@ def run_ext_blocking(*, bit_rate: float = 200 * KB,
     """
     items = [(budget_gb, bit_rate, utilization)
              for budget_gb in budgets_gb]
-    rows = [row for block in sweep_map(_blocking_rows, items, jobs=jobs)
+    rows = [row for block in sweep_map(_blocking_rows, items, jobs=jobs,
+                                       batch=batch)
             for row in block]
     result = ExperimentResult(
         experiment_id="ext-blocking",
@@ -161,6 +164,31 @@ def run_ext_blocking(*, bit_rate: float = 200 * KB,
     return result
 
 
+def _hybrid_curve_batch(
+        items: list[tuple[str, float, int, float]]) -> list[Series]:
+    """Vectorized twin of :func:`_hybrid_curve`: one lane per split.
+
+    All ``k + 1`` splits of every requested popularity solve in a
+    single :func:`repro.planner.batch.batch_max_streams` call.
+    """
+    lanes = []
+    spans: list[tuple[str, list[float]]] = []
+    for spec, bit_rate, k, dram_budget in items:
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=bit_rate, k=k)
+        popularity = BimodalPopularity.parse(spec)
+        xs = [float(k_cache) for k_cache in range(k + 1)]
+        for k_cache in range(k + 1):
+            lanes.append((params, Configuration.hybrid(
+                k_cache, k - k_cache, CachePolicy.STRIPED, popularity),
+                dram_budget))
+        spans.append((spec, xs))
+    values = iter(batch_max_streams(lanes))
+    return [Series(label=spec, x=xs, y=[next(values) for _ in xs])
+            for spec, xs in spans]
+
+
+@batchable(_hybrid_curve_batch)
 def _hybrid_curve(item: tuple[str, float, int, float]) -> Series:
     """Worker: one popularity's split curve (picklable)."""
     spec, bit_rate, k, dram_budget = item
@@ -177,11 +205,11 @@ def _hybrid_curve(item: tuple[str, float, int, float]) -> Series:
 
 def run_ext_hybrid(*, bit_rate: float = 100 * KB, k: int = 4,
                    dram_budget: float = 2 * GB,
-                   jobs: int = 1) -> ExperimentResult:
+                   jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Throughput of every buffer/cache split (future work #1)."""
     items = [(spec, bit_rate, k, dram_budget)
              for spec in ("1:99", "5:95", "20:80")]
-    series = sweep_map(_hybrid_curve, items, jobs=jobs)
+    series = sweep_map(_hybrid_curve, items, jobs=jobs, batch=batch)
     result = ExperimentResult(
         experiment_id="ext-hybrid",
         title=(f"Hybrid buffer/cache split of a k={k} bank "
@@ -217,7 +245,7 @@ def run_ext_robustness(*, n_streams: int = 80, bit_rate: float = 1 * MB,
                        scales: tuple[float, ...] = (1.0, 1.25, 1.5, 2.0,
                                                     3.0),
                        n_cycles: int = 40, seed: int = 11,
-                       jobs: int = 1) -> ExperimentResult:
+                       jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Starvation under stochastic disk latencies vs buffer headroom.
 
     Deterministic analysis sizes buffers exactly; real per-IO latencies
@@ -230,7 +258,7 @@ def run_ext_robustness(*, n_streams: int = 80, bit_rate: float = 1 * MB,
     items = [(scale, n_streams, bit_rate, n_cycles, seed)
              for scale in scales]
     xs = [float(scale) for scale in scales]
-    ys = sweep_map(_robustness_point, items, jobs=jobs)
+    ys = sweep_map(_robustness_point, items, jobs=jobs, batch=batch)
     result = ExperimentResult(
         experiment_id="ext-robustness",
         title="Starvation vs buffer headroom under sampled disk latencies",

@@ -16,8 +16,9 @@ from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007
 from repro.experiments.base import ExperimentResult, Series
 from repro.experiments.figure9 import _dram_budget
-from repro.perf.parallel import sweep_map
+from repro.perf.parallel import batchable, sweep_map
 from repro.planner import Configuration, default_planner
+from repro.planner.batch import batch_max_streams
 from repro.units import KB
 
 #: The experiment's fixed total budget, dollars.
@@ -26,6 +27,40 @@ TOTAL_COST = 100.0
 BIT_RATE = 100 * KB
 
 
+def _distribution_curve_batch(
+        items: list[tuple[str, float, float, int, CachePolicy, float]],
+) -> list[Series]:
+    """Vectorized twin of :func:`_distribution_curve`.
+
+    The scalar loop breaks at the first budget-exhausted ``k``; the
+    MEMS cost grows monotonically in ``k``, so the same prefix of bank
+    sizes survives here, and all surviving ``(distribution, k)`` cells
+    solve in one :func:`repro.planner.batch.batch_max_streams` call.
+    """
+    lanes = []
+    spans: list[tuple[str, list[float], float]] = []
+    for spec, total_cost, bit_rate, max_devices, policy, baseline in items:
+        popularity = BimodalPopularity.parse(spec)
+        xs: list[float] = []
+        for k in range(1, max_devices + 1):
+            dram = _dram_budget(total_cost, k)
+            if dram <= 0:
+                break
+            params = SystemParameters.table3_default(
+                n_streams=1, bit_rate=bit_rate, k=k)
+            lanes.append((params, Configuration.cache(policy, popularity),
+                          dram))
+            xs.append(float(k))
+        spans.append((spec, xs, baseline))
+    values = iter(batch_max_streams(lanes))
+    series: list[Series] = []
+    for spec, xs, baseline in spans:
+        ys = [100.0 * (next(values) - baseline) / baseline for _ in xs]
+        series.append(Series(label=spec, x=xs, y=ys))
+    return series
+
+
+@batchable(_distribution_curve_batch)
 def _distribution_curve(
         item: tuple[str, float, float, int, CachePolicy, float]) -> Series:
     """Worker: one distribution's improvement curve (picklable)."""
@@ -51,7 +86,7 @@ def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
         max_devices: int = 8,
         distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
         policy: CachePolicy = CachePolicy.STRIPED,
-        jobs: int = 1) -> ExperimentResult:
+        jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Percentage throughput improvement vs k, one curve per distribution."""
     planner = default_planner()
     baseline_params = SystemParameters.table3_default(
@@ -60,7 +95,7 @@ def run(*, total_cost: float = TOTAL_COST, bit_rate: float = BIT_RATE,
                                    total_cost / DRAM_2007.cost_per_byte)
     items = [(spec, total_cost, bit_rate, max_devices, policy, baseline)
              for spec in distributions]
-    series = sweep_map(_distribution_curve, items, jobs=jobs)
+    series = sweep_map(_distribution_curve, items, jobs=jobs, batch=batch)
     result = ExperimentResult(
         experiment_id="figure10",
         title=(f"Varying the size of the MEMS cache "

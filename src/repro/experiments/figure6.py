@@ -14,13 +14,16 @@ double sweep of :func:`reduction_factors` — replays memoized solves.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.parameters import SystemParameters
 from repro.devices.catalog import MEDIA_BITRATES
 from repro.experiments.base import ExperimentResult, Series
-from repro.perf.parallel import sweep_map
+from repro.perf.parallel import batchable, sweep_map
 from repro.planner import Configuration, default_planner
+from repro.planner.batch import demand_curve
 from repro.units import GB
 
 __all__ = ["reduction_factors", "run"]
@@ -55,6 +58,36 @@ def _stream_counts_for(bit_rate: float, *, max_streams: float = 1e5,
     return sorted(counts)
 
 
+def _sweep_rate_batch(
+        items: list[tuple[str, float, bool, int, float]]) -> list[Series]:
+    """Vectorized twin of :func:`_sweep_rate`: one demand curve per item.
+
+    Each item's whole population axis is solved in one
+    :func:`repro.planner.batch.demand_curve` call; an ``inf`` entry is
+    the batch spelling of the scalar path's infeasible-plan break, so
+    the curve ends at the same point with the same values.
+    """
+    series: list[Series] = []
+    for name, bit_rate, with_mems, k, max_streams in items:
+        configuration = (Configuration.buffer(k) if with_mems
+                         else Configuration.direct())
+        counts = _stream_counts_for(bit_rate, max_streams=max_streams)
+        base = SystemParameters.table3_default(
+            n_streams=counts[0], bit_rate=bit_rate, k=k,
+            size_mems_unlimited=True)
+        totals = demand_curve(base, configuration, counts)
+        xs: list[float] = []
+        ys: list[float] = []
+        for n, total in zip(counts, totals):
+            if not math.isfinite(total):
+                break  # load saturates the device; the curve ends here
+            xs.append(float(n))
+            ys.append(float(total) / GB)
+        series.append(Series(label=f"{name}", x=xs, y=ys))
+    return series
+
+
+@batchable(_sweep_rate_batch)
 def _sweep_rate(item: tuple[str, float, bool, int, float]) -> Series:
     """Worker: one bit-rate's curve (picklable; rebuilds its planner)."""
     name, bit_rate, with_mems, k, max_streams = item
@@ -77,12 +110,13 @@ def _sweep_rate(item: tuple[str, float, bool, int, float]) -> Series:
 
 def run(*, with_mems: bool, k: int = 2,
         bit_rates: dict[str, float] | None = None,
-        max_streams: float = 1e5, jobs: int = 1) -> ExperimentResult:
+        max_streams: float = 1e5, jobs: int = 1,
+        batch: bool = False) -> ExperimentResult:
     """Panel (a) with ``with_mems=False``, panel (b) with ``True``."""
     rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
     items = [(name, bit_rate, with_mems, k, max_streams)
              for name, bit_rate in rates.items()]
-    series = sweep_map(_sweep_rate, items, jobs=jobs)
+    series = sweep_map(_sweep_rate, items, jobs=jobs, batch=batch)
     panel = "b (with MEMS buffer)" if with_mems else "a (without MEMS buffer)"
     result = ExperimentResult(
         experiment_id=f"figure6{'b' if with_mems else 'a'}",

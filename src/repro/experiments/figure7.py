@@ -13,6 +13,8 @@ curves and the panel (b) grid are computed once.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.parameters import SystemParameters
@@ -20,10 +22,14 @@ from repro.core.sensitivity import (
     cost_reduction_at_ratio,
     latency_ratio_sweep,
 )
+from repro.core.theorems import min_buffer_disk_dram
 from repro.devices.catalog import MEDIA_BITRATES
+from repro.errors import ConfigurationError
 from repro.experiments.ascii_plot import render_contours
 from repro.experiments.base import ExperimentResult, Series
-from repro.perf.parallel import sweep_map
+from repro.perf.parallel import batchable, sweep_map
+from repro.planner.batch import buffer_total_dram
+from repro.planner.throughput import max_streams_without_mems
 from repro.units import GB, KB, MB
 
 __all__ = ["CONTOUR_LEVELS", "DRAM_CAPACITY", "run", "run_panel_a", "run_panel_b"]
@@ -39,6 +45,55 @@ def _base(bit_rate: float, k: int) -> SystemParameters:
                                            k=k)
 
 
+def _reduction_percents(bit_rate: float, k: int,
+                        ratios: tuple[float, ...]) -> list[float]:
+    """Percentage cost reductions at each ratio, solved on one axis.
+
+    Vector twin of :func:`repro.core.sensitivity.cost_reduction_at_ratio`
+    over the latency-ratio axis.  Only ``l_mems = l_disk / ratio``
+    varies along the axis; the no-MEMS baseline (a DIRECT closed-form
+    solve that never reads ``l_mems``) is computed once through the
+    scalar path, and the Theorem 2 demand of the MEMS configuration is
+    one :func:`repro.planner.batch.buffer_total_dram` evaluation.
+    """
+    base = _base(bit_rate, k)
+    if base.size_mems is None:
+        raise ConfigurationError(
+            "Figure 7 prices the MEMS bank; size_mems must be finite")
+    ratio_axis = np.asarray(ratios, dtype=np.float64)
+    if np.any(ratio_axis <= 0):
+        raise ConfigurationError("latency ratios must be > 0")
+    l_mems = base.l_disk / ratio_axis
+    n = math.floor(max_streams_without_mems(
+        base.with_latency_ratio(float(ratio_axis[0])), DRAM_CAPACITY)
+        + 1e-9)
+    if n < 1:
+        # cost_without == 0 at every ratio; percent_reduction is 0.
+        return [0.0] * len(ratios)
+    at_n = base.replace(n_streams=n)
+    dram_without = n * min_buffer_disk_dram(at_n)
+    cost_without = base.c_dram * dram_without
+    totals = buffer_total_dram(
+        float(n), bit_rate=base.bit_rate, r_disk=base.r_disk,
+        l_disk=base.l_disk, r_mems=base.r_mems, l_mems=l_mems,
+        k=float(base.k), bank_capacity=base.mems_bank_capacity)
+    # An infeasible bank does not engage; its purchase cost stays sunk.
+    dram_with = np.where(np.isfinite(totals), totals, dram_without)
+    cost_with = base.mems_bank_cost + base.c_dram * dram_with
+    percent = 100.0 * (cost_without - cost_with) / cost_without
+    return [float(p) for p in percent]
+
+
+def _sweep_rate_a_batch(
+        items: list[tuple[str, float, int, tuple[float, ...]]],
+) -> list[Series]:
+    """Vectorized twin of :func:`_sweep_rate_a`."""
+    return [Series(label=name, x=[float(r) for r in ratio_values],
+                   y=_reduction_percents(bit_rate, k, ratio_values))
+            for name, bit_rate, k, ratio_values in items]
+
+
+@batchable(_sweep_rate_a_batch)
 def _sweep_rate_a(item: tuple[str, float, int, tuple[float, ...]]) -> Series:
     """Worker: one panel-(a) curve (picklable; solves in-process)."""
     name, bit_rate, k, ratio_values = item
@@ -51,14 +106,14 @@ def _sweep_rate_a(item: tuple[str, float, int, tuple[float, ...]]) -> Series:
 
 def run_panel_a(*, k: int = 2, ratios: list[float] | None = None,
                 bit_rates: dict[str, float] | None = None,
-                jobs: int = 1) -> ExperimentResult:
+                jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Percentage cost reduction vs latency ratio, one curve per bit-rate."""
     rates = bit_rates if bit_rates is not None else dict(MEDIA_BITRATES)
     ratio_values = ratios if ratios is not None else [
         1 + 0.5 * i for i in range(19)]  # 1.0 .. 10.0
     items = [(name, bit_rate, k, tuple(ratio_values))
              for name, bit_rate in rates.items()]
-    series = sweep_map(_sweep_rate_a, items, jobs=jobs)
+    series = sweep_map(_sweep_rate_a, items, jobs=jobs, batch=batch)
     result = ExperimentResult(
         experiment_id="figure7a",
         title="Percentage cost reduction vs latency ratio "
@@ -74,6 +129,15 @@ def run_panel_a(*, k: int = 2, ratios: list[float] | None = None,
     return result
 
 
+def _grid_row_batch(
+        items: list[tuple[float, int, tuple[float, ...]]],
+) -> list[list[float]]:
+    """Vectorized twin of :func:`_grid_row`: one axis solve per row."""
+    return [_reduction_percents(bit_rate, k, ratios)
+            for bit_rate, k, ratios in items]
+
+
+@batchable(_grid_row_batch)
 def _grid_row(item: tuple[float, int, tuple[float, ...]]) -> list[float]:
     """Worker: one bit-rate row of the panel-(b) reduction grid."""
     bit_rate, k, ratios = item
@@ -84,14 +148,15 @@ def _grid_row(item: tuple[float, int, tuple[float, ...]]) -> list[float]:
 
 
 def run_panel_b(*, k: int = 2, n_rate_points: int = 16,
-                n_ratio_points: int = 10, jobs: int = 1) -> ExperimentResult:
+                n_ratio_points: int = 10, jobs: int = 1,
+                batch: bool = False) -> ExperimentResult:
     """Contour regions of percentage cost reduction (panel b)."""
     bit_rates = np.logspace(np.log10(10 * KB), np.log10(10 * MB),
                             n_rate_points)
     ratios = np.linspace(1.0, 10.0, n_ratio_points)
     items = [(float(bit_rate), k, tuple(map(float, ratios)))
              for bit_rate in bit_rates]
-    grid = sweep_map(_grid_row, items, jobs=jobs)
+    grid = sweep_map(_grid_row, items, jobs=jobs, batch=batch)
     contour_text = render_contours(
         grid, list(map(float, ratios)),
         [float(b) / KB for b in bit_rates], CONTOUR_LEVELS,

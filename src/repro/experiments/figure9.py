@@ -21,8 +21,9 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import PAPER_DISTRIBUTIONS, BimodalPopularity
 from repro.devices.catalog import DRAM_2007, MEMS_G3
 from repro.experiments.base import ExperimentResult, Table
-from repro.perf.parallel import sweep_map
+from repro.perf.parallel import batchable, sweep_map
 from repro.planner import Configuration, default_planner
+from repro.planner.batch import batch_max_streams
 from repro.units import KB, MB
 
 #: (budget $, cache devices) pairs of the paper's experiment.
@@ -63,6 +64,66 @@ def throughput(bit_rate: float, total_cost: float, k_cache: int,
         params, Configuration.cache(policy, popularity), budget))
 
 
+def _throughput_lane(bit_rate: float, total_cost: float, k_cache: int,
+                     configuration: str, popularity: BimodalPopularity):
+    """The ``(params, configuration, budget)`` lane one cell solves.
+
+    ``None`` marks the budget-exhausted cells :func:`throughput`
+    short-circuits to 0 streams.
+    """
+    if configuration == "none":
+        params = SystemParameters.table3_default(n_streams=1,
+                                                 bit_rate=bit_rate, k=1)
+        return (params, Configuration.direct(),
+                total_cost / DRAM_2007.cost_per_byte)
+    budget = _dram_budget(total_cost, k_cache)
+    if budget <= 0:
+        return None
+    params = SystemParameters.table3_default(n_streams=1, bit_rate=bit_rate,
+                                             k=k_cache)
+    policy = (CachePolicy.REPLICATED if configuration == "replicated"
+              else CachePolicy.STRIPED)
+    return params, Configuration.cache(policy, popularity), budget
+
+
+def _distribution_rows_batch(
+        items: list[tuple[str, float, tuple[tuple[float, int], ...]]],
+) -> list[list[list[object]]]:
+    """Vectorized twin of :func:`_distribution_rows`.
+
+    Every cell of every requested distribution becomes one lane of a
+    single :func:`repro.planner.batch.batch_max_streams` call (grouped
+    by configuration kind inside), then the integer truncation and row
+    assembly replay the scalar path.
+    """
+    lanes = []
+    slots: list[tuple[int, int, int]] = []  # (item, row, column)
+    blocks: list[list[list[object]]] = []
+    for index, (spec, bit_rate, budget_points) in enumerate(items):
+        popularity = BimodalPopularity.parse(spec)
+        rows: list[list[object]] = []
+        for row_index, config in enumerate(("none", "replicated",
+                                            "striped")):
+            row: list[object] = [spec, "w/o MEMS cache" if config == "none"
+                                 else f"{config} cache"]
+            for cost, k_cache in budget_points:
+                lane = _throughput_lane(bit_rate, cost, k_cache, config,
+                                        popularity)
+                if lane is None:
+                    row.append(0)
+                else:
+                    slots.append((index, row_index, len(row)))
+                    lanes.append(lane)
+                    row.append(None)  # filled from the batch solve below
+            rows.append(row)
+        blocks.append(rows)
+    for (index, row_index, column), value in zip(slots,
+                                                 batch_max_streams(lanes)):
+        blocks[index][row_index][column] = int(value)
+    return blocks
+
+
+@batchable(_distribution_rows_batch)
 def _distribution_rows(
         item: tuple[str, float, tuple[tuple[float, int], ...]],
 ) -> list[list[object]]:
@@ -83,13 +144,14 @@ def _distribution_rows(
 def run(*, bit_rate: float = 10 * KB,
         distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
         budget_points: tuple[tuple[float, int], ...] = BUDGET_POINTS,
-        jobs: int = 1) -> ExperimentResult:
+        jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """One panel: a table of throughputs per distribution/config/budget."""
     columns = ["popularity", "configuration"] + [
         f"N @ ${cost:.0f} (k={k})" for cost, k in budget_points]
     items = [(spec, bit_rate, tuple(budget_points))
              for spec in distributions]
-    rows = [row for block in sweep_map(_distribution_rows, items, jobs=jobs)
+    rows = [row for block in sweep_map(_distribution_rows, items, jobs=jobs,
+                                       batch=batch)
             for row in block]
     panel = "a" if bit_rate <= 100 * KB else "b"
     result = ExperimentResult(

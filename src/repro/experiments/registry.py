@@ -65,53 +65,72 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
             f"{', '.join(EXPERIMENTS)}") from None
 
 
-def _accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
-    """Whether a runner's sweep loops take a ``jobs`` parameter."""
+def _accepts_option(runner: Callable[..., ExperimentResult],
+                    name: str) -> bool:
+    """Whether a runner's sweep loops take the ``name`` parameter."""
     try:
         parameters = inspect.signature(runner).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins only
         return False
-    if "jobs" in parameters:
+    if name in parameters:
         return True
-    # Panel wrappers forward **kwargs to a jobs-aware run().
+    # Panel wrappers forward **kwargs to an option-aware run().
     return any(p.kind is inspect.Parameter.VAR_KEYWORD
                for p in parameters.values())
 
 
-def run_experiment(experiment_id: str, *, jobs: int = 1) -> ExperimentResult:
+def _accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
+    """Whether a runner's sweep loops take a ``jobs`` parameter."""
+    return _accepts_option(runner, "jobs")
+
+
+def run_experiment(experiment_id: str, *, jobs: int = 1,
+                   batch: bool = False) -> ExperimentResult:
     """Run one experiment by id.
 
     ``jobs`` fans the runner's sweep loops out over worker processes
-    (see :func:`repro.perf.parallel.sweep_map`); runners without a
-    sweep axis ignore it.  Results are identical at any ``jobs``.
+    (see :func:`repro.perf.parallel.sweep_map`); ``batch`` routes them
+    through the vectorized batch planner where a worker has a
+    :func:`~repro.perf.parallel.batchable` twin.  Runners without a
+    sweep axis ignore both.  Results are identical at any setting.
     """
     runner = get_experiment(experiment_id)
+    kwargs: dict[str, object] = {}
     if jobs != 1 and _accepts_jobs(runner):
-        return runner(jobs=jobs)
-    return runner()
+        kwargs["jobs"] = jobs
+    if batch and _accepts_option(runner, "batch"):
+        kwargs["batch"] = True
+    return runner(**kwargs)
 
 
-def _run_one(experiment_id: str) -> ExperimentResult:
+def _run_one(item: str | tuple[str, bool]) -> ExperimentResult:
     """Worker for the batch sweep: one experiment, serial inside."""
-    return get_experiment(experiment_id)()
+    if isinstance(item, tuple):
+        experiment_id, batch = item
+        return run_experiment(experiment_id, batch=batch)
+    return get_experiment(item)()
 
 
-def run_selected(ids: list[str], *,
-                 jobs: int = 1) -> dict[str, ExperimentResult]:
+def run_selected(ids: list[str], *, jobs: int = 1,
+                 batch: bool = False) -> dict[str, ExperimentResult]:
     """Run several experiments, optionally in parallel.
 
     ``jobs`` parallelises *across* experiments (each worker runs one
-    experiment serially — no nested pools); the returned dict and every
-    result are identical to a serial run.
+    experiment serially — no nested pools); ``batch`` turns on the
+    vectorized solve paths *inside* each experiment.  The returned
+    dict and every result are identical to a serial scalar run.
     """
     for experiment_id in ids:
         get_experiment(experiment_id)  # validate before forking
-    results = sweep_map(_run_one, list(ids), jobs=jobs)
+    items: list[str | tuple[str, bool]] = \
+        [(experiment_id, True) for experiment_id in ids] if batch \
+        else list(ids)
+    results = sweep_map(_run_one, items, jobs=jobs)
     return dict(zip(ids, results))
 
 
-def run_all(*, include_extensions: bool = True,
-            jobs: int = 1) -> dict[str, ExperimentResult]:
+def run_all(*, include_extensions: bool = True, jobs: int = 1,
+            batch: bool = False) -> dict[str, ExperimentResult]:
     """Run every experiment, in paper order (extensions last)."""
     selected = EXPERIMENTS if include_extensions else PAPER_EXPERIMENTS
-    return run_selected(list(selected), jobs=jobs)
+    return run_selected(list(selected), jobs=jobs, batch=batch)

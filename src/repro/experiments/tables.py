@@ -46,12 +46,12 @@ def _year_rows(year: str) -> list[list[object]]:
     return rows
 
 
-def run_table1(*, jobs: int = 1) -> ExperimentResult:
+def run_table1(*, jobs: int = 1, batch: bool = False) -> ExperimentResult:
     """Table 1: 2002 and 2007 characteristics of DRAM, MEMS and disk."""
     columns = ["year", "medium", "capacity [GB]", "access time [ms]",
                "bandwidth [MB/s]", "cost/GB [$]", "cost/device [$]"]
     rows = [row for block in sweep_map(_year_rows, ["2002", "2007"],
-                                       jobs=jobs)
+                                       jobs=jobs, batch=batch)
             for row in block]
     result = ExperimentResult(
         experiment_id="table1",

@@ -4,10 +4,16 @@ Each workload exercises one hot path end to end and reports its
 metrics as a :class:`BenchRecord`, serialised to a schema-versioned
 ``BENCH_<name>.json``:
 
-* ``event_loop`` — raw discrete-event engine throughput (self-rearming
-  ticks, no model work): the cost floor under every simulation;
+* ``event_loop`` — raw discrete-event engine throughput (a fan of
+  periodic ``every()`` chains, no model work): the cost floor under
+  every simulation, shaped like the runtime's mostly-monotone streams
+  so the calendar-queue core is what gets measured;
 * ``figure6_sweep`` — the Figure 6 planner sweep (both panels), the
   canonical bulk-evaluation workload of the paper's methodology;
+* ``batch_sweep`` — the same demand curves plus an inverse budget grid
+  through the vectorized batch planner
+  (:mod:`repro.planner.batch`): thousands of configuration points per
+  array operation instead of one solve per Python call;
 * ``runtime_scenario`` — the ``device-failure`` online-server scenario:
   sessions, re-planning, failure recovery, metrics intervals;
 * ``planner_cold`` / ``planner_warm`` — the memoizing planner on a
@@ -77,14 +83,14 @@ _PRESETS: dict[str, dict[str, float]] = {
              "replan_epochs": 10, "replan_titles": 20,
              "vod_horizon": 2_000.0,
              "churn_cycles": 8, "churn_admits": 40,
-             "lint_full": 0},
+             "lint_full": 0, "batch_points": 2_000},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
               "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
               "replan_epochs": 16, "replan_titles": 40,
               "vod_horizon": 6_000.0,
               "churn_cycles": 24, "churn_admits": 120,
-              "lint_full": 1},
+              "lint_full": 1, "batch_points": 50_000},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
              "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
@@ -92,7 +98,7 @@ _PRESETS: dict[str, dict[str, float]] = {
              "replan_epochs": 40, "replan_titles": 80,
              "vod_horizon": 12_000.0,
              "churn_cycles": 60, "churn_admits": 300,
-             "lint_full": 1},
+             "lint_full": 1, "batch_points": 400_000},
 }
 
 
@@ -149,24 +155,31 @@ class BenchRecord:
 # -- Workloads ---------------------------------------------------------------
 
 
+def _noop(sim) -> None:
+    """The event-loop workload's do-nothing callback (module level so
+    the timed region measures the calendar, not closure dispatch)."""
+
+
 def bench_event_loop(preset: str) -> dict[str, float]:
-    """Raw event-calendar throughput: schedule/pop/execute, no model."""
+    """Raw event-calendar throughput: a fan of periodic chains.
+
+    64 ``every()`` chains with staggered phases fill the calendar
+    buckets the way the runtime's session heartbeats do — the
+    mostly-monotone stream the bucketed wheel is tuned for.  Each
+    firing re-arms its own calendar entry in place, so the timed region
+    is pure schedule/pop/execute with no model work.
+    """
     from repro.simulation.engine import Simulator
 
     n_events = int(_scale(preset)["events"])
-    fanout = 4
-    sim = Simulator(max_events=n_events + fanout + 1)
-    remaining = [n_events]
-
-    def tick(s: Simulator) -> None:
-        if remaining[0] > 0:
-            remaining[0] -= 1
-            s.after(0.001, tick)
-
-    for i in range(fanout):
-        sim.after(0.001 * (i + 1), tick)
+    chains = 64
+    interval = 0.001
+    per_chain = -(-n_events // chains) + 1  # margin over float rounding
+    sim = Simulator(max_events=chains * (per_chain + 2))
+    for i in range(chains):
+        sim.every(interval, _noop, start=interval * (i + 1) / chains)
     start = _elapsed()
-    sim.run()
+    sim.run(until=interval * per_chain)
     wall = _elapsed() - start
     return {"wall_time_s": wall,
             "events_per_sec": sim.events_executed / wall,
@@ -196,6 +209,53 @@ def bench_figure6_sweep(preset: str) -> dict[str, float]:
     return {"wall_time_s": wall,
             "solves_per_sec": solves / wall,
             "planner_hit_rate": (hits / solves) if solves else 0.0}
+
+
+def bench_batch_sweep(preset: str) -> dict[str, float]:
+    """Dense demand curves + an inverse budget grid, vectorized.
+
+    The forward half evaluates Figure-6-style Theorem 1/2 demand curves
+    (direct and buffered, one bit-rate per lane) over a dense
+    population axis through :func:`repro.planner.batch.demand_curve`;
+    the inverse half solves a grid of ``(bit_rate, budget)`` cells
+    through :func:`repro.planner.batch.batch_max_streams` — the
+    doubling + bisection search replayed across all lanes at once.
+    ``solves_per_sec`` counts every curve point and every inverse lane,
+    the same unit ``figure6_sweep`` gates, so the committed baselines
+    expose the scalar-vs-batch ratio directly.
+    """
+    import numpy as np
+
+    from repro.core.parameters import SystemParameters
+    from repro.planner import Configuration
+    from repro.planner.batch import batch_max_streams, demand_curve
+    from repro.units import GB, KB
+
+    scale = _scale(preset)
+    points = int(scale["batch_points"])
+    grid = int(scale["grid"])
+    bases = []
+    for i in range(grid):
+        bases.append(SystemParameters.table3_default(
+            n_streams=1, bit_rate=(50 + 50 * i) * KB, k=2,
+            size_mems_unlimited=True))
+    populations = np.linspace(1.0, 3_000.0, points)
+    inverse_lanes = [(base, Configuration.buffer(), (j + 1) * 0.25 * GB)
+                     for base in bases for j in range(grid)]
+    solves = 0
+    start = _elapsed()
+    for base in bases:
+        for configuration in (Configuration.direct(),
+                              Configuration.buffer()):
+            totals = demand_curve(base, configuration, populations)
+            solves += len(totals)
+    inverse = batch_max_streams(inverse_lanes)
+    solves += len(inverse)
+    wall = _elapsed() - start
+    return {"wall_time_s": wall,
+            "solves_per_sec": solves / wall,
+            "demand_points": float(2 * grid * points),
+            "inverse_lanes": float(len(inverse_lanes))}
 
 
 def bench_runtime_scenario(preset: str) -> dict[str, float]:
@@ -576,6 +636,7 @@ def bench_lint(preset: str) -> dict[str, float]:
 WORKLOADS = {
     "event_loop": bench_event_loop,
     "figure6_sweep": bench_figure6_sweep,
+    "batch_sweep": bench_batch_sweep,
     "runtime_scenario": bench_runtime_scenario,
     "planner_cold": bench_planner_cold,
     "planner_warm": bench_planner_warm,

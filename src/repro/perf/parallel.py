@@ -22,6 +22,16 @@ Determinism contract (also in ``docs/PERFORMANCE.md``):
 Pool construction anywhere else in the seeded layers is a lint
 violation (see the ``determinism`` rule), which keeps this contract in
 one reviewed place.
+
+Batch mode (``batch=True``) composes with — it does not replace — the
+process pool: a worker decorated with :func:`batchable` carries a
+vectorized twin ``fn._batch_impl`` satisfying
+``fn._batch_impl(items) == [fn(i) for i in items]`` element for
+element (the numpy batch planner's bit-identity contract), and
+``sweep_map`` dispatches whole chunks to it — one vectorized call per
+chunk instead of one Python call per item.  Workers without a batch
+twin fall back to the per-item path silently, so ``batch=True`` is
+always safe to pass.
 """
 
 from __future__ import annotations
@@ -45,9 +55,32 @@ def _chunk_size(n_items: int, jobs: int) -> int:
     return max(1, min(MAX_CHUNK, n_items // (jobs * 4) or 1))
 
 
+def batchable(batch_impl: Callable[[list], list]):
+    """Attach a vectorized twin to a per-item sweep worker.
+
+    ``batch_impl(items)`` must equal ``[fn(i) for i in items]`` element
+    for element — bit-identical, the same contract the parallel path
+    honours — so :func:`sweep_map` may substitute one for the other
+    freely.  The worker itself is returned unchanged (it still pickles
+    by qualified name for the process pool).
+    """
+
+    def attach(fn: Callable[[_Item], _Result]) -> Callable[[_Item], _Result]:
+        fn._batch_impl = batch_impl
+        return fn
+
+    return attach
+
+
+def _apply_batch(payload: tuple[Callable, list]) -> list:
+    """Pool worker for batch chunks (module-level, pickles by name)."""
+    fn, chunk = payload
+    return fn._batch_impl(chunk)
+
+
 def sweep_map(fn: Callable[[_Item], _Result], items: Iterable[_Item], *,
-              jobs: int = 1,
-              chunk_size: int | None = None) -> list[_Result]:
+              jobs: int = 1, chunk_size: int | None = None,
+              batch: bool = False) -> list[_Result]:
     """Map ``fn`` over ``items`` on ``jobs`` processes, preserving order.
 
     ``jobs=1`` (the default) runs serially in-process — no pool, no
@@ -56,6 +89,12 @@ def sweep_map(fn: Callable[[_Item], _Result], items: Iterable[_Item], *,
     caller.  ``chunk_size`` overrides the dispatch granularity
     (defaults to a size that keeps ``4 * jobs`` dispatches in flight,
     capped at :data:`MAX_CHUNK`).
+
+    ``batch=True`` routes through ``fn``'s :func:`batchable` twin when
+    it has one (silent per-item fallback otherwise) and composes with
+    ``jobs``: the items are split into ``jobs`` contiguous chunks, one
+    vectorized call each — wide chunks, not :data:`MAX_CHUNK`, because
+    the vectorized path amortises per-call cost over the whole chunk.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
@@ -64,6 +103,20 @@ def sweep_map(fn: Callable[[_Item], _Result], items: Iterable[_Item], *,
             f"chunk_size must be >= 1, got {chunk_size!r}")
     work: Sequence[_Item] = items if isinstance(items, Sequence) \
         else list(items)
+    impl = getattr(fn, "_batch_impl", None) if batch else None
+    if impl is not None:
+        width = chunk_size if chunk_size is not None \
+            else -(-len(work) // jobs) if work else 1
+        chunks = [list(work[i:i + width])
+                  for i in range(0, len(work), width)]
+        if jobs == 1 or len(chunks) <= 1:
+            return [result for chunk in chunks for result in impl(chunk)]
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [(fn, chunk) for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:  # repro-lint: disable=determinism
+            return [result for block in pool.map(_apply_batch, payloads)
+                    for result in block]
     if jobs == 1 or len(work) <= 1:
         return [fn(item) for item in work]
     from concurrent.futures import ProcessPoolExecutor

@@ -1,0 +1,20 @@
+"""Fixture: file-scoped ``determinism`` breaches in the batch planner.
+
+Named ``planner/batch.py`` because the rule scopes that one file by
+its path tail (the vectorized kernels must replay the scalar solver
+bit for bit, so ad-hoc entropy and clocks are banned), not by
+directory.  Also exercises the sanctioned inline suppression.
+"""
+import time
+
+import numpy as np
+
+
+def jittered_lanes(lanes):
+    noise = np.random.uniform(size=len(lanes))
+    stamp = time.monotonic()
+    return lanes + noise, stamp
+
+
+def sanctioned_timer():
+    return time.perf_counter()  # repro-lint: disable=determinism (fixture: reviewed escape)

@@ -101,6 +101,19 @@ class TestDeterminism:
         assert not checker.applies_to(Path("src/repro/planner/solver.py"))
         assert not checker.applies_to(Path("src/repro/planner/search.py"))
 
+    def test_planner_batch_is_file_scoped(self):
+        checker = get_checker("determinism")
+        assert checker.applies_to(Path("src/repro/planner/batch.py"))
+
+    def test_flags_breaches_in_planner_batch(self):
+        found = findings_for("planner/batch.py", rule="determinism")
+        assert [f.line for f in found] == [14, 15]
+        messages = " / ".join(f.message for f in found)
+        assert "numpy.random.uniform" in messages
+        assert "time.monotonic" in messages
+        # The sanctioned suppression on the reviewed escape holds.
+        assert not any("perf_counter" in f.message for f in found)
+
     def test_flags_breaches_in_planner_incremental(self):
         found = findings_for("planner/incremental.py", rule="determinism")
         assert [f.line for f in found] == [12, 13]
@@ -282,7 +295,7 @@ class TestEngine:
             "no_bare_assert.py", "wall_clock.py", "unit_literals.py",
             "shim_imports.py", "float_eq.py", "exception_hygiene.py",
             "suppressions.py", "bad_syntax.py", "pool_and_clock.py",
-            "incremental.py"}
+            "incremental.py", "batch.py"}
 
     def test_rule_selection_limits_checkers(self):
         found = analyze_paths([FIXTURES / "no_bare_assert.py"],

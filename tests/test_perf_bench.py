@@ -74,10 +74,17 @@ class TestRunWorkloads:
 
     def test_default_selection_is_every_workload(self):
         assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
-                                  "runtime_scenario", "planner_cold",
-                                  "planner_warm", "admission_storm",
-                                  "replan_epochs", "flash_crowd",
-                                  "service_churn", "lint"}
+                                  "batch_sweep", "runtime_scenario",
+                                  "planner_cold", "planner_warm",
+                                  "admission_storm", "replan_epochs",
+                                  "flash_crowd", "service_churn", "lint"}
+
+    def test_batch_sweep_tiny(self):
+        (record,) = run_workloads(["batch_sweep"], preset="tiny")
+        assert record.metrics["wall_time_s"] > 0
+        assert record.metrics["solves_per_sec"] > 0
+        assert record.metrics["demand_points"] >= 10_000
+        assert record.metrics["inverse_lanes"] >= 16
 
     def test_admission_storm_tiny(self):
         (record,) = run_workloads(["admission_storm"], preset="tiny")

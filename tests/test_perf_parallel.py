@@ -3,10 +3,19 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.perf.parallel import MAX_CHUNK, _chunk_size, sweep_map
+from repro.perf.parallel import MAX_CHUNK, _chunk_size, batchable, sweep_map
 
 
 def _square(x):
+    return x * x
+
+
+def _square_batch(items):
+    return [x * x for x in items]
+
+
+@batchable(_square_batch)
+def _square_vec(x):
     return x * x
 
 
@@ -67,6 +76,58 @@ class TestSweepMap:
     def test_chunk_size_validated(self):
         with pytest.raises(ConfigurationError):
             sweep_map(_square, range(3), jobs=2, chunk_size=0)
+
+
+class TestBatchMode:
+    """``batch=True`` routes through the :func:`batchable` twin."""
+
+    def test_batchable_attaches_twin_and_returns_fn(self):
+        assert _square_vec(3) == 9
+        assert _square_vec._batch_impl is _square_batch
+
+    def test_batch_matches_serial(self):
+        items = list(range(20))
+        assert sweep_map(_square_vec, items, batch=True) == \
+            sweep_map(_square_vec, items)
+
+    def test_batch_composes_with_jobs(self):
+        items = list(range(30))
+        expected = [x * x for x in items]
+        assert sweep_map(_square_vec, items, jobs=3,
+                         batch=True) == expected
+
+    def test_batch_without_twin_falls_back_per_item(self):
+        # _square has no _batch_impl; batch=True must still work.
+        assert sweep_map(_square, range(6), batch=True) == \
+            [0, 1, 4, 9, 16, 25]
+
+    def test_batch_chunk_size_override(self):
+        items = list(range(10))
+        assert sweep_map(_square_vec, items, jobs=2, chunk_size=3,
+                         batch=True) == [x * x for x in items]
+
+    def test_batch_empty_items(self):
+        assert sweep_map(_square_vec, [], jobs=4, batch=True) == []
+
+    def test_figure6_batch_byte_identical(self):
+        from repro.experiments import figure6
+        from repro.units import KB, MB
+
+        kwargs = dict(with_mems=True,
+                      bit_rates={"DivX": 100 * KB, "DVD": 1 * MB},
+                      max_streams=500.0)
+        scalar = figure6.run(batch=False, **kwargs)
+        batched = figure6.run(batch=True, **kwargs)
+        assert batched.to_csv() == scalar.to_csv()
+        assert batched.notes == scalar.notes
+
+    def test_figure9_batch_byte_identical(self):
+        from repro.experiments import figure9
+
+        scalar = figure9.run(distributions=("1:99", "50:50"))
+        batched = figure9.run(distributions=("1:99", "50:50"), batch=True)
+        assert batched.table.rows == scalar.table.rows
+        assert batched.notes == scalar.notes
 
 
 class TestSweepDeterminism:

@@ -1,0 +1,147 @@
+"""Scalar-vs-batch bit-identity for the vectorized planner.
+
+The contract (same as the PR 4 parallel sweep and the PR 5 device fast
+paths): :mod:`repro.planner.batch` replicates the exact floating-point
+operation order of the scalar planner, so every batch answer equals the
+scalar answer to the last bit — demand curves elementwise against
+:meth:`Planner.plan` (with ``inf`` for infeasible points, the
+``Planner._demand`` convention) and :func:`batch_max_streams` against
+:meth:`Planner.max_streams`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache_model import CachePolicy
+from repro.core.parameters import SystemParameters
+from repro.core.popularity import BimodalPopularity
+from repro.errors import ConfigurationError
+from repro.planner import Configuration, Planner
+from repro.planner.batch import batch_max_streams, demand_curve
+
+_POLICIES = st.sampled_from([CachePolicy.STRIPED, CachePolicy.REPLICATED])
+_POPULARITIES = st.sampled_from(
+    ["1:99", "5:95", "10:90", "20:80", "50:50"]).map(BimodalPopularity.parse)
+
+
+@st.composite
+def _params(draw, *, finite_sizes: bool = False) -> SystemParameters:
+    size_mems = st.floats(1e8, 1e11, allow_nan=False)
+    if not finite_sizes:
+        size_mems = st.one_of(st.none(), size_mems)
+    return SystemParameters(
+        n_streams=1.0,
+        bit_rate=draw(st.floats(1e3, 1e6, allow_nan=False)),
+        r_disk=draw(st.floats(1e6, 1e9, allow_nan=False)),
+        r_mems=draw(st.floats(1e6, 1e9, allow_nan=False)),
+        l_disk=draw(st.floats(0.0, 0.05, allow_nan=False)),
+        l_mems=draw(st.floats(0.0, 0.05, allow_nan=False)),
+        k=draw(st.integers(1, 6)),
+        size_mems=draw(size_mems),
+        size_disk=draw(st.floats(1e10, 1e13, allow_nan=False)),
+    )
+
+
+@st.composite
+def _lane(draw) -> tuple[SystemParameters, Configuration]:
+    kind = draw(st.sampled_from(
+        ["direct", "buffer", "cache", "prefix", "hybrid"]))
+    explicit_k = draw(st.one_of(st.none(), st.integers(1, 6)))
+    if kind == "direct":
+        return draw(_params()), Configuration.direct()
+    if kind == "buffer":
+        return draw(_params()), Configuration.buffer(explicit_k)
+    policy = draw(_POLICIES)
+    popularity = draw(_POPULARITIES)
+    params = draw(_params(finite_sizes=True))
+    if kind == "cache":
+        return params, Configuration.cache(policy, popularity, explicit_k)
+    if kind == "prefix":
+        return params, Configuration.prefix(
+            policy, draw(st.floats(0.0, 1.0, allow_nan=False)),
+            fanout=draw(st.floats(1.0, 50.0, allow_nan=False)))
+    return params, Configuration.hybrid(
+        draw(st.integers(0, 3)), draw(st.integers(0, 3)), policy, popularity)
+
+
+_POPULATIONS = st.lists(
+    st.one_of(st.floats(0.0, 1e6, allow_nan=False),
+              st.integers(0, 10**6).map(float)),
+    min_size=1, max_size=8)
+
+
+class TestDemandCurveBitIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(lane=_lane(), populations=_POPULATIONS)
+    def test_matches_scalar_plans_elementwise(self, lane, populations):
+        params, configuration = lane
+        planner = Planner()
+        totals = demand_curve(params, configuration, populations)
+        for n, total in zip(populations, totals):
+            plan = planner.plan(params.replace(n_streams=n), configuration)
+            expected = plan.total_dram if plan.feasible else math.inf
+            # Degenerate corners (0 * inf slack at denormal populations)
+            # are NaN in BOTH paths; NaN != NaN needs the explicit arm.
+            assert float(total) == expected or (
+                math.isnan(total) and math.isnan(expected))
+
+    def test_negative_population_rejected(self):
+        params = SystemParameters.table3_default(n_streams=1, bit_rate=1e5)
+        with pytest.raises(ConfigurationError):
+            demand_curve(params, Configuration.direct(), [1.0, -2.0])
+
+    def test_cache_without_sizes_rejected_like_scalar(self):
+        params = SystemParameters.table3_default(
+            n_streams=1, bit_rate=1e5, size_mems_unlimited=True)
+        configuration = Configuration.cache(
+            CachePolicy.STRIPED, BimodalPopularity.parse("10:90"))
+        with pytest.raises(ConfigurationError):
+            Planner().plan(params, configuration).require()
+        with pytest.raises(ConfigurationError):
+            demand_curve(params, configuration, [10.0])
+
+
+class TestBatchMaxStreamsBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(lanes=st.lists(_lane(), min_size=1, max_size=4),
+           budgets=st.lists(st.floats(0.0, 1e13, allow_nan=False),
+                            min_size=4, max_size=4))
+    def test_matches_scalar_inverse_solves(self, lanes, budgets):
+        items = [(params, configuration, budget)
+                 for (params, configuration), budget in zip(lanes, budgets)]
+        got = batch_max_streams(items)
+        # A shared scalar planner replays the same lanes with its warm
+        # per-axis hints active — hinted answers are bit-identical to
+        # cold by the PR 5 contract, so one batch replay answers both.
+        planner = Planner()
+        for (params, configuration, budget), value in zip(items, got):
+            assert value == planner.max_streams(params, configuration,
+                                                budget)
+
+    def test_mixed_kind_lanes_keep_their_order(self):
+        direct = SystemParameters.table3_default(n_streams=1, bit_rate=1e5,
+                                                 k=1)
+        cached = SystemParameters.table3_default(n_streams=1, bit_rate=1e5,
+                                                 k=2)
+        popularity = BimodalPopularity.parse("10:90")
+        items = [
+            (direct, Configuration.direct(), 5e9),
+            (cached, Configuration.cache(CachePolicy.STRIPED, popularity),
+             5e9),
+            (direct, Configuration.direct(), 1e9),
+            (cached, Configuration.buffer(), 5e9),
+        ]
+        got = batch_max_streams(items)
+        planner = Planner(warm_start=False)
+        expected = [planner.max_streams(p, c, b) for p, c, b in items]
+        assert got == expected
+
+    def test_negative_budget_rejected(self):
+        params = SystemParameters.table3_default(n_streams=1, bit_rate=1e5)
+        with pytest.raises(ConfigurationError):
+            batch_max_streams([(params, Configuration.direct(), -1.0)])

@@ -2,6 +2,8 @@
 
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.simulation.engine import EventQueue, Simulator
@@ -141,6 +143,186 @@ class TestSimulator:
         sim.every(2.0, lambda s: ticks.append(s.now), start=1.0)
         sim.run(until=6.0)
         assert ticks == [1.0, 3.0, 5.0]
+
+
+class TestCalendarQueueEdges:
+    """Edge cases specific to the bucketed calendar-queue core."""
+
+    def test_empty_queue_peek_time_after_drain(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda s: None)
+        queue.pop()
+        assert queue.peek_time() is None
+        assert len(queue) == 0
+        assert not queue
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_fifo_at_equal_timestamps_within_one_bucket(self):
+        # Ties land in the same bucket; the bucket sort must break them
+        # on insertion sequence alone.
+        queue = EventQueue(bucket_width=10.0)
+        for i in range(50):
+            queue.push(5.0, lambda s: None, label=f"tie-{i}")
+        assert [queue.pop().label for _ in range(50)] == [
+            f"tie-{i}" for i in range(50)]
+
+    def test_far_future_events_cross_bucket_wraps(self):
+        # Events thousands of bucket widths apart must still drain in
+        # time order, including ties far beyond the first bucket.
+        queue = EventQueue(bucket_width=0.001)
+        queue.push(5000.0, lambda s: None, label="far-tie-a")
+        queue.push(0.0005, lambda s: None, label="near")
+        queue.push(5000.0, lambda s: None, label="far-tie-b")
+        queue.push(123.456, lambda s: None, label="mid")
+        order = [queue.pop().label for _ in range(4)]
+        assert order == ["near", "mid", "far-tie-a", "far-tie-b"]
+
+    def test_push_behind_the_drain_cursor(self):
+        # A standalone queue may push a time earlier than events it has
+        # already popped; the entry must still come out next.
+        queue = EventQueue(bucket_width=1.0)
+        queue.push(10.0, lambda s: None, label="late")
+        queue.push(0.5, lambda s: None, label="first")
+        assert queue.pop().label == "first"
+        queue.push(0.25, lambda s: None, label="behind")
+        assert queue.pop().label == "behind"
+        assert queue.pop().label == "late"
+
+    def test_infinite_times_park_in_the_far_heap(self):
+        queue = EventQueue()
+        queue.push(float("inf"), lambda s: None, label="end-a")
+        queue.push(1.0, lambda s: None, label="soon")
+        queue.push(float("inf"), lambda s: None, label="end-b")
+        assert queue.peek_time() == 1.0
+        assert queue.pop().label == "soon"
+        assert queue.peek_time() == float("inf")
+        assert [queue.pop().label for _ in range(2)] == ["end-a", "end-b"]
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda s: None)
+        with pytest.raises(SimulationError):
+            EventQueue(bucket_width=None).push(float("nan"), lambda s: None)
+
+    def test_bucket_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventQueue(bucket_width=0.0)
+        with pytest.raises(ConfigurationError):
+            EventQueue(bucket_width=-1.0)
+
+    def test_every_rearms_across_wheel_rotation(self):
+        # interval >> bucket width: each re-arm hops hundreds of
+        # buckets; the recurrence must stay on its exact grid.
+        sim = Simulator(bucket_width=0.001)
+        ticks = []
+        sim.every(0.25, lambda s: ticks.append(s.now))
+        sim.run(until=2.0)
+        assert ticks == [0.25 * i for i in range(1, 9)]
+
+    def test_every_interval_must_be_finite(self):
+        sim = Simulator()
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(SimulationError):
+                sim.every(bad, lambda s: None)
+
+    def test_sparse_schedule_falls_back_to_heap(self):
+        # One event per second against 1 ms buckets: the wheel detects
+        # ~1 event/bucket and degrades to the heap, with no change in
+        # the observable schedule.
+        sim = Simulator(bucket_width=0.001)
+        ticks = []
+        sim.every(1.0, lambda s: ticks.append(s.now))
+        assert sim._queue.bucket_width == 0.001
+        sim.run(until=600.0)
+        assert sim._queue.bucket_width is None  # degraded, sticky
+        assert len(ticks) == 600
+        assert ticks[:3] == [1.0, 2.0, 3.0]
+        # The recurrence keeps firing across the mode switch.
+        sim.run(until=602.5)
+        assert len(ticks) == 602
+
+    def test_pop_rearms_recurring_entries(self):
+        sim = Simulator()
+        sim.every(2.0, lambda s: None, label="tick")
+        queue = sim._queue
+        first = queue.pop()
+        assert (first.time, first.label) == (2.0, "tick")
+        second = queue.pop()
+        assert (second.time, second.label) == (4.0, "tick")
+        assert second.sequence == first.sequence  # same entry, re-armed
+
+
+class TestWheelHeapEquivalence:
+    """The wheel and the plain heap execute the identical event order."""
+
+    schedules = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=40),  # time grid
+                  st.integers(min_value=0, max_value=3)),  # pops after
+        min_size=1, max_size=60)
+
+    @settings(max_examples=200, deadline=None)
+    @given(schedule=schedules, width=st.sampled_from([0.25, 1.0, 7.0]))
+    def test_push_pop_interleavings_bit_identical(self, schedule, width):
+        wheel = EventQueue(bucket_width=width)
+        heap = EventQueue(bucket_width=None)
+        traces = {id(wheel): [], id(heap): []}
+        for n, (tick, pops) in enumerate(schedule):
+            time = tick * 0.125  # exact binary fractions
+            for queue in (wheel, heap):
+                queue.push(time, lambda s: None, label=f"e{n}")
+            for _ in range(pops):
+                if not wheel:
+                    break
+                for queue in (wheel, heap):
+                    event = queue.pop()
+                    traces[id(queue)].append(
+                        (event.time, event.sequence, event.label))
+        while wheel:
+            for queue in (wheel, heap):
+                event = queue.pop()
+                traces[id(queue)].append(
+                    (event.time, event.sequence, event.label))
+        assert traces[id(wheel)] == traces[id(heap)]
+        assert len(heap) == 0
+
+    sim_programs = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),   # delay grid
+                  st.integers(min_value=0, max_value=2)),   # respawns
+        min_size=1, max_size=40)
+
+    @settings(max_examples=150, deadline=None)
+    @given(program=sim_programs,
+           intervals=st.lists(st.integers(min_value=1, max_value=9),
+                              min_size=0, max_size=3),
+           horizon=st.integers(min_value=1, max_value=50))
+    def test_simulator_traces_bit_identical(self, program, intervals,
+                                            horizon):
+        def build(bucket_width):
+            trace = []
+            sim = Simulator(max_events=5_000, bucket_width=bucket_width)
+
+            def spawn(delay, respawns, tag):
+                def cb(s):
+                    trace.append((s.now, tag))
+                    for j in range(respawns):
+                        spawn(delay * 0.5 + j, respawns - 1,
+                              f"{tag}.{j}")
+                sim.after(delay, cb, tag)
+
+            for n, (delay, respawns) in enumerate(program):
+                spawn(delay * 0.25, respawns, f"p{n}")
+            for n, period in enumerate(intervals):
+                sim.every(period * 0.5,
+                          (lambda t: lambda s: trace.append((s.now, t)))(
+                              f"tick{n}"))
+            sim.run(until=horizon * 0.5)
+            sim.run(until=horizon * 0.75)
+            return trace, sim.now, sim.events_executed
+
+        assert build(1.0) == build(None)
 
 
 class TestStreamBuffer:
