@@ -22,9 +22,11 @@ itself is deterministic (see ``docs/PERFORMANCE.md``).
 ``trend`` makes the perf trajectory visible instead of only pass/fail:
 it prints every metric of every committed ``BENCH_*.json`` as a table,
 and with an ``OUT_DIR`` adds the current run's value and the
-direction-aware delta per metric (gated metrics marked ``*``).  It is
-purely a report — it never runs workloads and never exits nonzero on
-a slowdown; ``compare`` stays the gate.
+direction-aware delta per metric (gated metrics marked ``*``).
+``trend --json`` emits the same rows as one machine-readable JSON
+document, which CI uploads as an artifact alongside the raw records.
+It is purely a report — it never runs workloads and never exits
+nonzero on a slowdown; ``compare`` stays the gate.
 """
 
 from __future__ import annotations
@@ -45,49 +47,77 @@ def _format_value(value: float) -> str:
     return f"{value:.6g}"
 
 
-def trend(results: str | None = None) -> int:
-    """Print the per-metric trajectory of every committed baseline.
-
-    With ``results``, each row also shows the current run's value and
-    the direction-aware percentage delta (positive = better).  Metrics
-    the regression gate checks are marked with ``*``; the rest are
-    informational.
-    """
+def _trend_rows(results: str | None):
+    """The trend data: per-metric rows plus current-only workloads."""
     from repro.perf.bench import METRIC_DIRECTIONS, load_records
 
     baseline = load_records(BASELINE_DIR)
     current = load_records(results) if results is not None else {}
-    header = ["workload", "metric", "baseline"]
-    if results is not None:
-        header += ["current", "delta"]
-    rows: list[list[str]] = []
+    rows: list[dict] = []
     for name in sorted(baseline):
         record = baseline[name]
         now = current.get(name)
         for metric in sorted(record.metrics):
             direction = METRIC_DIRECTIONS.get(metric)
-            marker = "*" if direction else ""
             then = record.metrics[metric]
-            row = [name, metric + marker, _format_value(then)]
+            row: dict = {"workload": name, "metric": metric,
+                         "gated": direction is not None,
+                         "baseline": then}
             if results is not None:
                 value = (now.metrics.get(metric)
                          if now is not None else None)
-                if value is None:
-                    row += ["-", "-"]
-                elif direction is None or then == 0:
-                    row += [_format_value(value), "-"]
+                row["current"] = value
+                if value is None or direction is None or then == 0:
+                    row["improvement_pct"] = None
                 else:
                     change = 100.0 * (value - then) / then
-                    better = change if direction == "higher" else -change
-                    row += [_format_value(value), f"{better:+.1f}%"]
+                    row["improvement_pct"] = (change if direction == "higher"
+                                              else -change)
             rows.append(row)
-    widths = [max(len(row[i]) for row in rows + [header])
+    extras = sorted(set(current) - set(baseline))
+    return rows, extras
+
+
+def trend(results: str | None = None, *, as_json: bool = False) -> int:
+    """Print the per-metric trajectory of every committed baseline.
+
+    With ``results``, each row also shows the current run's value and
+    the direction-aware percentage delta (positive = better).  Metrics
+    the regression gate checks are marked with ``*``; the rest are
+    informational.  ``as_json`` emits the same rows as one
+    machine-readable JSON document (for CI artifacts and dashboards)
+    instead of the aligned table.
+    """
+    import json
+
+    rows, extras = _trend_rows(results)
+    if as_json:
+        print(json.dumps({"schema": 1, "rows": rows,
+                          "current_only": extras}, indent=2))
+        return 0
+    header = ["workload", "metric", "baseline"]
+    if results is not None:
+        header += ["current", "delta"]
+    table: list[list[str]] = []
+    for row in rows:
+        marker = "*" if row["gated"] else ""
+        cells = [row["workload"], row["metric"] + marker,
+                 _format_value(row["baseline"])]
+        if results is not None:
+            if row["current"] is None:
+                cells += ["-", "-"]
+            elif row["improvement_pct"] is None:
+                cells += [_format_value(row["current"]), "-"]
+            else:
+                cells += [_format_value(row["current"]),
+                          f"{row['improvement_pct']:+.1f}%"]
+        table.append(cells)
+    widths = [max(len(row[i]) for row in table + [header])
               for i in range(len(header))]
     print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
-    for row in rows:
+    for cells in table:
         print("  ".join(c.ljust(w)
-                        for c, w in zip(row, widths)).rstrip())
-    extras = sorted(set(current) - set(baseline))
+                        for c, w in zip(cells, widths)).rstrip())
     if extras:
         print(f"(current-only, no baseline yet: {', '.join(extras)})")
     print("(* = gated by 'compare'; unmarked metrics are informational)")
@@ -101,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="mode", required=True)
     record = sub.add_parser("record", help="refresh benchmarks/baselines/")
     record.add_argument("--preset", default="small",
-                        choices=("tiny", "small", "full"))
+                        choices=("tiny", "small", "large", "full"))
     record.add_argument("--repeats", type=int, default=3,
                         help="passes per workload, keeping the best "
                              "(default 3)")
@@ -123,9 +153,12 @@ def main(argv: list[str] | None = None) -> int:
                            default=None,
                            help="optional directory of current "
                                 "BENCH_*.json to diff against")
+    trend_cmd.add_argument("--json", action="store_true",
+                           help="emit the trend rows as one JSON "
+                                "document instead of the table")
     args = parser.parse_args(argv)
     if args.mode == "trend":
-        return trend(args.results)
+        return trend(args.results, as_json=args.json)
     if args.mode == "record":
         argv = ["bench", "--preset", args.preset,
                 "--repeats", str(args.repeats),

@@ -78,8 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = sub.add_parser(
         "bench", help="run the timed benchmark workloads / regression gate")
     bench_cmd.add_argument("--preset", default="small",
-                           choices=("tiny", "small", "full"),
-                           help="workload scale (default small)")
+                           choices=("tiny", "small", "large", "full"),
+                           help="workload scale (default small; 'large' "
+                                "is the million-session preset)")
     bench_cmd.add_argument("--workload", action="append", default=None,
                            metavar="NAME",
                            help="run only this workload (repeatable)")

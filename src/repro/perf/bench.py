@@ -14,8 +14,13 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
   through the vectorized batch planner
   (:mod:`repro.planner.batch`): thousands of configuration points per
   array operation instead of one solve per Python call;
-* ``runtime_scenario`` — the ``device-failure`` online-server scenario:
-  sessions, re-planning, failure recovery, metrics intervals;
+* ``runtime_scenario`` — the ``device-failure`` online-server scenario
+  rate-amplified through the table session core: vectorized arrivals,
+  masked departure harvests, re-planning, failure recovery, O(changed)
+  metrics intervals, gated on session-lifecycle events per second;
+* ``million_sessions`` — the table core's raw session throughput on a
+  short-session torrent (``large`` preset: ~1M admitted sessions),
+  gated on admitted sessions per wall second;
 * ``planner_cold`` / ``planner_warm`` — the memoizing planner on a
   fresh cache vs replaying the identical query set;
 * ``admission_storm`` — epochs of budget re-planning plus arrival
@@ -33,11 +38,12 @@ metrics as a :class:`BenchRecord`, serialised to a schema-versioned
   committed baseline gates the cold wall time, and the warm run must
   re-parse **zero** files (the CI gate asserts it);
 * ``service_churn`` — control-plane churn through the
-  :class:`~repro.service.facade.MediaService` facade: cycles of
-  admit / teardown / reconfigure ops with the epoch replan running
-  *off the request path* (``replan_latency > 0``), so admits landing
-  inside each replan window park as PENDING tickets that the
-  replan-done event finalizes; the baseline gates the facade's
+  :class:`~repro.service.facade.MediaService` facade on the table
+  session core: cycles of ``admit_block`` bursts / teardown /
+  reconfigure ops with the epoch replan running *off the request
+  path* (``replan_latency > 0``), so admits landing inside each
+  replan window park as PENDING tickets that the replan-done event
+  finalizes in one fused pass; the baseline gates the facade's
   ``ops_per_sec`` and records how many tickets took the EVENT_FLOW
   path.
 
@@ -73,6 +79,7 @@ METRIC_DIRECTIONS: dict[str, str] = {
     "events_per_sec": "higher",
     "solves_per_sec": "higher",
     "ops_per_sec": "higher",
+    "sessions_per_sec": "higher",
 }
 
 #: Per-preset workload scale knobs.
@@ -82,22 +89,44 @@ _PRESETS: dict[str, dict[str, float]] = {
              "grid": 4, "storm_epochs": 16, "storm_arrivals": 25,
              "replan_epochs": 10, "replan_titles": 20,
              "vod_horizon": 2_000.0,
-             "churn_cycles": 8, "churn_admits": 40,
+             "churn_cycles": 4, "churn_admits": 30, "churn_sync": 200,
+             "runtime_rate": 10.0,
+             "million_rate": 150.0, "million_holding": 0.5,
+             "million_horizon": 40.0,
              "lint_full": 0, "batch_points": 2_000},
     # The CI / default preset: seconds, not minutes.
     "small": {"events": 200_000, "max_streams": 3_000.0, "horizon": 3_000.0,
               "grid": 8, "storm_epochs": 24, "storm_arrivals": 100,
               "replan_epochs": 16, "replan_titles": 40,
               "vod_horizon": 6_000.0,
-              "churn_cycles": 24, "churn_admits": 120,
+              "churn_cycles": 12, "churn_admits": 120, "churn_sync": 4_000,
+              "runtime_rate": 200.0,
+              "million_rate": 150.0, "million_holding": 0.5,
+              "million_horizon": 1_000.0,
               "lint_full": 1, "batch_points": 50_000},
+    # The million-session preset: the ``million_sessions`` workload
+    # pushes ~1M admitted sessions through the table core; the other
+    # workloads scale between ``small`` and ``full``.
+    "large": {"events": 500_000, "max_streams": 30_000.0,
+              "horizon": 3_000.0, "grid": 10,
+              "storm_epochs": 40, "storm_arrivals": 200,
+              "replan_epochs": 24, "replan_titles": 60,
+              "vod_horizon": 8_000.0,
+              "churn_cycles": 24, "churn_admits": 200, "churn_sync": 6_000,
+              "runtime_rate": 200.0,
+              "million_rate": 150.0, "million_holding": 0.5,
+              "million_horizon": 7_000.0,
+              "lint_full": 1, "batch_points": 150_000},
     # A fuller sweep for local before/after measurements.
     "full": {"events": 1_000_000,  # repro-lint: disable=unit-literals (an event count, not bytes)
              "max_streams": 100_000.0, "horizon": 6_000.0, "grid": 12,
              "storm_epochs": 60, "storm_arrivals": 400,
              "replan_epochs": 40, "replan_titles": 80,
              "vod_horizon": 12_000.0,
-             "churn_cycles": 60, "churn_admits": 300,
+             "churn_cycles": 36, "churn_admits": 300, "churn_sync": 8_000,
+             "runtime_rate": 200.0,
+             "million_rate": 150.0, "million_holding": 0.5,
+             "million_horizon": 10_000.0,
              "lint_full": 1, "batch_points": 400_000},
 }
 
@@ -259,24 +288,74 @@ def bench_batch_sweep(preset: str) -> dict[str, float]:
 
 
 def bench_runtime_scenario(preset: str) -> dict[str, float]:
-    """The ``device-failure`` online scenario, seeded and bounded."""
+    """The ``device-failure`` online scenario, rate-amplified.
+
+    The scenario's arrival rate is multiplied by the preset's
+    ``runtime_rate`` factor and the run goes through the table session
+    core (``session_core="table"``), so the timed region is dominated
+    by session lifecycle work — vectorized arrival draws, masked
+    departure harvests, O(changed) metrics intervals — rather than by
+    the handful of control timers.  The gated ``events_per_sec`` is
+    **session-lifecycle events** (arrivals, admits, rejects, departs,
+    drops: ``len(result.events)``) per wall second; the calendar's own
+    ``events_executed`` is reported informationally.
+    """
     from repro.runtime.runtime import run_runtime
     from repro.runtime.scenarios import build_scenario
 
-    horizon = _scale(preset)["horizon"]
+    scale = _scale(preset)
+    horizon = scale["horizon"]
     # Build the config outside the timed region: the factory's one-time
     # service-package import must not land in a single-repeat wall time.
     config = build_scenario("device-failure", seed=7, horizon=horizon)
+    config.workload.scale_rate(scale["runtime_rate"])
+    config.session_core = "table"
     start = _elapsed()
     result = run_runtime(config)
     wall = _elapsed() - start
     cache = result.planner_cache
     solves = cache.get("hits", 0) + cache.get("misses", 0)
+    session_events = len(result.events)
     return {"wall_time_s": wall,
-            "events_per_sec": result.events_executed / wall,
+            "events_per_sec": session_events / wall,
+            "session_events": float(session_events),
             "events_executed": float(result.events_executed),
             "planner_hit_rate": (cache.get("hits", 0) / solves
                                  if solves else 0.0)}
+
+
+def bench_million_sessions(preset: str) -> dict[str, float]:
+    """Raw session throughput of the table core, end to end.
+
+    The ``steady-disk`` scenario (plain disk, no placement epochs to
+    speak of) re-rated to a short-session torrent: the preset's
+    ``million_rate`` arrivals per second held for ``million_holding``
+    seconds keeps the live population far below the admission capacity,
+    so virtually every arrival admits and the run measures the pure
+    per-session cost of the struct-of-arrays core — chunked arrival
+    draws, row recycling, masked departure scans, metrics notes.  The
+    ``small`` preset admits ~150k sessions; ``large`` admits ~1M (the
+    workload's namesake).  Gated on ``sessions_per_sec`` (admitted
+    sessions per wall second).
+    """
+    from repro.runtime.runtime import run_runtime
+    from repro.runtime.scenarios import build_scenario
+
+    scale = _scale(preset)
+    config = build_scenario("steady-disk", seed=5,
+                            horizon=scale["million_horizon"])
+    config.session_core = "table"
+    config.workload.arrival_rate = scale["million_rate"]
+    config.workload.mean_holding = scale["million_holding"]
+    start = _elapsed()
+    result = run_runtime(config)
+    wall = _elapsed() - start
+    totals = result.totals
+    return {"wall_time_s": wall,
+            "sessions_per_sec": totals.get("admits", 0) / wall,
+            "sessions": float(totals.get("admits", 0)),
+            "arrivals": float(totals.get("arrivals", 0)),
+            "session_events": float(len(result.events))}
 
 
 def _planner_query_set(grid: int):
@@ -521,15 +600,18 @@ def bench_service_churn(preset: str) -> dict[str, float]:
     """Control-plane churn through the ``MediaService`` facade.
 
     Each cycle opens an off-path replan window (``replan_latency > 0``),
-    fires an admit burst into it — every one of those parks as a
-    PENDING ticket, the EVENT_FLOW path — advances the calendar past
-    the replan-done event (finalizing the parked tickets under the
-    fresh plan), fires a second burst down the synchronous path, tears
-    half the admitted sessions down, and nudges the DRAM budget through
-    ``reconfigure`` so the next cycle re-solves capacity.  The gated
-    ``ops_per_sec`` is facade calls (admit + teardown + reconfigure)
-    over the whole churn; ``pending_finalized`` pins that the off-path
-    window actually parked work (the CI gate asserts it is > 0).
+    fires an ``admit_block`` burst into it — every one of those parks
+    as a PENDING ticket, the EVENT_FLOW path — advances the calendar
+    past the replan-done event (finalizing the whole parked batch
+    through one fused ``handle_arrival_block`` pass), fires a much
+    larger burst down the synchronous bulk path, tears half the
+    admitted sessions down, and nudges the DRAM budget through
+    ``reconfigure`` so the next cycle re-solves capacity.  The engine
+    runs the table session core, so the synchronous burst exercises
+    the saturated-tail bulk-reject path once capacity fills.  The
+    gated ``ops_per_sec`` counts one op per issued ticket plus each
+    teardown and reconfigure; ``pending_finalized`` pins that the
+    off-path window actually parked work (the CI gate asserts > 0).
     """
     from repro.service.config import ControlConfig
     from repro.service.events import EventLog, ReplanCompleted
@@ -540,10 +622,12 @@ def bench_service_churn(preset: str) -> dict[str, float]:
     scale = _scale(preset)
     cycles = int(scale["churn_cycles"])
     admits = int(scale["churn_admits"])
+    sync = int(scale["churn_sync"])
     latency = 5.0
     config = adaptive_cache(seed=3).replace(
         control=ControlConfig(epoch=300.0, metrics_interval=120.0,
-                              replan_latency=latency))
+                              replan_latency=latency),
+        session_core="table")
     service = MediaService(config)
     sim = service.sim
     log = EventLog()
@@ -553,15 +637,14 @@ def bench_service_churn(preset: str) -> dict[str, float]:
     start = _elapsed()
     for cycle in range(cycles):
         service.on_epoch(sim)  # opens the replan window
-        for _ in range(admits):  # all of these park as PENDING
-            ticket = service.admit()
-            ops += 1
+        # The whole burst lands inside the window: every ticket parks
+        # as PENDING, and the replan-done event finalizes them in one
+        # fused handle_arrival_block pass.
+        ops += len(service.admit_block(count=admits))
         sim.run(until=sim.now + latency + 1.0)  # replan-done finalizes
-        for _ in range(admits):  # synchronous path
-            ticket = service.admit()
-            ops += 1
-            if ticket.admitted:
-                live.append(ticket.session_id)
+        tickets = service.admit_block(count=sync)  # synchronous path
+        ops += len(tickets)
+        live.extend(t.session_id for t in tickets if t.admitted)
         for session_id in live[::2]:
             service.teardown(session_id)
             ops += 1
@@ -638,6 +721,7 @@ WORKLOADS = {
     "figure6_sweep": bench_figure6_sweep,
     "batch_sweep": bench_batch_sweep,
     "runtime_scenario": bench_runtime_scenario,
+    "million_sessions": bench_million_sessions,
     "planner_cold": bench_planner_cold,
     "planner_warm": bench_planner_warm,
     "admission_storm": bench_admission_storm,

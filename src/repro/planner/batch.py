@@ -53,6 +53,7 @@ __all__ = [
     "batch_max_streams",
     "buffer_total_dram",
     "cache_total_dram",
+    "demand_at",
     "demand_curve",
     "direct_total_dram",
     "hybrid_total_dram",
@@ -351,6 +352,34 @@ def demand_curve(params: SystemParameters, configuration: Configuration,
         raise ConfigurationError(
             "n_streams must be >= 0 everywhere on the population axis")
     return _compile_demand([(params, configuration)])(n)
+
+
+def demand_at(lanes: Sequence[tuple[SystemParameters, Configuration]],
+              population: float) -> np.ndarray:
+    """Aggregate DRAM demand of each lane at one shared population.
+
+    The candidate-evaluation twin of :func:`demand_curve`: one
+    population, many ``(params, configuration)`` lanes.  Element ``i``
+    equals ``planner.plan(lanes[i][0].replace(n_streams=population),
+    lanes[i][1]).total_dram`` (or ``inf`` when that plan is infeasible)
+    to the last bit.  Lanes are grouped by configuration kind, so a
+    mixed slate (say a cache policy against a prefix spelling) batches
+    within each kind.  The epoch placement controllers use this to
+    judge their candidate policies in one vector evaluation instead of
+    one scalar planner solve per candidate.
+    """
+    if population < 0:
+        raise ConfigurationError(
+            f"population must be >= 0, got {population!r}")
+    items = list(lanes)
+    out = np.empty(len(items), dtype=np.float64)
+    by_kind: dict[ConfigurationKind, list[int]] = {}
+    for index, (_, configuration) in enumerate(items):
+        by_kind.setdefault(configuration.kind, []).append(index)
+    for indices in by_kind.values():
+        demand = _compile_demand([items[i] for i in indices])
+        out[indices] = demand(np.full(len(indices), float(population)))
+    return out
 
 
 def max_streams_direct_batch(budgets, *, bit_rate, r_disk, l_disk):

@@ -71,33 +71,50 @@ class IntervalSnapshot:
 
 @dataclass
 class MetricsLog:
-    """Accumulates counters between snapshots and the snapshot series."""
+    """Accumulates counters between snapshots and the snapshot series.
+
+    The well-known counters live in one persistent dict seeded with
+    every :data:`COUNTER_NAMES` entry, and ``count`` tracks which names
+    actually moved, so sealing an interval is a flat copy plus an
+    O(changed-counters) reset — no per-close rebuild scanning every
+    known name.  Ad-hoc counter names still work; they ride in a side
+    dict that only exists in intervals that used them (exactly the
+    legacy serialisation).
+    """
 
     snapshots: list[IntervalSnapshot] = field(default_factory=list)
-    _interval_counters: dict[str, int] = field(default_factory=dict)
     _interval_start: float = 0.0
+    _counters: dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(COUNTER_NAMES, 0))
+    _dirty: set[str] = field(default_factory=set)
+    _extra: dict[str, int] = field(default_factory=dict)
 
     def count(self, name: str, increment: int = 1) -> None:
         """Bump a counter within the current interval."""
         if increment < 0:
             raise ConfigurationError(
                 f"increment must be >= 0, got {increment!r}")
-        self._interval_counters[name] = (
-            self._interval_counters.get(name, 0) + increment)
+        if name in self._counters:
+            self._counters[name] += increment
+            self._dirty.add(name)
+        else:
+            self._extra[name] = self._extra.get(name, 0) + increment
 
     def close_interval(self, t_end: float,
                        gauges: dict[str, float]) -> IntervalSnapshot:
         """Seal the current interval with sampled gauges; start the next."""
-        counters = {name: self._interval_counters.get(name, 0)
-                    for name in COUNTER_NAMES}
-        for name, value in self._interval_counters.items():
-            counters.setdefault(name, value)
+        counters = dict(self._counters)
+        if self._extra:
+            counters.update(self._extra)
+            self._extra = {}
         snapshot = IntervalSnapshot(index=len(self.snapshots),
                                     t_start=self._interval_start,
                                     t_end=t_end, counters=counters,
                                     gauges=dict(gauges))
         self.snapshots.append(snapshot)
-        self._interval_counters = {}
+        for name in self._dirty:
+            self._counters[name] = 0
+        self._dirty.clear()
         self._interval_start = t_end
         return snapshot
 

@@ -1,0 +1,114 @@
+"""The session-core parity harness: SessionTable vs object path.
+
+The fast-path safety net, same shape as :mod:`repro.service.parity`.
+For every named scenario it runs the identical configuration twice —
+once on the per-object session core (one ``Session`` per viewer, one
+calendar event per arrival/departure) and once on the struct-of-arrays
+:class:`~repro.runtime.sessions.SessionTable` core (vectorized arrival
+windows, masked departure harvests) — and demands the two
+:class:`~repro.runtime.runtime.RuntimeResult` JSON payloads be
+*byte-identical*: every admission, rejection, drop, migration, counter
+and gauge sample.
+
+The single sanctioned difference is ``events_executed``: collapsing a
+million per-session calendar events into a handful of drained windows
+is the whole point of the table core, so the raw engine event count is
+excluded from the comparison (and reported separately).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, replace
+
+from repro.runtime.runtime import RuntimeConfig, RuntimeResult, run_runtime
+from repro.runtime.scenarios import SCENARIOS, build_scenario
+
+__all__ = [
+    "CoreParityReport",
+    "compare_config",
+    "compare_scenario",
+    "run_both_cores",
+    "verify_all_cores",
+]
+
+
+@dataclass(frozen=True)
+class CoreParityReport:
+    """The verdict for one configuration."""
+
+    name: str
+    matches: bool
+    objects_json: str
+    table_json: str
+    objects_events_executed: int
+    table_events_executed: int
+
+    def first_divergence(self, context: int = 60) -> str | None:
+        """A short excerpt around the first differing byte (or None)."""
+        if self.matches:
+            return None
+        a, b = self.objects_json, self.table_json
+        n = min(len(a), len(b))
+        at = next((i for i in range(n) if a[i] != b[i]), n)
+        lo = max(0, at - context)
+        return (f"at byte {at}: objects ...{a[lo:at + context]!r} vs "
+                f"table ...{b[lo:at + context]!r}")
+
+
+def _comparable_json(result: RuntimeResult) -> str:
+    """The result JSON minus the engine's raw event count.
+
+    The table core executes a handful of control-timer events where the
+    object core executes one per session arrival/departure; everything
+    *observable* (metrics, session events, migrations, notes) must
+    still match byte for byte.
+    """
+    payload = json.loads(result.to_json(indent=None))
+    payload["summary"].pop("events_executed", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_both_cores(config: RuntimeConfig
+                   ) -> tuple[RuntimeResult, RuntimeResult]:
+    """One config, both session cores: (objects result, table result).
+
+    Each leg runs on a deep copy of ``config``: a run *mutates* the
+    workload (drift rotations, surge rate scaling, focus weights stay
+    where the last control event left them), so sharing one instance
+    would leak the first leg's final state into the second leg's title
+    and interarrival mapping and report a phantom divergence.
+    """
+    objects = run_runtime(
+        replace(copy.deepcopy(config), session_core="objects"))
+    table = run_runtime(
+        replace(copy.deepcopy(config), session_core="table"))
+    return objects, table
+
+
+def compare_config(name: str, config: RuntimeConfig) -> CoreParityReport:
+    """Run both cores for ``config`` and compare the JSON bytes."""
+    objects, table = run_both_cores(config)
+    objects_json = _comparable_json(objects)
+    table_json = _comparable_json(table)
+    return CoreParityReport(
+        name=name, matches=objects_json == table_json,
+        objects_json=objects_json, table_json=table_json,
+        objects_events_executed=objects.events_executed,
+        table_events_executed=table.events_executed)
+
+
+def compare_scenario(name: str, *, seed: int = 0,
+                     horizon: float | None = None) -> CoreParityReport:
+    """Core-parity verdict for one named scenario."""
+    config = build_scenario(name, seed=seed, horizon=horizon)
+    return compare_config(name, config)
+
+
+def verify_all_cores(*, seed: int = 0,
+                     horizon: float | None = None
+                     ) -> dict[str, CoreParityReport]:
+    """Core-parity verdicts for every named scenario."""
+    return {name: compare_scenario(name, seed=seed, horizon=horizon)
+            for name in SCENARIOS}

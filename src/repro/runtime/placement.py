@@ -34,6 +34,7 @@ from repro.core.cache_model import (
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import EmpiricalPopularity
 from repro.errors import ConfigurationError
+from repro.planner.batch import demand_at
 from repro.planner.configuration import Configuration
 from repro.planner.solver import Planner, default_planner
 
@@ -115,6 +116,20 @@ class AdaptivePlacement:
                 f"title must be in [0, {self.n_titles}), got {title!r}")
         self._epoch_counts[title] += 1.0
 
+    def observe_block(self, titles: np.ndarray) -> None:
+        """Record one arrival per entry of ``titles``, in one operation.
+
+        The vectorized twin of :meth:`observe` for the table core's
+        bulk paths: per-title counts are order-insensitive within an
+        epoch, so a whole window lands as one scatter-add.
+        """
+        titles = np.asarray(titles)
+        if len(titles) and not (0 <= int(titles.min())
+                                and int(titles.max()) < self.n_titles):
+            raise ConfigurationError(
+                f"titles must be in [0, {self.n_titles})")
+        np.add.at(self._epoch_counts, titles, 1.0)
+
     def scores(self) -> np.ndarray:
         """Aged per-title scores including the in-flight epoch."""
         return self.decay * self._scores + self._epoch_counts
@@ -145,16 +160,25 @@ class AdaptivePlacement:
         best_policy: CachePolicy | None = None
         best_design: CacheDesign | None = None
         at_population = params.replace(n_streams=n_active)
-        for policy in (CachePolicy.REPLICATED, CachePolicy.STRIPED):
-            plan = self._planner.plan(
-                at_population, Configuration.cache(policy, popularity))
-            if not plan.feasible:
-                continue
-            design = plan.design
-            if best_design is None or design.total_dram < best_design.total_dram:
+        # Judge both candidate policies in one batch-demand evaluation
+        # (bit-identical to the scalar solves; ``inf`` marks an
+        # infeasible candidate).  Only the winner pays a scalar planner
+        # solve — that is the plan whose design the decision carries
+        # and the admission controller replays from the planner cache.
+        candidates = (CachePolicy.REPLICATED, CachePolicy.STRIPED)
+        demands = demand_at(
+            [(at_population, Configuration.cache(policy, popularity))
+             for policy in candidates], n_active)
+        best_dram = float("inf")
+        for policy, dram in zip(candidates, demands):
+            if dram < best_dram:
                 best_policy = policy
-                best_design = design
-        if best_policy is None:
+                best_dram = float(dram)
+        if best_policy is not None:
+            best_design = self._planner.plan(
+                at_population,
+                Configuration.cache(best_policy, popularity)).design
+        else:
             # Neither policy is schedulable at this population; report
             # under the replicated geometry so the caller can shed load
             # and re-plan.

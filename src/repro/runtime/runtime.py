@@ -27,7 +27,9 @@ one generator and the event calendar is stable for simultaneous events.
 
 from __future__ import annotations
 
+import heapq
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,13 +53,20 @@ from repro.runtime.sessions import (
     Session,
     SessionEvent,
     SessionEventKind,
+    SessionSampler,
+    SessionTable,
     SessionWorkload,
+    TABLE_ACTIVE,
 )
 from repro.scheduling.admission import AdmissionController
 from repro.simulation.engine import Simulator
 from repro.vod.multicast import MulticastBatcher
 from repro.vod.placement import PrefixDecision, PrefixPlacement
 from repro.workloads.arrivals import predicted_blocking
+
+#: Shared empty blocks for table-core windows with no due work.
+_EMPTY_TIMES: np.ndarray = np.empty(0)
+_EMPTY_ROWS: np.ndarray = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,15 @@ class RuntimeConfig:
     prefix_floor: float = 1.0
     batch_window: float = 120.0
     seed: int = 0
+    #: Session bookkeeping core: "objects" keeps one ``Session`` per
+    #: viewer and one calendar event per arrival/departure (the
+    #: equivalence oracle); "table" stores sessions as numpy columns in
+    #: a :class:`~repro.runtime.sessions.SessionTable`, draws arrivals
+    #: in vectorized chunks and harvests departures by masked scans at
+    #: control-timer boundaries.  Both cores consume the same
+    #: purpose-split RNG streams, so their metrics JSON is byte
+    #: identical (see ``repro.runtime.parity``).
+    session_core: str = "objects"
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -177,13 +195,17 @@ class RuntimeConfig:
         if self.batch_window <= 0:
             raise ConfigurationError(
                 f"batch_window must be > 0, got {self.batch_window!r}")
+        if self.session_core not in ("objects", "table"):
+            raise ConfigurationError(
+                f"session_core must be 'objects' or 'table', "
+                f"got {self.session_core!r}")
         if self.device is None:
             from repro.devices.catalog import MEMS_G3
 
             self.device = MEMS_G3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrivalOutcome:
     """What one arrival did to the server (the admission verdict).
 
@@ -317,11 +339,22 @@ class ServerRuntime:
     def __init__(self, config: RuntimeConfig) -> None:
         self.config = config
         self._rng = np.random.default_rng(config.seed)
+        self._sampler = SessionSampler(config.workload, config.seed)
         self._sim = Simulator()
         self._events: list[SessionEvent] = []
         self._metrics = MetricsLog()
         self._migrations: list[MigrationRecord] = []
         self._sessions: dict[int, Session] = {}
+        self._table: SessionTable | None = (
+            SessionTable() if config.session_core == "table" else None)
+        #: Earliest pending departure in the table core (lower bound;
+        #: staying conservative only costs a harvest scan that finds
+        #: nothing).  inf while no session is live.
+        self._min_dep = float("inf")
+        #: Absolute time of the next self-generated arrival (table
+        #: core's run loop only; None while externally driven).
+        self._next_arrival: float | None = None
+        self._cached_set: set[int] | None = None
         self._next_id = 0
         self._mode = config.configuration
         self._policy: CachePolicy | None = None
@@ -392,6 +425,16 @@ class ServerRuntime:
         return self._rng
 
     @property
+    def sampler(self) -> SessionSampler:
+        """The run's chunked workload sampler (shared with the facade)."""
+        return self._sampler
+
+    @property
+    def session_table(self) -> SessionTable | None:
+        """The struct-of-arrays session store (None on the object core)."""
+        return self._table
+
+    @property
     def mode(self) -> str:
         """Active configuration mode ("none"/"buffer"/"cache"/"prefix")."""
         return self._mode
@@ -409,6 +452,11 @@ class ServerRuntime:
     @property
     def active_sessions(self) -> int:
         """Sessions currently playing."""
+        return self._session_count()
+
+    def _session_count(self) -> int:
+        if self._table is not None:
+            return self._table.active_count
         return len(self._sessions)
 
     @property
@@ -438,14 +486,15 @@ class ServerRuntime:
         if self._mode == "cache":
             require(self._placement is not None,
                     "cache mode runs without an AdaptivePlacement")
-            return ("cache" if title in set(self._placement.cached_titles)
-                    else "disk")
+            if self._cached_set is None:
+                self._cached_set = set(self._placement.cached_titles)
+            return "cache" if title in self._cached_set else "disk"
         return "buffer" if self._mode == "buffer" else "disk"
 
     # -- Event handlers ------------------------------------------------------
 
     def _schedule_arrival(self, sim: Simulator) -> None:
-        delay = self.config.workload.next_interarrival(self._rng)
+        delay = self._sampler.next_interarrival()
         sim.after(delay, self._on_arrival, "arrival")
 
     def _on_arrival(self, sim: Simulator) -> None:
@@ -462,9 +511,10 @@ class ServerRuntime:
         is None the workload draws one (the next draw of the seeded
         stream, so both paths consume the RNG identically).
         """
-        workload = self.config.workload
+        if self._table is not None:
+            return self._handle_arrival_table(sim, title)
         if title is None:
-            title = workload.next_title(self._rng)
+            title = self._sampler.next_title()
         self._arrivals_total += 1
         self._metrics.count("arrivals")
         if self._placement is not None:
@@ -477,7 +527,7 @@ class ServerRuntime:
         if decision.admitted:
             session = Session(session_id=self._next_id, title=title,
                               arrival_time=sim.now,
-                              holding_time=workload.next_holding(self._rng),
+                              holding_time=self._sampler.next_holding(),
                               served_by=self._served_by(title))
             self._next_id += 1
             self._sessions[session.session_id] = session
@@ -499,6 +549,64 @@ class ServerRuntime:
         return ArrivalOutcome(admitted=False, title=title,
                               reason=decision.reason)
 
+    def handle_arrival_block(self, sim: Simulator,
+                             titles: Sequence[int | None]
+                             ) -> list[ArrivalOutcome]:
+        """Process a burst of arrivals at the current instant.
+
+        Equivalent, draw for draw and event for event, to calling
+        :meth:`handle_arrival` once per entry of ``titles``: the title
+        stream is consumed in order for the ``None`` entries, holding
+        times are drawn per admission, and a departure coming due
+        mid-burst (a zero-duration hold) still fires between the
+        admissions around it.  On the table core the missing titles
+        arrive as one vectorized block instead of one scalar draw per
+        call, which is what makes the facade's burst path cheap.
+        """
+        if self._table is None:
+            return [self.handle_arrival(sim, title) for title in titles]
+        now = sim.now
+        missing = sum(1 for title in titles if title is None)
+        drawn = iter(self._sampler.title_block(missing).tolist())
+        outcomes: list[ArrivalOutcome] = []
+        k, n = 0, len(titles)
+        for given in titles:
+            if self._min_dep <= now:
+                self._drain_table(now, inclusive=True)
+            title = int(given) if given is not None else int(next(drawn))
+            row, _, served, reason, batched = self._table_arrival(now, title)
+            k += 1
+            if row < 0:
+                outcomes.append(ArrivalOutcome(
+                    admitted=False, title=title, reason=reason))
+                if k < n and self._mode != "prefix":
+                    # Saturated tail: time does not advance inside the
+                    # burst and a rejection leaves the population
+                    # untouched, so every remaining entry rejects for
+                    # the identical reason.  (Prefix mode is excluded:
+                    # batched joins can admit past a rejection.)
+                    rest = [int(g) if g is not None else int(next(drawn))
+                            for g in titles[k:]]
+                    self._bulk_reject(
+                        np.full(len(rest), now), np.asarray(rest), reason)
+                    # Frozen outcomes are shareable: one per distinct
+                    # title covers the whole tail.
+                    shared: dict[int, ArrivalOutcome] = {}
+                    for t in rest:
+                        outcome = shared.get(t)
+                        if outcome is None:
+                            outcome = ArrivalOutcome(
+                                admitted=False, title=t, reason=reason)
+                            shared[t] = outcome
+                        outcomes.append(outcome)
+                    break
+            else:
+                outcomes.append(ArrivalOutcome(
+                    admitted=True, title=title,
+                    session=self._session_view(row),
+                    served_by=served, batched=batched))
+        return outcomes
+
     def _admit_prefix(self, sim: Simulator, title: int) -> ArrivalOutcome:
         """Prefix-mode admission: join an open stream or charge a new one.
 
@@ -508,14 +616,13 @@ class ServerRuntime:
         therefore counts *IO streams*, the unit the planner's prefix
         demand model is stated in.
         """
-        workload = self.config.workload
         require(self._prefix is not None and self._batcher is not None,
                 "prefix admission outside prefix mode")
         shared = self._batcher.joinable(title, sim.now)
         if shared is not None:
             session = Session(session_id=self._next_id, title=title,
                               arrival_time=sim.now,
-                              holding_time=workload.next_holding(self._rng),
+                              holding_time=self._sampler.next_holding(),
                               served_by="shared",
                               stream_id=shared.stream_id)
             self._next_id += 1
@@ -538,7 +645,7 @@ class ServerRuntime:
                          else "disk")
             session = Session(session_id=self._next_id, title=title,
                               arrival_time=sim.now,
-                              holding_time=workload.next_holding(self._rng),
+                              holding_time=self._sampler.next_holding(),
                               served_by=served_by)
             self._next_id += 1
             stream = self._batcher.open(
@@ -602,15 +709,320 @@ class ServerRuntime:
         no-ops.  Returns the closed session, or None if the id is not
         live.
         """
+        if self._table is not None:
+            table = self._table
+            # Departures due by now fire first, exactly as their
+            # calendar events (scheduled at admit, hence with earlier
+            # sequence numbers) would have.
+            if self._min_dep <= sim.now:
+                self._drain_table(sim.now, inclusive=True)
+            if (not 0 <= session_id < len(table)
+                    or table.state[session_id] != TABLE_ACTIVE):
+                return None
+            session = self._session_view(session_id)
+            self._table_depart(sim.now, session_id)
+            return session
         session = self._sessions.pop(session_id, None)
         if session is None:
             return None
         self._complete_departure(sim, session)
         return session
 
+    # -- SessionTable core ---------------------------------------------------
+
+    def _session_view(self, row: int) -> Session:
+        """Materialize one table row as a ``Session`` (facade callers)."""
+        table = self._table
+        stream = int(table.stream[row])
+        return Session(
+            session_id=row, title=int(table.title[row]),
+            arrival_time=float(table.arrival[row]),
+            holding_time=float(table.departure[row] - table.arrival[row]),
+            served_by=table.serve_name(int(table.served[row])),
+            stream_id=stream if stream >= 0 else None)
+
+    def sync(self, sim: Simulator) -> None:
+        """Advance lazy session bookkeeping to ``sim.now``.
+
+        A no-op on the object core (the calendar keeps it current);
+        on the table core it harvests every departure due strictly
+        before now, so read-style facade operations observe the same
+        state the per-event calendar would have shown.
+        """
+        self._pre_control(sim)
+
+    def _pre_control(self, sim: Simulator) -> None:
+        """Advance the table core to ``sim.now`` before a control action.
+
+        Periodic calendar entries keep their original sequence numbers,
+        so at equal timestamps the object core runs control timers
+        *before* any session event; the table core mirrors that by
+        draining strictly below the timer's firing time.
+        """
+        if self._table is not None:
+            self._drain_table(sim.now, inclusive=False)
+
+    def _window_arrivals(self, until: float, *,
+                         inclusive: bool) -> np.ndarray:
+        """Arrival times of the self-driven chain due in this window."""
+        first = self._next_arrival
+        if first is None:
+            return _EMPTY_TIMES
+        if first > until or (not inclusive and first >= until):
+            return _EMPTY_TIMES
+        rest = self._sampler.arrival_times(first, until, inclusive=inclusive)
+        times = np.concatenate((np.array([first]), rest))
+        # Materialize the follower now, at the window's rate — exactly
+        # when (and at what scale) the object core would have drawn it.
+        self._next_arrival = (float(times[-1])
+                              + self._sampler.next_interarrival())
+        return times
+
+    def _drain_table(self, until: float, *, inclusive: bool = False) -> None:
+        """Replay the merged session stream up to ``until`` in time order.
+
+        One masked scan finds every departure due in the window, the
+        sampler yields the window's arrival times and titles as one
+        vectorized block each, and a pointer merge replays them in the
+        order the per-event calendar would have: a due departure
+        precedes an arrival at the same timestamp, and equal departure
+        times resolve in admit order.  Admissions whose (short) holding
+        time ends inside the same window re-enter the merge through a
+        small heap.
+        """
+        table = self._table
+        require(table is not None, "table drain outside the table core")
+        arrivals = self._window_arrivals(until, inclusive=inclusive)
+        due_bound = (self._min_dep <= until if inclusive
+                     else self._min_dep < until)
+        rows = (table.harvest(until, inclusive=inclusive)
+                if due_bound else _EMPTY_ROWS)
+        n_arr, n_dep = len(arrivals), len(rows)
+        if n_arr == 0 and n_dep == 0:
+            return
+        titles = self._sampler.title_block(n_arr)
+        dep_times = table.departure[rows] if n_dep else _EMPTY_TIMES
+        extra: list[tuple[float, int]] = []
+        infinity = float("inf")
+        i = j = 0
+        while True:
+            t_dep = dep_times[j] if j < n_dep else infinity
+            use_extra = bool(extra) and extra[0][0] < t_dep
+            if use_extra:
+                t_dep = extra[0][0]
+            t_arr = arrivals[i] if i < n_arr else infinity
+            if t_dep == infinity and t_arr == infinity:
+                break
+            if t_dep <= t_arr:
+                if use_extra:
+                    _, row = heapq.heappop(extra)
+                else:
+                    row = int(rows[j])
+                    j += 1
+                if table.state[row] == TABLE_ACTIVE:
+                    self._table_depart(float(table.departure[row]), row)
+            else:
+                row, dep, _, reason, _ = self._table_arrival(
+                    float(t_arr), int(titles[i]))
+                i += 1
+                if row >= 0 and (dep <= until if inclusive else dep < until):
+                    heapq.heappush(extra, (dep, row))
+                elif row < 0 and i < n_arr and self._mode != "prefix":
+                    # Saturated stretch: a rejection leaves the admitted
+                    # population untouched, and nothing can free a slot
+                    # before the next departure (or due re-entry), so
+                    # every arrival strictly before that boundary
+                    # rejects for the identical reason.  With no
+                    # departures left the whole tail goes at once.
+                    # (Prefix mode is excluded: batched joins can still
+                    # admit past a rejection.)
+                    boundary = dep_times[j] if j < n_dep else infinity
+                    if extra and extra[0][0] < boundary:
+                        boundary = extra[0][0]
+                    if boundary == infinity:
+                        self._bulk_reject(arrivals[i:], titles[i:], reason)
+                        break
+                    m = int(np.searchsorted(arrivals, boundary,
+                                            side="left"))
+                    if m > i:
+                        self._bulk_reject(arrivals[i:m], titles[i:m],
+                                          reason)
+                        i = m
+        self._min_dep = table.min_departure()
+
+    def _table_arrival(self, now: float, title: int
+                       ) -> tuple[int, float, str | None, str | None, bool]:
+        """Admit or reject one arrival into the table at ``now``.
+
+        Returns ``(row, departure_time, served_by, reason, batched)``
+        with ``row = -1`` on rejection.  Mirrors the object core's
+        ``handle_arrival`` decision logic step for step — same counter
+        order, same RNG-stream consumption — so the parity harness can
+        hold the two cores byte-identical.
+        """
+        table = self._table
+        self._arrivals_total += 1
+        self._metrics.count("arrivals")
+        if self._placement is not None:
+            self._placement.observe(title)
+        if self._prefix is not None:
+            self._prefix.observe(title)
+        if self._mode == "prefix":
+            return self._table_arrival_prefix(now, title)
+        decision = self._controller.try_admit()
+        if not decision.admitted:
+            return self._table_reject(now, title, decision.reason)
+        sid = self._next_id
+        self._next_id += 1
+        holding = self._sampler.next_holding()
+        served = self._served_by(title)
+        table.add(sid, title=title, arrival=now, holding=holding,
+                  served_by=served, bitrate=self.config.params.bit_rate)
+        dep = now + holding
+        if dep < self._min_dep:
+            self._min_dep = dep
+        self._metrics.count("admits")
+        self._events.append(SessionEvent(
+            time=now, kind=SessionEventKind.ADMIT, session_id=sid,
+            title=title, served_by=served))
+        return sid, dep, served, None, False
+
+    def _table_arrival_prefix(self, now: float, title: int
+                              ) -> tuple[int, float, str | None,
+                                         str | None, bool]:
+        """Prefix-mode admission into the table (cf. ``_admit_prefix``)."""
+        table = self._table
+        require(self._prefix is not None and self._batcher is not None,
+                "prefix admission outside prefix mode")
+        shared = self._batcher.joinable(title, now)
+        if shared is not None:
+            sid = self._next_id
+            self._next_id += 1
+            holding = self._sampler.next_holding()
+            table.add(sid, title=title, arrival=now, holding=holding,
+                      served_by="shared",
+                      bitrate=self.config.params.bit_rate,
+                      stream_id=shared.stream_id)
+            self._batcher.join(shared, sid)
+            dep = now + holding
+            if dep < self._min_dep:
+                self._min_dep = dep
+            self._metrics.count("admits")
+            self._metrics.count("batched_joins")
+            self._events.append(SessionEvent(
+                time=now, kind=SessionEventKind.ADMIT, session_id=sid,
+                title=title, served_by="shared"))
+            return sid, dep, "shared", None, True
+        decision = self._controller.try_admit()
+        if not decision.admitted:
+            return self._table_reject(now, title, decision.reason)
+        served = ("prefix" if self._prefix.is_resident(title) else "disk")
+        sid = self._next_id
+        self._next_id += 1
+        holding = self._sampler.next_holding()
+        stream = self._batcher.open(
+            title, now, self._prefix.window_seconds(title), sid)
+        table.add(sid, title=title, arrival=now, holding=holding,
+                  served_by=served, bitrate=self.config.params.bit_rate,
+                  stream_id=stream.stream_id)
+        dep = now + holding
+        if dep < self._min_dep:
+            self._min_dep = dep
+        self._metrics.count("admits")
+        self._metrics.count("streams_opened")
+        self._events.append(SessionEvent(
+            time=now, kind=SessionEventKind.ADMIT, session_id=sid,
+            title=title, served_by=served))
+        return sid, dep, served, None, False
+
+    def _bulk_reject(self, times: np.ndarray, titles: np.ndarray,
+                     reason: str | None) -> None:
+        """Reject a whole run of arrivals at once (saturated window).
+
+        Event-for-event identical to calling :meth:`_table_arrival` on
+        each entry when no admission can interleave: counters move by
+        the block size, the placement observes the titles as one
+        scatter-add, and the audit log gains one REJECT per arrival.
+        """
+        n = len(times)
+        self._arrivals_total += n
+        self._metrics.count("arrivals", n)
+        if self._placement is not None:
+            self._placement.observe_block(titles)
+        if self._prefix is not None:
+            self._prefix.observe_block(titles)
+        self._rejects_total += n
+        self._metrics.count("rejects", n)
+        append = self._events.append
+        for now, title in zip(times.tolist(), titles.tolist()):
+            append(SessionEvent(
+                time=now, kind=SessionEventKind.REJECT,
+                session_id=-1, title=title, reason=reason))
+
+    def _table_reject(self, now: float, title: int, reason: str | None
+                      ) -> tuple[int, float, str | None, str | None, bool]:
+        self._rejects_total += 1
+        self._metrics.count("rejects")
+        self._events.append(SessionEvent(
+            time=now, kind=SessionEventKind.REJECT,
+            session_id=-1, title=title, reason=reason))
+        return -1, float("inf"), None, reason, False
+
+    def _table_depart(self, now: float, row: int) -> None:
+        """Release one table row's slot and log the exit (cf.
+        ``_complete_departure``)."""
+        table = self._table
+        stream = int(table.stream[row])
+        if stream >= 0:
+            if (self._batcher is not None
+                    and self._batcher.has_stream(stream)):
+                if self._batcher.leave(stream, row):
+                    self._controller.release(1)
+                    self._metrics.count("streams_closed")
+        else:
+            self._controller.release(1)
+        self._metrics.count("departures")
+        self._events.append(SessionEvent(
+            time=now, kind=SessionEventKind.DEPART, session_id=row,
+            title=int(table.title[row]),
+            served_by=table.serve_name(int(table.served[row]))))
+        table.mark_departed(row)
+
+    def _handle_arrival_table(self, sim: Simulator,
+                              title: int | None) -> ArrivalOutcome:
+        """Externally driven arrival on the table core (facade path)."""
+        if self._min_dep <= sim.now:
+            self._drain_table(sim.now, inclusive=True)
+        if title is None:
+            title = self._sampler.next_title()
+        row, dep, served, reason, batched = self._table_arrival(
+            sim.now, int(title))
+        if row < 0:
+            return ArrivalOutcome(admitted=False, title=int(title),
+                                  reason=reason)
+        return ArrivalOutcome(admitted=True, title=int(title),
+                              session=self._session_view(row),
+                              served_by=served, batched=batched)
+
+    def _drop_row(self, sim: Simulator, row: int, reason: str) -> None:
+        """Mark one table row dropped and log it (slot NOT released)."""
+        table = self._table
+        self._metrics.count("drops")
+        self._events.append(SessionEvent(
+            time=sim.now, kind=SessionEventKind.DROP,
+            session_id=row, title=int(table.title[row]),
+            served_by=table.serve_name(int(table.served[row])),
+            reason=reason))
+        table.mark_dropped(row)
+
     def _shed_sessions(self, sim: Simulator, n_drop: int,
                        reason: str) -> None:
         """Drop the ``n_drop`` newest sessions (least watched first)."""
+        if self._table is not None:
+            for row in self._table.shed_newest(n_drop):
+                self._controller.release(1)
+                self._drop_row(sim, int(row), reason)
+            return
         victims = list(self._sessions.values())[::-1][:n_drop]
         for session in victims:
             del self._sessions[session.session_id]
@@ -626,10 +1038,16 @@ class ServerRuntime:
         """Close the ``n_drop`` newest IO streams and drop their riders."""
         require(self._batcher is not None,
                 "stream shedding outside prefix mode")
+        table = self._table
         for stream in self._batcher.drop_newest(n_drop):
             self._controller.release(1)
             self._metrics.count("streams_closed")
             for session_id in stream.session_ids:
+                if table is not None:
+                    if (0 <= session_id < len(table)
+                            and table.state[session_id] == TABLE_ACTIVE):
+                        self._drop_row(sim, session_id, reason)
+                    continue
                 session = self._sessions.pop(session_id, None)
                 if session is None:  # pragma: no cover - defensive
                     continue
@@ -656,7 +1074,7 @@ class ServerRuntime:
                 "replan requested outside cache mode")
         self._metrics.count("replans")
         decision = self._placement.replan(
-            self._degraded_params(), float(len(self._sessions)),
+            self._degraded_params(), float(self._session_count()),
             dram_budget=self.config.dram_budget)
         self._policy = decision.policy
         self._record_migration(sim.now, decision)
@@ -666,14 +1084,27 @@ class ServerRuntime:
                                      popularity=decision.popularity)
         # Live sessions follow their titles across the migration.
         cached = set(decision.cached_titles)
-        for session in self._sessions.values():
-            session.served_by = ("cache" if session.title in cached
-                                 else "disk")
+        self._cached_set = cached
+        if self._table is not None:
+            table = self._table
+            rows = table.active_rows()
+            if len(rows):
+                hit = (np.isin(table.title[rows],
+                               np.fromiter(cached, dtype=np.int64,
+                                           count=len(cached)))
+                       if cached else np.zeros(len(rows), dtype=bool))
+                table.served[rows] = np.where(
+                    hit, table.serve_code("cache"), table.serve_code("disk"))
+        else:
+            for session in self._sessions.values():
+                session.served_by = ("cache" if session.title in cached
+                                     else "disk")
         # The observed popularity may be harsher than what the old
         # population was admitted under; shed to the new capacity.
         capacity = self._controller.capacity()
-        if len(self._sessions) > capacity:
-            self._shed_sessions(sim, len(self._sessions) - capacity, reason)
+        if self._session_count() > capacity:
+            self._shed_sessions(sim, self._session_count() - capacity,
+                                reason)
 
     def _replan_prefix(self, sim: Simulator, *, reason: str) -> None:
         """Re-allocate prefixes and swap the admission spec (in streams)."""
@@ -690,11 +1121,24 @@ class ServerRuntime:
                                      spec=decision.spec)
         # Stream openers follow their titles across the migration
         # (riders keep "shared" — their IO is the opener's).
-        for session in self._sessions.values():
-            if session.served_by != "shared":
-                session.served_by = (
-                    "prefix" if self._prefix.is_resident(session.title)
-                    else "disk")
+        if self._table is not None:
+            table = self._table
+            rows = table.active_rows()
+            rows = rows[table.served[rows] != table.serve_code("shared")]
+            if len(rows):
+                resident = np.fromiter(
+                    self._prefix.resident_titles, dtype=np.int64)
+                hit = (np.isin(table.title[rows], resident)
+                       if len(resident) else np.zeros(len(rows), dtype=bool))
+                table.served[rows] = np.where(
+                    hit, table.serve_code("prefix"),
+                    table.serve_code("disk"))
+        else:
+            for session in self._sessions.values():
+                if session.served_by != "shared":
+                    session.served_by = (
+                        "prefix" if self._prefix.is_resident(session.title)
+                        else "disk")
         capacity = self._controller.capacity()
         if self._batcher.active_streams > capacity:
             self._shed_streams(
@@ -711,6 +1155,7 @@ class ServerRuntime:
         the request path (possibly delayed by ``replan_latency``).
         Static modes ("none"/"buffer") have nothing to re-plan.
         """
+        self._pre_control(sim)
         if self._mode == "cache":
             self._replan(sim, reason="epoch re-plan over capacity")
             return True
@@ -738,20 +1183,26 @@ class ServerRuntime:
 
         popularity = EmpiricalPopularity.from_counts(self._prefix.scores())
         plan = plan_recovery(self.config.params, self.config.dram_budget,
-                             len(self._sessions), popularity,
+                             self._session_count(), popularity,
                              k_active=0, r_mems_factor=self._rate_factor,
                              planner=self._planner)
         if plan.n_dropped:
             # Shed sessions directly: the old controller counted IO
             # streams, so its slots are not session slots to release.
-            victims = list(self._sessions.values())[::-1][:plan.n_dropped]
-            for session in victims:
-                del self._sessions[session.session_id]
-                self._metrics.count("drops")
-                self._events.append(SessionEvent(
-                    time=sim.now, kind=SessionEventKind.DROP,
-                    session_id=session.session_id, title=session.title,
-                    served_by=session.served_by, reason="device failure"))
+            if self._table is not None:
+                for row in self._table.shed_newest(plan.n_dropped):
+                    self._drop_row(sim, int(row), "device failure")
+            else:
+                victims = (list(self._sessions.values())
+                           [::-1][:plan.n_dropped])
+                for session in victims:
+                    del self._sessions[session.session_id]
+                    self._metrics.count("drops")
+                    self._events.append(SessionEvent(
+                        time=sim.now, kind=SessionEventKind.DROP,
+                        session_id=session.session_id, title=session.title,
+                        served_by=session.served_by,
+                        reason="device failure"))
         # Batching collapses with the bank: every survivor becomes its
         # own direct-disk stream.  A fresh (empty) batcher keeps the
         # live gauges at zero; the cumulative fan-out counters carry
@@ -761,9 +1212,15 @@ class ServerRuntime:
         fresh.sessions_total = self._batcher.sessions_total
         fresh.streams_total = self._batcher.streams_total
         self._batcher = fresh
-        for session in self._sessions.values():
-            session.stream_id = None
-            session.served_by = "disk"
+        if self._table is not None:
+            table = self._table
+            rows = table.active_rows()
+            table.stream[rows] = -1
+            table.served[rows] = table.serve_code("disk")
+        else:
+            for session in self._sessions.values():
+                session.stream_id = None
+                session.served_by = "disk"
         self._prefix = None
         self._prefix_decision = None
         self._mode = plan.mode
@@ -771,7 +1228,7 @@ class ServerRuntime:
         self._controller = AdmissionController(
             self._degraded_params(), self.config.dram_budget,
             configuration=plan.mode, planner=self._planner)
-        for _ in self._sessions:
+        for _ in range(self._session_count()):
             require(self._controller.try_admit().admitted,
                     "recovery plan under-counted the surviving sessions")
 
@@ -783,6 +1240,7 @@ class ServerRuntime:
 
     def apply_failure(self, sim: Simulator, event: FailureEvent) -> None:
         """Degrade the bank per ``event`` and re-plan the survivors."""
+        self._pre_control(sim)
         self._metrics.count("failures")
         if event.kind is FailureKind.DEVICE_LOSS:
             self._k_active = max(0, self._k_active - event.count)
@@ -806,7 +1264,7 @@ class ServerRuntime:
                 self._placement.scores())
         plan = plan_recovery(self.config.params,
                              self.config.dram_budget,
-                             len(self._sessions), popularity,
+                             self._session_count(), popularity,
                              k_active=self._k_active,
                              r_mems_factor=self._rate_factor,
                              planner=self._planner)
@@ -827,8 +1285,15 @@ class ServerRuntime:
                 params=self._degraded_params(),
                 configuration=plan.mode)
             if previous_mode == "cache":
-                for session in self._sessions.values():
-                    session.served_by = self._served_by(session.title)
+                if self._table is not None:
+                    table = self._table
+                    rows = table.active_rows()
+                    # _served_by is title-independent outside cache mode.
+                    table.served[rows] = table.serve_code(
+                        "buffer" if self._mode == "buffer" else "disk")
+                else:
+                    for session in self._sessions.values():
+                        session.served_by = self._served_by(session.title)
         self._bank = (None if self._k_active < 1 else MemsBank(
             self.config.device, self._k_active, BankPolicy.ROUND_ROBIN))
         if self._degraded_since is None:
@@ -836,14 +1301,17 @@ class ServerRuntime:
 
     def apply_drift(self, sim: Simulator, event: DriftEvent) -> None:
         """Rotate the title ranking (popularity drift)."""
+        self._pre_control(sim)
         self.config.workload.rotate_popularity(event.shift)
 
     def apply_surge(self, sim: Simulator, event: SurgeEvent) -> None:
         """Scale the arrival rate (flash crowd)."""
+        self._pre_control(sim)
         self.config.workload.scale_rate(event.factor)
 
     def apply_focus(self, sim: Simulator, event: FocusEvent) -> None:
         """Concentrate arrivals onto one title (focused crowd)."""
+        self._pre_control(sim)
         self.config.workload.focus_title(event.title, event.weight)
 
     def _make_drift(self, event: DriftEvent):
@@ -866,10 +1334,20 @@ class ServerRuntime:
 
     # -- Gauges --------------------------------------------------------------
 
+    def _cache_session_count(self) -> int:
+        """Live sessions currently served from the MEMS cache."""
+        if self._table is not None:
+            table = self._table
+            rows = table.active_rows()
+            return int(np.count_nonzero(
+                table.served[rows] == table.serve_code("cache")))
+        return sum(1 for s in self._sessions.values()
+                   if s.served_by == "cache")
+
     def _device_utilization(self) -> float:
         """Load fraction of the bottleneck device class."""
         params = self.config.params
-        n = len(self._sessions)
+        n = self._session_count()
         disk_load = n * params.bit_rate / params.r_disk
         if self._bank is None:
             return disk_load
@@ -885,8 +1363,7 @@ class ServerRuntime:
             disk_load = n_io * (1.0 - h) * params.bit_rate / params.r_disk
             return max(disk_load, n_io * h * params.bit_rate / bank_rate)
         if self._mode == "cache":
-            n_cache = sum(1 for s in self._sessions.values()
-                          if s.served_by == "cache")
+            n_cache = self._cache_session_count()
             disk_load = (n - n_cache) * params.bit_rate / params.r_disk
             return max(disk_load, n_cache * params.bit_rate / bank_rate)
         if self._mode == "buffer":
@@ -899,10 +1376,10 @@ class ServerRuntime:
         self._on_metrics(sim)
 
     def _on_metrics(self, sim: Simulator) -> None:
+        self._pre_control(sim)
         workload = self.config.workload
-        n = len(self._sessions)
-        n_cache = sum(1 for s in self._sessions.values()
-                      if s.served_by == "cache")
+        n = self._session_count()
+        n_cache = self._cache_session_count()
         try:
             dram = self._controller.dram_required()
         except (AdmissionError, CapacityError):  # pragma: no cover
@@ -970,7 +1447,13 @@ class ServerRuntime:
     def run(self) -> RuntimeResult:
         config = self.config
         sim = self._sim
-        self._schedule_arrival(sim)
+        if self._table is not None:
+            # No per-arrival calendar events: the whole Poisson chain
+            # drains in vectorized windows at control-timer boundaries.
+            # Seed it with the first draw the object core would make.
+            self._next_arrival = self._sampler.next_interarrival()
+        else:
+            self._schedule_arrival(sim)
         sim.every(config.epoch, self._on_epoch, "epoch")
         sim.every(config.metrics_interval, self._on_metrics, "metrics")
         for failure in sorted(config.failures, key=lambda e: e.time):
@@ -993,6 +1476,15 @@ class ServerRuntime:
         """
         config = self.config
         sim = self._sim
+        if self._table is not None:
+            # Everything due through the calendar's final instant runs
+            # before the seal — including events at exactly that time,
+            # which ``run`` (inclusive) would have executed.  ``run``
+            # leaves ``now`` at its ``until`` bound, so a full run
+            # drains through the horizon; a driver that stopped the
+            # calendar early (a facade harness mid-run) seals exactly
+            # where the object core's calendar stopped.
+            self._drain_table(sim.now, inclusive=True)
         if (not self._metrics.snapshots
                 or self._metrics.snapshots[-1].t_end < config.horizon):
             self._on_metrics(sim)

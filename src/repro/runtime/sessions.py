@@ -193,3 +193,296 @@ class SessionWorkload:
                                   p=self._effective_weights()))
         rank = int(rng.choice(self.n_titles, p=self._base_weights))
         return (rank + self._rotation) % self.n_titles
+
+
+class SessionSampler:
+    """Chunked, purpose-split sampler over a :class:`SessionWorkload`.
+
+    The per-event path (``rng.exponential`` per arrival, ``rng.choice``
+    per title) costs a few microseconds of generator dispatch per draw
+    and — worse — interleaves every purpose on one bitstream, which
+    makes vectorisation impossible: a blocked draw of 1000
+    interarrivals would consume the words the titles and holding times
+    of those same arrivals needed.
+
+    The sampler therefore spawns three *independent* child generators
+    from the run seed (``np.random.SeedSequence(seed).spawn(3)``), one
+    per purpose, and refills a numpy chunk per stream.  Scalar
+    consumption (the object path) and blocked consumption (the
+    :class:`SessionTable` path) then read the *same* value sequences —
+    the property the table/object parity harness rests on:
+
+    * interarrivals are buffered as *standard* exponentials and scaled
+      by the current rate at consumption time, so a mid-run surge never
+      invalidates the buffer and matches the legacy draw-at-previous-
+      arrival semantics;
+    * titles are buffered as raw uniforms and mapped through the
+      workload's current CDF at consumption time, so drift and focus
+      never invalidate the buffer either (the CDF is re-derived only
+      when rotation/focus actually change);
+    * holding times are consumed only for *admitted* sessions, exactly
+      like the object path, so rejects leave the stream untouched.
+    """
+
+    def __init__(self, workload: SessionWorkload, seed: int, *,
+                 chunk: int = 1024) -> None:  # repro-lint: disable=unit-literals (a draw count, not bytes)
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk!r}")
+        self.workload = workload
+        self._chunk = int(chunk)
+        ia_seq, title_seq, hold_seq = np.random.SeedSequence(seed).spawn(3)
+        self._ia_rng = np.random.default_rng(ia_seq)
+        self._title_rng = np.random.default_rng(title_seq)
+        self._hold_rng = np.random.default_rng(hold_seq)
+        self._ia_buf = np.empty(0)
+        self._ia_cur = 0
+        self._title_buf = np.empty(0)
+        self._title_cur = 0
+        self._hold_buf = np.empty(0)
+        self._hold_cur = 0
+        self._cdf: np.ndarray | None = None
+        self._cdf_key: tuple | None = None
+
+    # -- Buffers -------------------------------------------------------------
+
+    def _ensure_ia(self, n: int) -> None:
+        if len(self._ia_buf) - self._ia_cur < n:
+            tail = self._ia_buf[self._ia_cur:]
+            fresh = self._ia_rng.standard_exponential(
+                max(self._chunk, n - len(tail)))
+            self._ia_buf = np.concatenate((tail, fresh))
+            self._ia_cur = 0
+
+    def _ensure_titles(self, n: int) -> None:
+        if len(self._title_buf) - self._title_cur < n:
+            tail = self._title_buf[self._title_cur:]
+            fresh = self._title_rng.random(max(self._chunk, n - len(tail)))
+            self._title_buf = np.concatenate((tail, fresh))
+            self._title_cur = 0
+
+    def _title_cdf(self) -> np.ndarray:
+        w = self.workload
+        key = (w._rotation, w._focus_title, w._focus_weight)
+        if key != self._cdf_key:
+            cdf = np.cumsum(w._effective_weights())
+            cdf[-1] = 1.0  # guard float drift at the top of the CDF
+            self._cdf = cdf
+            self._cdf_key = key
+        return self._cdf
+
+    # -- Scalar draws (object path) ------------------------------------------
+
+    def next_interarrival(self) -> float:
+        w = self.workload
+        self._ensure_ia(1)
+        value = self._ia_buf[self._ia_cur]
+        self._ia_cur += 1
+        return float(value * (1.0 / (w.arrival_rate * w._rate_factor)))
+
+    def next_title(self) -> int:
+        self._ensure_titles(1)
+        u = self._title_buf[self._title_cur]
+        self._title_cur += 1
+        cdf = self._title_cdf()
+        return int(min(np.searchsorted(cdf, u, side="right"),
+                       len(cdf) - 1))
+
+    def next_holding(self) -> float:
+        if len(self._hold_buf) - self._hold_cur < 1:
+            self._hold_buf = self._hold_rng.standard_exponential(self._chunk)
+            self._hold_cur = 0
+        value = self._hold_buf[self._hold_cur]
+        self._hold_cur += 1
+        return float(value * self.workload.mean_holding)
+
+    # -- Blocked draws (SessionTable path) -----------------------------------
+
+    def arrival_times(self, start: float, until: float, *,
+                      inclusive: bool = False) -> np.ndarray:
+        """Absolute arrival times in ``(start, until)`` at the current rate.
+
+        Accumulates sequentially (``cumsum``) from ``start`` so the
+        float trajectory is bit-identical to the object path's
+        one-``sim.after``-per-arrival chain.  Exactly the returned
+        number of interarrival draws is consumed; the first draw beyond
+        the window stays buffered for the next window, and because the
+        buffer holds *standard* exponentials a rate change between
+        windows re-scales it correctly.
+        """
+        w = self.workload
+        scale = 1.0 / (w.arrival_rate * w._rate_factor)
+        side = "right" if inclusive else "left"
+        times: list[np.ndarray] = []
+        while True:
+            self._ensure_ia(self._chunk)
+            block = self._ia_buf[self._ia_cur:self._ia_cur + self._chunk]
+            # Seed the cumsum with ``start`` so every partial sum is the
+            # exact float chain ((start + d1) + d2) + ... the per-event
+            # path produces — adding start after the fact rounds
+            # differently at the last ulp.
+            t = np.cumsum(np.concatenate(((start,), block * scale)))[1:]
+            cut = int(np.searchsorted(t, until, side=side))
+            if cut < len(t):
+                self._ia_cur += cut
+                times.append(t[:cut])
+                break
+            self._ia_cur += len(t)
+            times.append(t)
+            start = float(t[-1])
+        return np.concatenate(times) if len(times) > 1 else times[0]
+
+    def title_block(self, n: int) -> np.ndarray:
+        """Titles for the next ``n`` arrivals under the current CDF."""
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_titles(n)
+        u = self._title_buf[self._title_cur:self._title_cur + n]
+        self._title_cur += n
+        cdf = self._title_cdf()
+        return np.minimum(np.searchsorted(cdf, u, side="right"),
+                          len(cdf) - 1)
+
+
+#: ``SessionTable`` row states.
+TABLE_ACTIVE = 1
+TABLE_DEPARTED = 2
+TABLE_DROPPED = 3
+
+
+class SessionTable:
+    """Struct-of-arrays store for session state (the fast core).
+
+    One row per *admitted* session, indexed by session id (ids are
+    dense and allocated in admit order, so the row index is the id).
+    Columns are flat numpy arrays — arrival/departure time, title,
+    bit rate, shared-stream id, serving tier and lifecycle state — so
+    departure harvesting, shedding and re-tagging become masked scans
+    instead of per-object attribute walks, and a million sessions cost
+    ~50 MB instead of a million heap objects.
+    """
+
+    def __init__(self, *, capacity: int = 1024) -> None:  # repro-lint: disable=unit-literals (a row count, not bytes)
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity!r}")
+        self._n = 0
+        self._active = 0
+        self._lo = 0  # every row below this watermark is inactive
+        self.arrival = np.empty(capacity)
+        self.departure = np.empty(capacity)
+        self.title = np.empty(capacity, dtype=np.int64)
+        self.bitrate = np.empty(capacity)
+        self.stream = np.full(capacity, -1, dtype=np.int64)
+        self.state = np.zeros(capacity, dtype=np.uint8)
+        self.served = np.zeros(capacity, dtype=np.int16)
+        self._served_names: list[str] = []
+        self._served_codes: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def active_count(self) -> int:
+        return self._active
+
+    def serve_code(self, served_by: str) -> int:
+        """Intern a serving-tier name ("disk", "cache", ...) as a code."""
+        code = self._served_codes.get(served_by)
+        if code is None:
+            code = len(self._served_names)
+            self._served_codes[served_by] = code
+            self._served_names.append(served_by)
+        return code
+
+    def serve_name(self, code: int) -> str:
+        return self._served_names[code]
+
+    def _grow(self) -> None:
+        capacity = 2 * len(self.arrival)
+        for name in ("arrival", "departure", "title", "bitrate",
+                     "stream", "state", "served"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[:self._n] = old[:self._n]
+            if name == "stream":
+                new[self._n:] = -1
+            elif name == "state":
+                new[self._n:] = 0
+            setattr(self, name, new)
+
+    def add(self, session_id: int, *, title: int, arrival: float,
+            holding: float, served_by: str, bitrate: float = 0.0,
+            stream_id: int | None = None) -> None:
+        """Append an admitted session (ids must stay dense)."""
+        if session_id != self._n:
+            raise ConfigurationError(
+                f"session ids must be dense: expected {self._n}, "
+                f"got {session_id!r}")
+        if self._n == len(self.arrival):
+            self._grow()
+        row = self._n
+        self.arrival[row] = arrival
+        self.departure[row] = arrival + holding
+        self.title[row] = title
+        self.bitrate[row] = bitrate
+        self.stream[row] = -1 if stream_id is None else stream_id
+        self.served[row] = self.serve_code(served_by)
+        self.state[row] = TABLE_ACTIVE
+        self._n += 1
+        self._active += 1
+
+    # -- Masked scans --------------------------------------------------------
+
+    def _advance_lo(self) -> None:
+        state = self.state
+        lo, n = self._lo, self._n
+        while lo < n and state[lo] != TABLE_ACTIVE:
+            lo += 1
+        self._lo = lo
+
+    def active_rows(self) -> np.ndarray:
+        """Row ids of live sessions, in admit order."""
+        lo, n = self._lo, self._n
+        return (lo + np.nonzero(
+            self.state[lo:n] == TABLE_ACTIVE)[0]).astype(np.int64)
+
+    def harvest(self, until: float, *, inclusive: bool = True) -> np.ndarray:
+        """Rows departing by ``until``, ordered by (time, admit order).
+
+        A pure scan — callers mark the rows departed (or dropped) as
+        they process them.
+        """
+        lo, n = self._lo, self._n
+        live = self.state[lo:n] == TABLE_ACTIVE
+        if inclusive:
+            due = live & (self.departure[lo:n] <= until)
+        else:
+            due = live & (self.departure[lo:n] < until)
+        rows = lo + np.nonzero(due)[0]
+        if len(rows) > 1:
+            rows = rows[np.argsort(self.departure[rows], kind="stable")]
+        return rows.astype(np.int64)
+
+    def min_departure(self) -> float:
+        """Earliest departure among live sessions (inf when empty)."""
+        rows = self.active_rows()
+        if len(rows) == 0:
+            return float("inf")
+        return float(self.departure[rows].min())
+
+    def mark_departed(self, row: int) -> None:
+        self.state[row] = TABLE_DEPARTED
+        self._active -= 1
+        if row == self._lo:
+            self._advance_lo()
+
+    def mark_dropped(self, row: int) -> None:
+        self.state[row] = TABLE_DROPPED
+        self._active -= 1
+        if row == self._lo:
+            self._advance_lo()
+
+    def shed_newest(self, count: int) -> np.ndarray:
+        """Newest ``count`` live rows (reverse admit order), for sheds."""
+        rows = self.active_rows()
+        return rows[::-1][:count]

@@ -100,6 +100,22 @@ class AdmissionController:
         #: re-keys the hint instead of seeding the new model's search
         #: with the old model's capacity.
         self._capacity_hints: dict[str, int] = {}
+        #: DRAM demand per population under the current model.  The
+        #: admission hot path asks for the same handful of populations
+        #: over and over (the count oscillates around capacity), so a
+        #: local dict answers repeats without re-keying the planner
+        #: cache.  Cleared on every :meth:`reconfigure`.
+        self._dram_memo: dict[float, float] = {}
+        #: Finalized *rejections* per candidate population.  A rejection
+        #: leaves the controller untouched and its decision (including
+        #: the formatted reason string) is a pure function of the
+        #: candidate and the demand model, so an overloaded arrival
+        #: storm replays one frozen decision instead of re-deriving it
+        #: per arrival.  Cleared on every :meth:`reconfigure`.
+        self._reject_memo: dict[int, AdmissionDecision] = {}
+        #: The planner spelling of the legacy demand model, built once
+        #: per model (cleared on :meth:`reconfigure`).
+        self._spec_value: Configuration | None = None
 
     @staticmethod
     def _check_configuration(configuration: str,
@@ -138,14 +154,21 @@ class AdmissionController:
         """The planner spelling of the current demand model."""
         if self._spec is not None:
             return self._spec
-        return Configuration.from_legacy(self._configuration,
-                                         policy=self._policy,
-                                         popularity=self._popularity)
+        if self._spec_value is None:
+            self._spec_value = Configuration.from_legacy(
+                self._configuration, policy=self._policy,
+                popularity=self._popularity)
+        return self._spec_value
 
     def _dram_required(self, n: float) -> float:
+        cached = self._dram_memo.get(n)
+        if cached is not None:
+            return cached
         plan = self._planner.plan(self._params.replace(n_streams=n),
                                   self._configuration_spec())
-        return plan.require().total_dram
+        value = plan.require().total_dram
+        self._dram_memo[n] = value
+        return value
 
     def dram_required(self, n_streams: int | None = None) -> float:
         """DRAM the demand model charges for ``n_streams`` streams.
@@ -222,6 +245,9 @@ class AdmissionController:
             self._capacity_hint = self._capacity_hints.get(
                 self._configuration)
         self._capacity_value = None
+        self._dram_memo.clear()
+        self._reject_memo.clear()
+        self._spec_value = None
 
     def capacity(self, *, limit: int = DEFAULT_INT_LIMIT,
                  hint: int | None = None) -> int:
@@ -270,16 +296,24 @@ class AdmissionController:
             return AdmissionDecision(admitted=True, n_streams=candidate,
                                      dram_required=self._dram_required(
                                          candidate))
+        replay = self._reject_memo.get(candidate)
+        if replay is not None:
+            return replay
         try:
             dram = self._dram_required(candidate)
         except (AdmissionError, CapacityError) as exc:
-            return AdmissionDecision(admitted=False, n_streams=self._admitted,
-                                     dram_required=None, reason=str(exc))
+            decision = AdmissionDecision(
+                admitted=False, n_streams=self._admitted,
+                dram_required=None, reason=str(exc))
+            self._reject_memo[candidate] = decision
+            return decision
         if dram > self._dram_budget:
-            return AdmissionDecision(
+            decision = AdmissionDecision(
                 admitted=False, n_streams=self._admitted, dram_required=dram,
                 reason=(f"DRAM requirement {dram:.6g} B exceeds the budget "
                         f"{self._dram_budget:.6g} B"))
+            self._reject_memo[candidate] = decision
+            return decision
         self._admitted = candidate
         return AdmissionDecision(admitted=True, n_streams=candidate,
                                  dram_required=dram)

@@ -365,8 +365,16 @@ class RuntimeConfig:
     timeline: TimelineConfig = field(default_factory=TimelineConfig)
     device: str = "G3"
     seed: int = 0
+    #: Session bookkeeping core ("objects" or "table"); see the legacy
+    #: config's field of the same name.  Both cores produce the same
+    #: metrics/events bytes, so this is purely a speed knob.
+    session_core: str = "objects"
 
     def __post_init__(self) -> None:
+        if self.session_core not in ("objects", "table"):
+            raise ConfigurationError(
+                f"session_core must be 'objects' or 'table', "
+                f"got {self.session_core!r}")
         if self.configuration not in ("none", "buffer", "cache", "prefix"):
             raise ConfigurationError(
                 f"configuration must be 'none', 'buffer', 'cache' or "
@@ -405,7 +413,8 @@ class RuntimeConfig:
             prefix_safety=self.placement.prefix_safety,
             prefix_floor=self.placement.prefix_floor,
             batch_window=self.placement.batch_window,
-            seed=self.seed)
+            seed=self.seed,
+            session_core=self.session_core)
 
     @classmethod
     def from_legacy(cls, legacy: LegacyRuntimeConfig, *,
@@ -442,12 +451,13 @@ class RuntimeConfig:
                                     drifts=legacy.drifts,
                                     surges=legacy.surges,
                                     focuses=legacy.focuses),
-            seed=legacy.seed)
+            seed=legacy.seed,
+            session_core=legacy.session_core)
 
     # -- Serialisation ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": CONFIG_SCHEMA_VERSION,
             "configuration": self.configuration,
             "dram_budget": self.dram_budget,
@@ -460,6 +470,10 @@ class RuntimeConfig:
             "placement": self.placement.to_dict(),
             "timeline": self.timeline.to_dict(),
         }
+        # Emitted only when set, so existing config files stay stable.
+        if self.session_core != "objects":
+            payload["session_core"] = self.session_core
+        return payload
 
     def to_json(self, *, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -472,7 +486,7 @@ class RuntimeConfig:
                 f"expected {CONFIG_SCHEMA_VERSION}")
         known = {"schema", "configuration", "dram_budget", "horizon",
                  "seed", "device", "system", "workload", "control",
-                 "placement", "timeline"}
+                 "placement", "timeline", "session_core"}
         _require_keys(payload, known, where="runtime config")
         for required in ("configuration", "dram_budget", "horizon",
                          "system", "workload"):
@@ -490,6 +504,7 @@ class RuntimeConfig:
             control=ControlConfig.from_dict(payload.get("control", {})),
             placement=PlacementConfig.from_dict(payload.get("placement", {})),
             timeline=TimelineConfig.from_dict(payload.get("timeline", {})),
+            session_core=payload.get("session_core", "objects"),
         )
 
     @classmethod

@@ -18,13 +18,14 @@ at.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field, fields
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceEvent:
     """Base class: something the control plane did at ``time``."""
 
@@ -42,7 +43,7 @@ class ServiceEvent:
         return payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionAdmitted(ServiceEvent):
     """An admit ticket was finalized as admitted."""
 
@@ -54,7 +55,7 @@ class SessionAdmitted(ServiceEvent):
     was_pending: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionRejected(ServiceEvent):
     """An admit ticket was finalized as rejected."""
 
@@ -64,7 +65,7 @@ class SessionRejected(ServiceEvent):
     was_pending: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdmitPending(ServiceEvent):
     """An admit arrived during an in-flight replan; ticket parked."""
 
@@ -72,7 +73,7 @@ class AdmitPending(ServiceEvent):
     title: int | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionClosed(ServiceEvent):
     """An explicit ``teardown`` closed a live session."""
 
@@ -80,14 +81,14 @@ class SessionClosed(ServiceEvent):
     title: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplanStarted(ServiceEvent):
     """An epoch/reconfigure replan left the request path."""
 
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplanCompleted(ServiceEvent):
     """The replan landed; placement and demand model are swapped."""
 
@@ -100,7 +101,7 @@ class ReplanCompleted(ServiceEvent):
     pending_finalized: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureInjected(ServiceEvent):
     """A fault hit the MEMS bank."""
 
@@ -109,7 +110,7 @@ class FailureInjected(ServiceEvent):
     factor: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryPlanned(ServiceEvent):
     """The degraded re-plan after a failure settled on a mode."""
 
@@ -119,7 +120,7 @@ class RecoveryPlanned(ServiceEvent):
     sessions_dropped: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackpressureChanged(ServiceEvent):
     """The admission backpressure state moved."""
 
@@ -128,14 +129,14 @@ class BackpressureChanged(ServiceEvent):
     load: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reconfigured(ServiceEvent):
     """A live ``reconfigure`` operation changed the running config."""
 
     changes: tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DrainStarted(ServiceEvent):
     """The service stopped accepting new sessions."""
 
@@ -214,13 +215,46 @@ class EventCounter:
 
 
 class EventLog:
-    """A bus subscriber that records the full event stream (tests)."""
+    """A bus subscriber that records the event stream (tests, tooling).
 
-    def __init__(self) -> None:
-        self.events: list[ServiceEvent] = []
+    The log is a bounded ring: only the most recent ``capacity``
+    events are retained, and anything shed off the head is tallied in
+    :attr:`dropped`, so subscribing a log to a very long service run
+    costs O(capacity) memory instead of growing linearly with the
+    event stream.  The default capacity of one million events is
+    deliberately generous — every in-repo scenario publishes orders of
+    magnitude fewer, so by default nothing is ever dropped and
+    :attr:`events` is the complete stream.
+    """
+
+    def __init__(self,
+                 capacity: int = 1_000_000) -> None:  # repro-lint: disable=unit-literals (an event count, not bytes)
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity!r}")
+        self._ring: deque[ServiceEvent] = deque(maxlen=capacity)
+        #: Events shed off the head of the full ring.
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """Most events the log retains before shedding the oldest."""
+        maxlen = self._ring.maxlen
+        require(maxlen is not None, "EventLog ring built without maxlen")
+        return maxlen
+
+    @property
+    def events(self) -> list[ServiceEvent]:
+        """The retained events, oldest first (a fresh list)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
 
     def __call__(self, event: ServiceEvent) -> None:
-        self.events.append(event)
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
 
     def of_type(self, event_type: type[ServiceEvent]) -> list[ServiceEvent]:
-        return [e for e in self.events if isinstance(e, event_type)]
+        return [e for e in self._ring if isinstance(e, event_type)]

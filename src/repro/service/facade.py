@@ -32,6 +32,7 @@ Two properties define the facade:
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -69,7 +70,7 @@ class TicketState(enum.Enum):
     REJECTED = "rejected"
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmitTicket:
     """The receipt one :meth:`MediaService.admit` call returns.
 
@@ -137,13 +138,41 @@ class MediaService:
 
     def _update_backpressure(self) -> None:
         """Fold the current load in; publish one event per transition."""
-        load = self._load()
+        self._fold_load(self._load())
+
+    def _fold_load(self, load: float) -> None:
         transition = self.governor.update(load)
         if transition is not None:
             previous, state = transition
             self.bus.publish(BackpressureChanged(
                 time=self.engine.sim.now, previous=previous.value,
                 state=state.value, load=load))
+
+    def _block_loads(self, outcomes) -> list[float]:
+        """The load fraction each outcome's bookkeeping must observe.
+
+        A block runs the whole burst through the engine before any
+        per-ticket bookkeeping, so :meth:`_load` would report the
+        *final* population for every ticket.  The scalar path folds
+        the load in after each admission; this reconstructs that exact
+        trajectory by replaying the admitted count backwards (batched
+        prefix joins never touch the controller, and the capacity is
+        fixed between replans, so no admission can move it mid-burst).
+        """
+        controller = self.engine.controller
+        capacity = controller.capacity()
+        shed_enter = self.governor.config.shed_enter
+        fresh = sum(1 for o in outcomes if o.admitted and not o.batched)
+        running = controller.admitted_streams - fresh
+        loads = []
+        for outcome in outcomes:
+            if outcome.admitted and not outcome.batched:
+                running += 1
+            if capacity <= 0:
+                loads.append(0.0 if running == 0 else shed_enter)
+            else:
+                loads.append(running / capacity)
+        return loads
 
     # -- Facade operations ---------------------------------------------------
 
@@ -190,11 +219,103 @@ class MediaService:
         ticket = self._new_ticket(TicketState.PENDING, title=title)
         return self._finalize_admit(ticket, was_pending=False)
 
+    def admit_block(self, count: int | None = None,
+                    titles: Sequence[int | None] | None = None
+                    ) -> list[AdmitTicket]:
+        """Request a burst of sessions at the current instant.
+
+        Ticket for ticket — ids, states, published events, RNG draws —
+        this is :meth:`admit` called once per requested session, but
+        the burst reaches the engine through its vectorized block
+        arrival, so a large admit storm pays one bulk title draw
+        instead of one scalar draw (and one drain guard) per call.
+        Pass ``count`` to draw every title from the workload stream,
+        or ``titles`` (None entries draw) to pin them.
+        """
+        if titles is None:
+            if count is None:
+                raise ConfigurationError(
+                    "admit_block needs count or titles")
+            wanted: list[int | None] = [None] * count
+        else:
+            wanted = list(titles)
+            if count is not None and count != len(wanted):
+                raise ConfigurationError(
+                    f"count {count} != len(titles) {len(wanted)}")
+        if self._draining:
+            return [self.admit(title) for title in wanted]
+        sim = self.engine.sim
+        if self._replan_inflight:
+            # The whole burst parks; no engine work until replan-done.
+            parked: list[AdmitTicket] = []
+            now = sim.now
+            for title in wanted:
+                ticket = self._new_ticket(TicketState.PENDING, title=title)
+                self._pending.append(ticket)
+                self.bus.publish(AdmitPending(
+                    time=now, ticket_id=ticket.ticket_id, title=title))
+                parked.append(ticket)
+            return parked
+        outcomes = self.engine.handle_arrival_block(sim, wanted)
+        now = sim.now
+        publish = self.bus.publish
+        fold = self._fold_load
+        next_id = self._next_ticket
+        tickets: list[AdmitTicket] = []
+        append = tickets.append
+        last_load: float | None = None
+        for outcome, load in zip(outcomes, self._block_loads(outcomes)):
+            # Each ticket is born in its final state (ids run in call
+            # order, exactly as ``admit`` would have assigned them).
+            if outcome.admitted:
+                ticket = AdmitTicket(
+                    ticket_id=next_id, state=TicketState.ADMITTED,
+                    created_at=now, title=outcome.title,
+                    session_id=outcome.session.session_id,
+                    served_by=outcome.served_by,
+                    batched=outcome.batched, finalized_at=now)
+                publish(SessionAdmitted(
+                    time=now, ticket_id=next_id,
+                    session_id=ticket.session_id, title=outcome.title,
+                    served_by=outcome.served_by, was_pending=False))
+            else:
+                ticket = AdmitTicket(
+                    ticket_id=next_id, state=TicketState.REJECTED,
+                    created_at=now, title=outcome.title,
+                    reason=outcome.reason, finalized_at=now)
+                publish(SessionRejected(
+                    time=now, ticket_id=next_id, title=outcome.title,
+                    reason=outcome.reason, was_pending=False))
+            next_id += 1
+            if load != last_load:
+                # ``governor.update`` at an unchanged load is a no-op
+                # (the state machine is a fixpoint of its own verdicts),
+                # so only the first ticket of an equal-load run folds.
+                fold(load)
+                last_load = load
+            append(ticket)
+        self._tickets_issued += next_id - self._next_ticket
+        self._next_ticket = next_id
+        return tickets
+
     def _finalize_admit(self, ticket: AdmitTicket, *,
                         was_pending: bool) -> AdmitTicket:
         """Run the engine admission for ``ticket`` and publish the result."""
+        outcome = self.engine.handle_arrival(self.engine.sim, ticket.title)
+        return self._apply_outcome(ticket, outcome,
+                                   was_pending=was_pending)
+
+    def _apply_outcome(self, ticket: AdmitTicket, outcome, *,
+                       was_pending: bool,
+                       load: float | None = None) -> AdmitTicket:
+        """Fold one engine admission outcome into ``ticket``; publish.
+
+        ``load`` carries the admission load this ticket's bookkeeping
+        must fold into the governor when the caller already ran the
+        whole burst through the engine (see :meth:`_block_loads`);
+        scalar callers leave it None and the live load is read.
+        """
         sim = self.engine.sim
-        outcome = self.engine.handle_arrival(sim, ticket.title)
         ticket.title = outcome.title
         ticket.finalized_at = sim.now
         if outcome.admitted:
@@ -213,7 +334,7 @@ class MediaService:
                 time=sim.now, ticket_id=ticket.ticket_id,
                 title=outcome.title, reason=outcome.reason,
                 was_pending=was_pending))
-        self._update_backpressure()
+        self._fold_load(self._load() if load is None else load)
         return ticket
 
     def teardown(self, session_id: int) -> bool:
@@ -231,6 +352,7 @@ class MediaService:
     def stats(self) -> dict:
         """A point-in-time snapshot of the control plane."""
         engine = self.engine
+        engine.sync(engine.sim)
         return {
             "time": engine.sim.now,
             "state": self.governor.state.value,
@@ -297,6 +419,7 @@ class MediaService:
         are rejected at the service layer with reason ``"draining"``
         (the engine and its counters are untouched).
         """
+        self.engine.sync(self.engine.sim)
         if not self._draining:
             self._draining = True
             self.bus.publish(DrainStarted(
@@ -337,9 +460,9 @@ class MediaService:
         self.engine.run_epoch(sim)
         self._replan_inflight = False
         parked, self._pending = self._pending, []
-        finalized = 0
-        for ticket in parked:
-            if self._draining:
+        finalized = len(parked)
+        if self._draining:
+            for ticket in parked:
                 ticket.state = TicketState.REJECTED
                 ticket.reason = "draining"
                 ticket.finalized_at = sim.now
@@ -347,9 +470,18 @@ class MediaService:
                     time=sim.now, ticket_id=ticket.ticket_id,
                     title=ticket.title, reason="draining",
                     was_pending=True))
-            else:
-                self._finalize_admit(ticket, was_pending=True)
-            finalized += 1
+        elif parked:
+            # All parked tickets finalize at this same instant, so the
+            # whole backlog goes through the engine's block arrival —
+            # identical outcomes and publish order to finalizing them
+            # one by one (each ticket folds the load trajectory point
+            # the scalar path would have observed).
+            outcomes = self.engine.handle_arrival_block(
+                sim, [ticket.title for ticket in parked])
+            loads = self._block_loads(outcomes)
+            for ticket, outcome, load in zip(parked, outcomes, loads):
+                self._apply_outcome(ticket, outcome, was_pending=True,
+                                    load=load)
         self.bus.publish(ReplanCompleted(
             time=sim.now, reason="epoch",
             duration=sim.now - self._replan_started_at,
@@ -359,6 +491,10 @@ class MediaService:
 
     def inject_failure(self, sim, event: FailureEvent) -> None:
         """Degrade the MEMS bank per ``event`` and publish the recovery."""
+        # Departures due by now leave first (on the table core they are
+        # harvested lazily), so ``sessions_dropped`` counts only what
+        # the failure itself shed.
+        self.engine.sync(sim)
         before = self.engine.active_sessions
         self.engine.apply_failure(sim, event)
         self.bus.publish(FailureInjected(

@@ -38,8 +38,7 @@ class TrafficProgram:
     # -- Schedule pieces (one per legacy run-loop line) ----------------------
 
     def _schedule_arrival(self, sim) -> None:
-        workload = self.service.engine.config.workload
-        delay = workload.next_interarrival(self.service.engine.rng)
+        delay = self.service.engine.sampler.next_interarrival()
         sim.after(delay, self._on_arrival, "arrival")
 
     def _on_arrival(self, sim) -> None:

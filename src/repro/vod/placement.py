@@ -34,6 +34,7 @@ from repro.core.cache_model import CachePolicy
 from repro.core.parameters import SystemParameters
 from repro.core.popularity import EmpiricalPopularity
 from repro.errors import ConfigurationError
+from repro.planner.batch import demand_at
 from repro.planner.configuration import Configuration
 from repro.planner.solver import Planner, default_planner
 
@@ -177,6 +178,20 @@ class PrefixPlacement:
                 f"title must be in [0, {self.n_titles}), got {title!r}")
         self._epoch_counts[title] += 1.0
 
+    def observe_block(self, titles: np.ndarray) -> None:
+        """Record one arrival per entry of ``titles``, in one operation.
+
+        The vectorized twin of :meth:`observe` for the table core's
+        bulk paths; per-title counts are order-insensitive within an
+        epoch, so a whole window lands as one scatter-add.
+        """
+        titles = np.asarray(titles)
+        if len(titles) and not (0 <= int(titles.min())
+                                and int(titles.max()) < self.n_titles):
+            raise ConfigurationError(
+                f"titles must be in [0, {self.n_titles})")
+        np.add.at(self._epoch_counts, titles, 1.0)
+
     def scores(self) -> np.ndarray:
         """Aged per-title scores including the in-flight epoch."""
         return self.decay * self._scores + self._epoch_counts
@@ -219,9 +234,14 @@ class PrefixPlacement:
         resident = previous.resident_titles if previous is not None else ()
 
         at_population = params.replace(n_streams=n_io_active)
-        best: tuple[CachePolicy, PrefixAllocation, float,
-                    Configuration] | None = None
-        best_dram = float("inf")
+        # Build both bank policies' candidate allocations (and their
+        # planner spellings), then judge them in one batch-demand
+        # evaluation — bit-identical to the scalar solves, with ``inf``
+        # marking an infeasible candidate.  No candidate pays a scalar
+        # planner solve; the winner's spec is what the admission
+        # controller reconfigures onto.
+        slates: list[tuple[CachePolicy, PrefixAllocation, float,
+                           Configuration]] = []
         for policy in (CachePolicy.REPLICATED, CachePolicy.STRIPED):
             budget = (params.k * params.size_mems
                       if policy is CachePolicy.STRIPED else params.size_mems)
@@ -230,23 +250,25 @@ class PrefixPlacement:
                 budget_bytes=budget, title_bytes=title_bytes,
                 resident=resident)
             fraction = allocation.mems_fraction(weights)
-            spec = Configuration.prefix(policy, fraction)
-            plan = self._planner.plan(at_population, spec)
-            if plan.feasible and plan.total_dram < best_dram:
-                best = (policy, allocation, fraction, spec)
-                best_dram = plan.total_dram
+            slates.append((policy, allocation, fraction,
+                           Configuration.prefix(policy, fraction)))
+        demands = demand_at([(at_population, spec)
+                             for _, _, _, spec in slates], n_io_active)
+        best: tuple[CachePolicy, PrefixAllocation, float,
+                    Configuration] | None = None
+        best_dram = float("inf")
+        for slate, dram in zip(slates, demands):
+            if dram < best_dram:
+                best = slate
+                best_dram = float(dram)
         feasible = best is not None
         if best is None:
             # Neither policy carries the live streams; report under the
-            # replicated geometry so the caller can shed and re-plan.
-            policy = CachePolicy.REPLICATED
-            allocation = self._replacement.rebalance(
-                self._scores, base_bytes=base, max_bytes=max_bytes,
-                budget_bytes=params.size_mems, title_bytes=title_bytes,
-                resident=resident)
-            fraction = allocation.mems_fraction(weights)
-            best = (policy, allocation, fraction,
-                    Configuration.prefix(policy, fraction))
+            # replicated geometry (rebalance is deterministic, so the
+            # replicated slate is exactly what a fresh rebalance under
+            # the replicated budget would build) so the caller can shed
+            # and re-plan.
+            best = slates[0]
         policy, allocation, fraction, spec = best
 
         capacity: int | None = None

@@ -75,9 +75,29 @@ class TestRunWorkloads:
     def test_default_selection_is_every_workload(self):
         assert set(WORKLOADS) == {"event_loop", "figure6_sweep",
                                   "batch_sweep", "runtime_scenario",
-                                  "planner_cold", "planner_warm",
-                                  "admission_storm", "replan_epochs",
-                                  "flash_crowd", "service_churn", "lint"}
+                                  "million_sessions", "planner_cold",
+                                  "planner_warm", "admission_storm",
+                                  "replan_epochs", "flash_crowd",
+                                  "service_churn", "lint"}
+
+    def test_runtime_scenario_tiny(self):
+        (record,) = run_workloads(["runtime_scenario"], preset="tiny")
+        # The gated rate counts session-lifecycle events, not the
+        # table core's handful of control-timer calendar entries.
+        assert record.metrics["session_events"] > 0
+        assert (record.metrics["events_per_sec"]
+                == pytest.approx(record.metrics["session_events"]
+                                 / record.metrics["wall_time_s"]))
+        assert (record.metrics["events_executed"]
+                < record.metrics["session_events"])
+
+    def test_million_sessions_tiny(self):
+        (record,) = run_workloads(["million_sessions"], preset="tiny")
+        assert record.metrics["sessions"] > 1_000
+        # The torrent shape keeps the population far under capacity:
+        # every arrival admits.
+        assert record.metrics["sessions"] == record.metrics["arrivals"]
+        assert record.metrics["sessions_per_sec"] > 0
 
     def test_batch_sweep_tiny(self):
         (record,) = run_workloads(["batch_sweep"], preset="tiny")

@@ -22,7 +22,7 @@ from repro.core.parameters import SystemParameters
 from repro.core.popularity import BimodalPopularity
 from repro.errors import ConfigurationError
 from repro.planner import Configuration, Planner
-from repro.planner.batch import batch_max_streams, demand_curve
+from repro.planner.batch import batch_max_streams, demand_at, demand_curve
 
 _POLICIES = st.sampled_from([CachePolicy.STRIPED, CachePolicy.REPLICATED])
 _POPULARITIES = st.sampled_from(
@@ -104,6 +104,44 @@ class TestDemandCurveBitIdentity:
             Planner().plan(params, configuration).require()
         with pytest.raises(ConfigurationError):
             demand_curve(params, configuration, [10.0])
+
+
+class TestDemandAtBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(lanes=st.lists(_lane(), min_size=1, max_size=5),
+           population=st.floats(0.0, 1e6, allow_nan=False))
+    def test_matches_scalar_plans_per_lane(self, lanes, population):
+        totals = demand_at(lanes, population)
+        planner = Planner()
+        for (params, configuration), total in zip(lanes, totals):
+            plan = planner.plan(params.replace(n_streams=population),
+                                configuration)
+            expected = plan.total_dram if plan.feasible else math.inf
+            assert float(total) == expected or (
+                math.isnan(total) and math.isnan(expected))
+
+    def test_mixed_kind_slate_keeps_lane_order(self):
+        params = SystemParameters.table3_default(n_streams=1, bit_rate=1e5,
+                                                 k=2)
+        popularity = BimodalPopularity.parse("10:90")
+        lanes = [
+            (params, Configuration.cache(CachePolicy.REPLICATED,
+                                         popularity)),
+            (params, Configuration.prefix(CachePolicy.STRIPED, 0.4)),
+            (params, Configuration.cache(CachePolicy.STRIPED, popularity)),
+            (params, Configuration.buffer()),
+        ]
+        totals = demand_at(lanes, 40.0)
+        planner = Planner(warm_start=False)
+        for (p, c), total in zip(lanes, totals):
+            plan = planner.plan(p.replace(n_streams=40.0), c)
+            expected = plan.total_dram if plan.feasible else math.inf
+            assert float(total) == expected
+
+    def test_negative_population_rejected(self):
+        params = SystemParameters.table3_default(n_streams=1, bit_rate=1e5)
+        with pytest.raises(ConfigurationError):
+            demand_at([(params, Configuration.direct())], -1.0)
 
 
 class TestBatchMaxStreamsBitIdentity:

@@ -103,3 +103,25 @@ class TestSubscribers:
                                     capacity=10, pending_finalized=0))
         assert len(log.of_type(ReplanCompleted)) == 1
         assert len(log.of_type(SessionAdmitted)) == 1
+
+    def test_log_is_a_bounded_ring(self):
+        log = EventLog(capacity=3)
+        assert log.capacity == 3
+        for ticket in range(5):
+            log(_admitted(time=float(ticket), ticket_id=ticket))
+        # Only the newest three survive; the two shed off the head are
+        # tallied, not silently lost.
+        assert len(log) == 3
+        assert [e.ticket_id for e in log.events] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_log_under_capacity_drops_nothing(self):
+        log = EventLog(capacity=10)
+        for ticket in range(4):
+            log(_admitted(ticket_id=ticket))
+        assert len(log) == 4
+        assert log.dropped == 0
+
+    def test_log_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
